@@ -1,0 +1,109 @@
+// Ablations for the design choices DESIGN.md calls out. Not paper figures —
+// these isolate how much each mechanism contributes.
+//
+//  1. Victim selection: cost-aware (paper) vs lowest-priority vs random.
+//  2. Adaptive threshold k in `progress > k * overhead` (k=1 is Algorithm 1).
+//  3. Restore policy: Algorithm 2 vs always-local vs always-remote.
+//  4. Incremental checkpointing on/off.
+//  5. Checkpoint destination: DFS (remote restore possible) vs local-only
+//     images (stock CRIU).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+
+using namespace ckpt;
+using namespace ckpt::bench;
+
+namespace {
+
+void Report(const char* name, const SimulationResult& result) {
+  std::printf(
+      "  %-16s waste=%8.1f ch  energy=%7.1f kWh  lowRT=%7.0f s  "
+      "hiRT=%6.0f s  ckpts=%lld (incr=%lld)  restores=%lld/%lld  "
+      "bytes=%s\n",
+      name, result.wasted_core_hours, result.energy_kwh,
+      result.job_response_by_band[static_cast<size_t>(PriorityBand::kFree)]
+          .Mean(),
+      result
+          .job_response_by_band[static_cast<size_t>(PriorityBand::kProduction)]
+          .Mean(),
+      static_cast<long long>(result.checkpoints),
+      static_cast<long long>(result.incremental_checkpoints),
+      static_cast<long long>(result.local_restores),
+      static_cast<long long>(result.remote_restores),
+      FormatBytes(result.total_checkpoint_bytes_written).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int jobs = argc > 1 ? std::atoi(argv[1]) : 1000;
+  const Workload workload = GoogleDayWorkload(jobs);
+  std::printf("Ablations | %zu jobs, %lld tasks, SSD unless noted\n",
+              workload.jobs.size(),
+              static_cast<long long>(workload.TotalTasks()));
+
+  TraceSimOptions base;
+  base.policy = PreemptionPolicy::kAdaptive;
+  base.medium = StorageMedium::Ssd();
+
+  PrintHeader("Ablation 1: victim selection order (adaptive policy)");
+  for (auto [name, order] :
+       {std::pair{"cost-aware", VictimOrder::kCostAware},
+        std::pair{"lowest-priority", VictimOrder::kLowestPriority},
+        std::pair{"random", VictimOrder::kRandom}}) {
+    TraceSimOptions options = base;
+    options.victim_order = order;
+    Report(name, RunTraceSim(workload, options));
+  }
+
+  PrintHeader("Ablation 2: adaptive threshold k (progress > k*overhead)");
+  for (double k : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    TraceSimOptions options = base;
+    options.adaptive_threshold = k;
+    char name[32];
+    std::snprintf(name, sizeof(name), "k=%.2f", k);
+    Report(name, RunTraceSim(workload, options));
+  }
+
+  PrintHeader("Ablation 3: resumption policy (Algorithm 2 vs fixed)");
+  for (auto [name, policy] :
+       {std::pair{"adaptive", RestorePolicy::kAdaptive},
+        std::pair{"always-local", RestorePolicy::kAlwaysLocal},
+        std::pair{"always-remote", RestorePolicy::kAlwaysRemote}}) {
+    TraceSimOptions options = base;
+    options.restore_policy = policy;
+    Report(name, RunTraceSim(workload, options));
+  }
+
+  PrintHeader("Ablation 4: incremental checkpointing");
+  for (auto [name, incremental] :
+       {std::pair{"incremental", true}, std::pair{"full-dumps", false}}) {
+    TraceSimOptions options = base;
+    options.incremental = incremental;
+    Report(name, RunTraceSim(workload, options));
+  }
+
+  PrintHeader("Ablation 5: checkpoint destination (DFS vs local-only)");
+  for (auto [name, dfs] :
+       {std::pair{"dfs (paper)", true}, std::pair{"local-only", false}}) {
+    TraceSimOptions options = base;
+    options.checkpoint_to_dfs = dfs;
+    Report(name, RunTraceSim(workload, options));
+  }
+
+  PrintHeader(
+      "Ablation 6: QoS guard (latency-sensitive tasks excluded from "
+      "victim sets; cf. Table 2's 14.8% class-3 preemption rate)");
+  for (auto [name, threshold] :
+       {std::pair{"no guard (trace)", kNumLatencyClasses},
+        std::pair{"protect class 3", 3},
+        std::pair{"protect class 2+", 2}}) {
+    TraceSimOptions options = base;
+    options.protect_latency_class_at_least = threshold;
+    Report(name, RunTraceSim(workload, options));
+  }
+
+  return 0;
+}

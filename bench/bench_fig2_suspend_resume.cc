@@ -1,0 +1,97 @@
+// Figure 2: suspend (dump) + restore time vs checkpoint size on the local
+// filesystem (a) and on HDFS (b), for HDD / SSD / NVM.
+//
+// Paper shapes: linear in size; SSD 3-4x faster than HDD; NVM 10-15x faster
+// than SSD; HDFS adds overhead over the local filesystem on every medium.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "checkpoint/checkpoint_engine.h"
+
+using namespace ckpt;
+using namespace ckpt::bench;
+
+namespace {
+
+// Dump + restore one image of `size` through `engine`, returning total time.
+double DumpRestoreSeconds(Simulator& sim, CheckpointEngine& engine,
+                          Bytes size, NodeId node) {
+  ProcessState proc(TaskId(1), size, kMiB);
+  const SimTime start = sim.Now();
+  bool ok = false;
+  engine.Dump(proc, node, DumpOptions{}, [&](DumpResult r) { ok = r.ok; });
+  sim.Run();
+  if (!ok) return -1;
+  engine.Restore(proc, node, [&](RestoreResult r) { ok = r.ok; });
+  sim.Run();
+  if (!ok) return -1;
+  const double total = ToSeconds(sim.Now() - start);
+  engine.Discard(proc);
+  return total;
+}
+
+double LocalDumpRestoreSeconds(MediaKind kind, Bytes size) {
+  Simulator sim;
+  StorageDevice device(&sim, MediumFor(kind), "local");
+  LocalStore store;
+  store.AddNode(NodeId(0), &device);
+  CheckpointEngine engine(&sim, &store);
+  return DumpRestoreSeconds(sim, engine, size, NodeId(0));
+}
+
+double HdfsDumpRestoreSeconds(MediaKind kind, Bytes size) {
+  Simulator sim;
+  NetworkModel net(&sim, NetworkConfig{});
+  DfsConfig config;
+  config.replication = 2;
+  DfsCluster dfs(&sim, &net, config);
+  std::vector<std::unique_ptr<StorageDevice>> devices;
+  for (int i = 0; i < 4; ++i) {
+    net.AddNode(NodeId(i));
+    devices.push_back(std::make_unique<StorageDevice>(
+        &sim, MediumFor(kind), "dn" + std::to_string(i)));
+    dfs.AddDataNode(NodeId(i), devices.back().get());
+  }
+  DfsStore store(&dfs);
+  CheckpointEngine engine(&sim, &store);
+  return DumpRestoreSeconds(sim, engine, size, NodeId(0));
+}
+
+}  // namespace
+
+int main() {
+  const double sizes_gb[] = {1.0, 2.5, 5.0, 7.5, 10.0};
+  std::printf("Fig 2 | total dump+restore time [s] vs checkpoint size\n");
+
+  PrintHeader("Fig 2a: Local file system");
+  std::printf("  size[GB]\tHDD\tSSD\tNVM\n");
+  for (double gb : sizes_gb) {
+    std::printf("  %.1f\t\t%.1f\t%.1f\t%.2f\n", gb,
+                LocalDumpRestoreSeconds(MediaKind::kHdd, GiB(gb)),
+                LocalDumpRestoreSeconds(MediaKind::kSsd, GiB(gb)),
+                LocalDumpRestoreSeconds(MediaKind::kNvm, GiB(gb)));
+  }
+
+  PrintHeader("Fig 2b: HDFS (replication 2, 10GbE)");
+  std::printf("  size[GB]\tHDD\tSSD\tPMFS\n");
+  for (double gb : sizes_gb) {
+    std::printf("  %.1f\t\t%.1f\t%.1f\t%.2f\n", gb,
+                HdfsDumpRestoreSeconds(MediaKind::kHdd, GiB(gb)),
+                HdfsDumpRestoreSeconds(MediaKind::kSsd, GiB(gb)),
+                HdfsDumpRestoreSeconds(MediaKind::kNvm, GiB(gb)));
+  }
+
+  PrintHeader("Shape checks");
+  const double hdd = LocalDumpRestoreSeconds(MediaKind::kHdd, GiB(5));
+  const double ssd = LocalDumpRestoreSeconds(MediaKind::kSsd, GiB(5));
+  const double nvm = LocalDumpRestoreSeconds(MediaKind::kNvm, GiB(5));
+  const double hdfs_hdd = HdfsDumpRestoreSeconds(MediaKind::kHdd, GiB(5));
+  std::printf(
+      "  SSD vs HDD: %.1fx (paper: 3-4x)\n"
+      "  NVM vs SSD: %.1fx (paper: 10-15x)\n"
+      "  HDFS overhead on HDD at 5GB: %.2fx local (paper: HDFS slower)\n",
+      hdd / ssd, ssd / nvm, hdfs_hdd / hdd);
+  return 0;
+}

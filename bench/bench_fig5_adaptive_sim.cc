@@ -1,0 +1,67 @@
+// Figure 5: trace-driven simulation, basic (always-checkpoint) preemption
+// vs the adaptive policy (Algorithm 1 + cost-aware victims + incremental
+// checkpoints + Algorithm 2 resumption), per storage medium. Response times
+// normalized to the basic policy.
+//
+// Paper: adaptive cuts low-priority response 36/12/3% and medium-priority
+// 55/17/8% on HDD/SSD/NVM, high-priority 29/8/~0%.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace ckpt;
+using namespace ckpt::bench;
+
+int main(int argc, char** argv) {
+  const int jobs = argc > 1 ? std::atoi(argv[1]) : 1500;
+  const Workload workload = GoogleDayWorkload(jobs);
+  std::printf("Fig 5 | one-day trace: %zu jobs, %lld tasks\n",
+              workload.jobs.size(),
+              static_cast<long long>(workload.TotalTasks()));
+
+  for (MediaKind kind : {MediaKind::kHdd, MediaKind::kSsd, MediaKind::kNvm}) {
+    TraceSimOptions basic;
+    basic.policy = PreemptionPolicy::kCheckpoint;
+    basic.medium = MediumFor(kind);
+    // "Basic" is the naive integration: no cost-aware eviction, full dumps.
+    basic.victim_order = VictimOrder::kRandom;
+    basic.incremental = false;
+    const SimulationResult basic_result = RunTraceSim(workload, basic);
+
+    TraceSimOptions adaptive = basic;
+    adaptive.policy = PreemptionPolicy::kAdaptive;
+    adaptive.victim_order = VictimOrder::kCostAware;
+    adaptive.incremental = true;
+    const SimulationResult adaptive_result = RunTraceSim(workload, adaptive);
+
+    PrintHeader(std::string("Fig 5 (") + MediaName(kind) +
+                "): response normalized to Basic");
+    std::vector<std::vector<std::string>> table{
+        {"policy", "Low", "Medium", "High"}};
+    auto add_row = [&](const char* name, const SimulationResult& result) {
+      std::vector<std::string> row{name};
+      for (size_t band = 0; band < 3; ++band) {
+        const double base = basic_result.job_response_by_band[band].Mean();
+        row.push_back(Fmt(
+            base > 0 ? result.job_response_by_band[band].Mean() / base : 0,
+            3));
+      }
+      table.push_back(std::move(row));
+    };
+    add_row("Basic", basic_result);
+    add_row("Adaptive", adaptive_result);
+    std::fputs(RenderTable(table).c_str(), stdout);
+    std::printf(
+        "  energy: basic %.1f kWh -> adaptive %.1f kWh | adaptive kills=%lld "
+        "checkpoints=%lld (incr=%lld)\n",
+        basic_result.energy_kwh, adaptive_result.energy_kwh,
+        static_cast<long long>(adaptive_result.kills),
+        static_cast<long long>(adaptive_result.checkpoints),
+        static_cast<long long>(adaptive_result.incremental_checkpoints));
+  }
+  std::printf(
+      "\nPaper: adaptive reduces low-pri RT by 36/12/3%% and medium by "
+      "55/17/8%% on HDD/SSD/NVM; high-pri by 29/8/~0%%; adaptive also uses "
+      "less energy on every medium.\n");
+  return 0;
+}

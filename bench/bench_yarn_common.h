@@ -1,0 +1,43 @@
+// Shared setup for the YARN-layer benches (Figs. 8-12): the paper's 8-node
+// testbed (24 containers/node, 1 core + 2 GB each) running the
+// Facebook-derived workload (40 jobs, ~7,000 one-minute 1.8 GB k-means
+// tasks, low + high priority co-located).
+#pragma once
+
+#include "bench_common.h"
+#include "trace/facebook_workload.h"
+#include "yarn/yarn_cluster.h"
+
+namespace ckpt::bench {
+
+inline Workload FacebookYarnWorkload(int jobs = 40, int tasks = 7000) {
+  FacebookWorkloadConfig config;
+  config.total_jobs = jobs;
+  config.total_tasks = tasks;
+  config.cluster_containers = 192;
+  return GenerateFacebookWorkload(config);
+}
+
+struct YarnBenchOptions {
+  PreemptionPolicy policy = PreemptionPolicy::kKill;
+  MediaKind media = MediaKind::kHdd;
+  bool incremental = true;
+  VictimOrder victim_order = VictimOrder::kCostAware;
+  double adaptive_threshold = 1.0;
+};
+
+inline YarnResult RunYarn(const Workload& workload,
+                          const YarnBenchOptions& options) {
+  YarnConfig config;
+  config.num_nodes = 8;
+  config.containers_per_node = 24;
+  config.medium = MediumFor(options.media);
+  config.policy = options.policy;
+  config.incremental_checkpoints = options.incremental;
+  config.victim_order = options.victim_order;
+  config.adaptive_threshold = options.adaptive_threshold;
+  YarnCluster yarn(config);
+  return yarn.RunWorkload(workload);
+}
+
+}  // namespace ckpt::bench

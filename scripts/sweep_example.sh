@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Example parameter sweep driven through the ckpt-sim CLI: adaptive-threshold
+# sensitivity on two media, printed as TSV.
+set -euo pipefail
+BIN=${1:-build/tools/ckpt-sim}
+echo -e "medium\tthreshold\twasted_ch\tlow_rt_s"
+for medium in ssd nvm; do
+  for k in 0.25 0.5 1 2 4; do
+    out=$($BIN --policy=adaptive --medium=$medium --threshold=$k --jobs=600)
+    wasted=$(grep -o 'wasted_core_hours=[0-9.]*' <<<"$out" | cut -d= -f2)
+    rt=$(grep -o 'rt_low_s=[0-9.]*' <<<"$out" | cut -d= -f2)
+    echo -e "$medium\t$k\t$wasted\t$rt"
+  done
+done

@@ -1,0 +1,155 @@
+#include "checkpoint/checkpoint_engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+CheckpointEngine::CheckpointEngine(Simulator* sim, CheckpointStore* store)
+    : sim_(sim), store_(store) {
+  CKPT_CHECK(sim != nullptr);
+  CKPT_CHECK(store != nullptr);
+}
+
+std::string CheckpointEngine::ImagePath(const ProcessState& proc) const {
+  return "/checkpoints/task-" + std::to_string(proc.task.value()) + "-img" +
+         std::to_string(next_image_);
+}
+
+Bytes CheckpointEngine::DumpBytes(const ProcessState& proc,
+                                  bool incremental) const {
+  const bool can_increment = incremental && proc.has_image &&
+                             proc.memory.tracking_enabled();
+  if (can_increment) return proc.memory.DirtyBytes() + proc.metadata_bytes;
+  return proc.memory.size() + proc.metadata_bytes;
+}
+
+SimDuration CheckpointEngine::EstimateDump(const ProcessState& proc,
+                                           NodeId node,
+                                           bool incremental) const {
+  return store_->EstimateSave(DumpBytes(proc, incremental), node);
+}
+
+SimDuration CheckpointEngine::EstimateDumpService(const ProcessState& proc,
+                                                  NodeId node,
+                                                  bool incremental) const {
+  return store_->EstimateSaveService(DumpBytes(proc, incremental), node);
+}
+
+SimDuration CheckpointEngine::EstimateRestore(const ProcessState& proc,
+                                              NodeId node, bool local) const {
+  const Bytes size = proc.has_image
+                         ? proc.image_bytes
+                         : proc.memory.size() + proc.metadata_bytes;
+  return store_->EstimateLoadBytes(size, node, local);
+}
+
+SimDuration CheckpointEngine::EstimateRestoreService(const ProcessState& proc,
+                                                     NodeId node,
+                                                     bool local) const {
+  const Bytes size = proc.has_image
+                         ? proc.image_bytes
+                         : proc.memory.size() + proc.metadata_bytes;
+  return store_->EstimateLoadBytesService(size, node, local);
+}
+
+void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
+                            const DumpOptions& opts,
+                            std::function<void(DumpResult)> done) {
+  const bool can_increment = opts.incremental && proc.has_image &&
+                             proc.memory.tracking_enabled() &&
+                             !opts.replace_existing &&
+                             store_->Exists(proc.image_path) &&
+                             // Incremental layers must extend an image dumped
+                             // on a reachable store; a local-store image on a
+                             // different node cannot be extended from here.
+                             (store_->SupportsRemoteRestore() ||
+                              proc.image_node == node);
+  const Bytes bytes = DumpBytes(proc, can_increment);
+  const SimTime started = sim_->Now();
+
+  auto finish = [this, &proc, node, can_increment, bytes, started,
+                 done = std::move(done)](bool ok) {
+    DumpResult result;
+    result.ok = ok;
+    result.was_incremental = can_increment;
+    result.bytes_written = ok ? bytes : 0;
+    result.duration = sim_->Now() - started;
+    if (ok) {
+      ++dumps_;
+      if (can_increment) ++incremental_dumps_;
+      dump_bytes_ += bytes;
+      dump_time_ += result.duration;
+      proc.has_image = true;
+      proc.image_node = node;
+      // `bytes` is exactly what landed in the store (payload + metadata),
+      // for both the base image and incremental layers.
+      if (can_increment) {
+        proc.image_bytes += bytes;
+      } else {
+        proc.image_bytes = bytes;
+      }
+      ++proc.dump_count;
+      // CRIU clears the soft-dirty bits at dump time so the next dump only
+      // carries pages written after this one.
+      proc.memory.StartTracking();
+    }
+    done(result);
+  };
+
+  if (can_increment) {
+    store_->Append(proc.image_path, bytes, node, std::move(finish));
+    return;
+  }
+  if (proc.has_image && !proc.image_path.empty()) {
+    store_->Remove(proc.image_path);
+    proc.has_image = false;
+    proc.image_bytes = 0;
+  }
+  proc.image_path = ImagePath(proc);
+  ++next_image_;
+  store_->Save(proc.image_path, bytes, node, std::move(finish));
+}
+
+void CheckpointEngine::Restore(ProcessState& proc, NodeId node,
+                               std::function<void(RestoreResult)> done) {
+  if (!proc.has_image || !store_->Exists(proc.image_path)) {
+    RestoreResult result;  // nothing to restore from
+    sim_->ScheduleAfter(0, [result, done = std::move(done)] { done(result); });
+    return;
+  }
+  const SimTime started = sim_->Now();
+  const bool remote = !store_->IsLocalTo(proc.image_path, node);
+  const Bytes bytes = store_->StoredSize(proc.image_path);
+  store_->Load(proc.image_path, node,
+               [this, &proc, node, remote, bytes, started,
+                done = std::move(done)](bool ok) {
+                 RestoreResult result;
+                 result.ok = ok;
+                 result.was_remote = remote;
+                 result.bytes_read = ok ? bytes : 0;
+                 result.duration = sim_->Now() - started;
+                 if (ok) {
+                   ++restores_;
+                   restore_bytes_ += bytes;
+                   restore_time_ += result.duration;
+                   proc.image_node = node;
+                   // The restored process resumes with tracking re-armed so
+                   // a later preemption can dump incrementally (S5.2.2).
+                   proc.memory.StartTracking();
+                 }
+                 done(result);
+               });
+}
+
+void CheckpointEngine::Discard(ProcessState& proc) {
+  if (proc.has_image && !proc.image_path.empty()) {
+    store_->Remove(proc.image_path);
+  }
+  proc.has_image = false;
+  proc.image_path.clear();
+  proc.image_bytes = 0;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,224 @@
+#include "checkpoint/checkpoint_store.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+// --- LocalStore -----------------------------------------------------------
+
+void LocalStore::AddNode(NodeId node, StorageDevice* device) {
+  CKPT_CHECK(device != nullptr);
+  CKPT_CHECK(devices_.emplace(node, device).second);
+}
+
+StorageDevice* LocalStore::DeviceFor(NodeId node) const {
+  auto it = devices_.find(node);
+  return it == devices_.end() ? nullptr : it->second;
+}
+
+void LocalStore::Save(const std::string& path, Bytes size, NodeId node,
+                      std::function<void(bool)> done) {
+  StorageDevice* device = DeviceFor(node);
+  if (device == nullptr || files_.count(path) > 0 || !device->Reserve(size)) {
+    done(false);
+    return;
+  }
+  files_[path] = Entry{node, size};
+  device->SubmitWrite(size, [done = std::move(done)] { done(true); });
+}
+
+void LocalStore::Append(const std::string& path, Bytes size, NodeId node,
+                        std::function<void(bool)> done) {
+  auto it = files_.find(path);
+  StorageDevice* device = DeviceFor(node);
+  if (it == files_.end() || device == nullptr || it->second.node != node ||
+      !device->Reserve(size)) {
+    done(false);
+    return;
+  }
+  it->second.size += size;
+  device->SubmitWrite(size, [done = std::move(done)] { done(true); });
+}
+
+void LocalStore::Load(const std::string& path, NodeId node,
+                      std::function<void(bool)> done) {
+  auto it = files_.find(path);
+  if (it == files_.end() || it->second.node != node) {
+    // Local images are not reachable from other nodes (the CRIU name-
+    // conflict limitation the paper works around with HDFS).
+    done(false);
+    return;
+  }
+  StorageDevice* device = DeviceFor(node);
+  CKPT_CHECK(device != nullptr);
+  device->SubmitRead(it->second.size, [done = std::move(done)] { done(true); });
+}
+
+bool LocalStore::Remove(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  if (StorageDevice* device = DeviceFor(it->second.node)) {
+    device->Release(it->second.size);
+  }
+  files_.erase(it);
+  return true;
+}
+
+bool LocalStore::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Bytes LocalStore::StoredSize(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? -1 : it->second.size;
+}
+
+bool LocalStore::IsLocalTo(const std::string& path, NodeId node) const {
+  auto it = files_.find(path);
+  return it != files_.end() && it->second.node == node;
+}
+
+SimDuration LocalStore::EstimateSave(Bytes size, NodeId node) const {
+  StorageDevice* device = DeviceFor(node);
+  if (device == nullptr) return 0;
+  return device->QueueDelay() + device->EstimateWrite(size);
+}
+
+SimDuration LocalStore::EstimateSaveService(Bytes size, NodeId node) const {
+  StorageDevice* device = DeviceFor(node);
+  return device == nullptr ? 0 : device->EstimateWrite(size);
+}
+
+SimDuration LocalStore::EstimateLoad(const std::string& path,
+                                     NodeId node) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return 0;
+  return EstimateLoadBytes(it->second.size, node, it->second.node == node);
+}
+
+SimDuration LocalStore::EstimateLoadBytes(Bytes size, NodeId node,
+                                          bool local) const {
+  if (!local) return Simulator::kMaxTime;  // unreachable remotely
+  StorageDevice* device = DeviceFor(node);
+  if (device == nullptr) return 0;
+  return device->QueueDelay() + device->EstimateRead(size);
+}
+
+SimDuration LocalStore::EstimateLoadBytesService(Bytes size, NodeId node,
+                                                 bool local) const {
+  if (!local) return Simulator::kMaxTime;
+  StorageDevice* device = DeviceFor(node);
+  return device == nullptr ? 0 : device->EstimateRead(size);
+}
+
+// --- DfsStore ---------------------------------------------------------------
+
+DfsStore::DfsStore(DfsCluster* dfs) : dfs_(dfs) { CKPT_CHECK(dfs != nullptr); }
+
+void DfsStore::Save(const std::string& path, Bytes size, NodeId node,
+                    std::function<void(bool)> done) {
+  dfs_->Write(path, size, node, std::move(done));
+}
+
+void DfsStore::Append(const std::string& path, Bytes size, NodeId node,
+                      std::function<void(bool)> done) {
+  if (!dfs_->Exists(path)) {
+    done(false);
+    return;
+  }
+  // HDFS files are immutable; incremental layers are side files that Load
+  // and StoredSize fold back into the logical image.
+  const int layer = layers_[path]++;
+  dfs_->Write(path + ".layer" + std::to_string(layer), size, node,
+              std::move(done));
+}
+
+struct DfsStore::LoadOp : std::enable_shared_from_this<DfsStore::LoadOp> {
+  DfsCluster* dfs = nullptr;
+  std::string path;
+  NodeId node;
+  std::function<void(bool)> done;
+
+  // Read increment layer `layer` and recurse to the next until a layer is
+  // missing (all increments consumed).
+  void Continue(int layer, bool ok) {
+    if (!ok) {
+      done(false);
+      return;
+    }
+    const std::string layer_path = path + ".layer" + std::to_string(layer);
+    if (!dfs->Exists(layer_path)) {
+      done(true);
+      return;
+    }
+    auto self = shared_from_this();
+    dfs->Read(layer_path, node, [self, layer](bool layer_ok) {
+      self->Continue(layer + 1, layer_ok);
+    });
+  }
+};
+
+void DfsStore::Load(const std::string& path, NodeId node,
+                    std::function<void(bool)> done) {
+  auto op = std::make_shared<LoadOp>();
+  op->dfs = dfs_;
+  op->path = path;
+  op->node = node;
+  op->done = std::move(done);
+  dfs_->Read(path, node, [op](bool ok) { op->Continue(0, ok); });
+}
+
+bool DfsStore::Remove(const std::string& path) {
+  if (!dfs_->Delete(path)) return false;
+  for (int layer = 0;; ++layer) {
+    if (!dfs_->Delete(path + ".layer" + std::to_string(layer))) break;
+  }
+  layers_.erase(path);
+  return true;
+}
+
+bool DfsStore::Exists(const std::string& path) const {
+  return dfs_->Exists(path);
+}
+
+Bytes DfsStore::StoredSize(const std::string& path) const {
+  if (!dfs_->Exists(path)) return -1;
+  Bytes total = dfs_->FileSize(path);
+  for (int layer = 0;; ++layer) {
+    const Bytes size = dfs_->FileSize(path + ".layer" + std::to_string(layer));
+    if (size < 0) break;
+    total += size;
+  }
+  return total;
+}
+
+bool DfsStore::IsLocalTo(const std::string& path, NodeId node) const {
+  return dfs_->HasLocalReplica(path, node);
+}
+
+SimDuration DfsStore::EstimateSave(Bytes size, NodeId node) const {
+  return dfs_->EstimateWrite(size, node);
+}
+
+SimDuration DfsStore::EstimateSaveService(Bytes size, NodeId node) const {
+  return dfs_->EstimateWriteService(size, node);
+}
+
+SimDuration DfsStore::EstimateLoad(const std::string& path,
+                                   NodeId node) const {
+  return dfs_->EstimateRead(path, node);
+}
+
+SimDuration DfsStore::EstimateLoadBytes(Bytes size, NodeId node,
+                                        bool local) const {
+  return dfs_->EstimateReadFrom(size, node, local);
+}
+
+SimDuration DfsStore::EstimateLoadBytesService(Bytes size, NodeId node,
+                                               bool local) const {
+  return dfs_->EstimateReadServiceFrom(size, node, local);
+}
+
+}  // namespace ckpt

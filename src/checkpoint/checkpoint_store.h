@@ -1,0 +1,126 @@
+// Backends for persisting checkpoint images.
+//
+// LocalStore writes to each node's own device (CRIU's stock behaviour:
+// images land on the local filesystem, so a task can only resume on the
+// node that dumped it). DfsStore is the paper's extension that routes
+// images through HDFS so any node can restore them (S3.2.2).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "dfs/dfs.h"
+#include "sim/simulator.h"
+#include "storage/storage_device.h"
+
+namespace ckpt {
+
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  // Persist `size` bytes dumped on `node` under `path`.
+  virtual void Save(const std::string& path, Bytes size, NodeId node,
+                    std::function<void(bool ok)> done) = 0;
+
+  // Append `size` more bytes to an existing image (incremental dump layers).
+  virtual void Append(const std::string& path, Bytes size, NodeId node,
+                      std::function<void(bool ok)> done) = 0;
+
+  // Stream the image at `path` to `node`.
+  virtual void Load(const std::string& path, NodeId node,
+                    std::function<void(bool ok)> done) = 0;
+
+  virtual bool Remove(const std::string& path) = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+  virtual Bytes StoredSize(const std::string& path) const = 0;
+
+  // Whether a task checkpointed on one node can restore on another.
+  virtual bool SupportsRemoteRestore() const = 0;
+
+  // Whether `node` can read `path` without crossing the network.
+  virtual bool IsLocalTo(const std::string& path, NodeId node) const = 0;
+
+  // Cost estimates feeding Algorithms 1 and 2.
+  virtual SimDuration EstimateSave(Bytes size, NodeId node) const = 0;
+  // Service time only (no queue backlog); pairs with the RM's checkpoint-
+  // queue reservation, which accounts the wait separately.
+  virtual SimDuration EstimateSaveService(Bytes size, NodeId node) const = 0;
+  virtual SimDuration EstimateLoad(const std::string& path, NodeId node) const = 0;
+  virtual SimDuration EstimateLoadBytes(Bytes size, NodeId node,
+                                        bool local) const = 0;
+  // Service time only (no queue backlog).
+  virtual SimDuration EstimateLoadBytesService(Bytes size, NodeId node,
+                                               bool local) const = 0;
+};
+
+// Per-node local filesystem store.
+class LocalStore final : public CheckpointStore {
+ public:
+  void AddNode(NodeId node, StorageDevice* device);
+
+  void Save(const std::string& path, Bytes size, NodeId node,
+            std::function<void(bool)> done) override;
+  void Append(const std::string& path, Bytes size, NodeId node,
+              std::function<void(bool)> done) override;
+  void Load(const std::string& path, NodeId node,
+            std::function<void(bool)> done) override;
+  bool Remove(const std::string& path) override;
+  bool Exists(const std::string& path) const override;
+  Bytes StoredSize(const std::string& path) const override;
+  bool SupportsRemoteRestore() const override { return false; }
+  bool IsLocalTo(const std::string& path, NodeId node) const override;
+  SimDuration EstimateSave(Bytes size, NodeId node) const override;
+  SimDuration EstimateSaveService(Bytes size, NodeId node) const override;
+  SimDuration EstimateLoad(const std::string& path, NodeId node) const override;
+  SimDuration EstimateLoadBytes(Bytes size, NodeId node,
+                                bool local) const override;
+  SimDuration EstimateLoadBytesService(Bytes size, NodeId node,
+                                       bool local) const override;
+
+ private:
+  struct Entry {
+    NodeId node;
+    Bytes size = 0;
+  };
+  StorageDevice* DeviceFor(NodeId node) const;
+
+  std::unordered_map<NodeId, StorageDevice*> devices_;
+  std::unordered_map<std::string, Entry> files_;
+};
+
+// HDFS-backed store: images are readable from any node.
+class DfsStore final : public CheckpointStore {
+ public:
+  explicit DfsStore(DfsCluster* dfs);
+
+  void Save(const std::string& path, Bytes size, NodeId node,
+            std::function<void(bool)> done) override;
+  void Append(const std::string& path, Bytes size, NodeId node,
+              std::function<void(bool)> done) override;
+  void Load(const std::string& path, NodeId node,
+            std::function<void(bool)> done) override;
+  bool Remove(const std::string& path) override;
+  bool Exists(const std::string& path) const override;
+  Bytes StoredSize(const std::string& path) const override;
+  bool SupportsRemoteRestore() const override { return true; }
+  bool IsLocalTo(const std::string& path, NodeId node) const override;
+  SimDuration EstimateSave(Bytes size, NodeId node) const override;
+  SimDuration EstimateSaveService(Bytes size, NodeId node) const override;
+  SimDuration EstimateLoad(const std::string& path, NodeId node) const override;
+  SimDuration EstimateLoadBytes(Bytes size, NodeId node,
+                                bool local) const override;
+  SimDuration EstimateLoadBytesService(Bytes size, NodeId node,
+                                       bool local) const override;
+
+ private:
+  struct LoadOp;
+
+  DfsCluster* dfs_;
+  std::unordered_map<std::string, int> layers_;  // per-image increment count
+};
+
+}  // namespace ckpt

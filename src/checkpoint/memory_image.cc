@@ -1,0 +1,74 @@
+#include "checkpoint/memory_image.h"
+
+#include <algorithm>
+
+namespace ckpt {
+
+MemoryImage::MemoryImage(Bytes size, Bytes page_size)
+    : size_(size), page_size_(page_size) {
+  CKPT_CHECK_GE(size, 0);
+  CKPT_CHECK_GT(page_size, 0);
+  const std::int64_t pages = (size + page_size - 1) / page_size;
+  dirty_.assign(static_cast<size_t>(pages), true);
+  dirty_count_ = pages;
+}
+
+void MemoryImage::StartTracking() {
+  tracking_ = true;
+  std::fill(dirty_.begin(), dirty_.end(), false);
+  dirty_count_ = 0;
+}
+
+void MemoryImage::TouchAll() {
+  std::fill(dirty_.begin(), dirty_.end(), true);
+  dirty_count_ = num_pages();
+}
+
+void MemoryImage::TouchRange(Bytes offset, Bytes length) {
+  CKPT_CHECK_GE(offset, 0);
+  CKPT_CHECK_GE(length, 0);
+  if (length == 0 || num_pages() == 0) return;
+  CKPT_CHECK_LE(offset + length, size_);
+  const std::int64_t first = offset / page_size_;
+  const std::int64_t last = (offset + length - 1) / page_size_;
+  for (std::int64_t p = first; p <= last; ++p) {
+    if (!dirty_[static_cast<size_t>(p)]) {
+      dirty_[static_cast<size_t>(p)] = true;
+      ++dirty_count_;
+    }
+  }
+}
+
+void MemoryImage::TouchRandomFraction(double fraction, Rng& rng) {
+  CKPT_CHECK_GE(fraction, 0.0);
+  CKPT_CHECK_LE(fraction, 1.0);
+  const std::int64_t pages = num_pages();
+  if (pages == 0) return;
+  // Model `fraction * pages` writes to uniformly random pages; writes that
+  // land on an already-dirty page leave it dirty, as real stores would.
+  const std::int64_t writes = static_cast<std::int64_t>(fraction * pages + 0.5);
+  for (std::int64_t i = 0; i < writes; ++i) {
+    const auto p = static_cast<size_t>(rng.UniformInt(0, pages - 1));
+    if (!dirty_[p]) {
+      dirty_[p] = true;
+      ++dirty_count_;
+    }
+  }
+}
+
+std::int64_t MemoryImage::dirty_pages() const { return dirty_count_; }
+
+Bytes MemoryImage::DirtyBytes() const {
+  if (!tracking_) return size_;
+  // The final page may be partial; charging full pages matches what the
+  // kernel dumps.
+  return std::min<Bytes>(dirty_count_ * page_size_, size_);
+}
+
+bool MemoryImage::IsPageDirty(std::int64_t page) const {
+  CKPT_CHECK_GE(page, 0);
+  CKPT_CHECK_LT(page, num_pages());
+  return dirty_[static_cast<size_t>(page)];
+}
+
+}  // namespace ckpt

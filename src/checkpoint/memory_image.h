@@ -1,0 +1,56 @@
+// Simulated process address space with soft-dirty page tracking.
+//
+// Mirrors the kernel mechanism CRIU's incremental checkpoints rely on
+// (S4.1.3): clearing soft-dirty bits write-protects the pages; a subsequent
+// write marks the page dirty; an incremental dump writes only dirty pages.
+// Page size is configurable so large cluster simulations can use coarse
+// pages without changing semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ckpt {
+
+class MemoryImage {
+ public:
+  explicit MemoryImage(Bytes size, Bytes page_size = 4 * kKiB);
+
+  Bytes size() const { return size_; }
+  Bytes page_size() const { return page_size_; }
+  std::int64_t num_pages() const {
+    return static_cast<std::int64_t>(dirty_.size());
+  }
+
+  // Soft-dirty tracking is off until the first dump enables it; while off,
+  // every page counts as dirty (a full dump is always required).
+  bool tracking_enabled() const { return tracking_; }
+
+  // Clear all soft-dirty bits and start tracking writes (what CRIU does on
+  // the first dump of a task).
+  void StartTracking();
+  void StopTracking() { tracking_ = false; }
+
+  // Application writes.
+  void TouchAll();
+  void TouchRange(Bytes offset, Bytes length);
+  // Dirty approximately `fraction` of pages chosen uniformly at random.
+  void TouchRandomFraction(double fraction, Rng& rng);
+
+  std::int64_t dirty_pages() const;
+  Bytes DirtyBytes() const;
+  bool IsPageDirty(std::int64_t page) const;
+
+ private:
+  Bytes size_;
+  Bytes page_size_;
+  bool tracking_ = false;
+  std::int64_t dirty_count_ = 0;
+  std::vector<bool> dirty_;
+};
+
+}  // namespace ckpt

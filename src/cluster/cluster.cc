@@ -1,0 +1,80 @@
+#include "cluster/cluster.h"
+
+namespace ckpt {
+
+std::vector<NodeId> Cluster::AddNodes(int count, Resources per_node,
+                                      const StorageMedium& medium,
+                                      PowerModel power) {
+  std::vector<NodeId> ids;
+  ids.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    NodeId id(static_cast<std::int64_t>(nodes_.size()));
+    nodes_.push_back(
+        std::make_unique<Node>(sim_, id, per_node, medium, power));
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Node& Cluster::node(NodeId id) {
+  CKPT_CHECK(id.valid());
+  CKPT_CHECK_LT(id.value(), static_cast<std::int64_t>(nodes_.size()));
+  return *nodes_[static_cast<size_t>(id.value())];
+}
+
+const Node& Cluster::node(NodeId id) const {
+  CKPT_CHECK(id.valid());
+  CKPT_CHECK_LT(id.value(), static_cast<std::int64_t>(nodes_.size()));
+  return *nodes_[static_cast<size_t>(id.value())];
+}
+
+std::vector<Node*> Cluster::nodes() {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (auto& n : nodes_) out.push_back(n.get());
+  return out;
+}
+
+Resources Cluster::TotalCapacity() const {
+  Resources total;
+  for (const auto& n : nodes_) total += n->capacity();
+  return total;
+}
+
+Resources Cluster::TotalUsed() const {
+  Resources total;
+  for (const auto& n : nodes_) total += n->used();
+  return total;
+}
+
+Node* Cluster::FindFit(const Resources& r) {
+  if (nodes_.empty()) return nullptr;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const size_t idx = (rr_cursor_ + i) % nodes_.size();
+    if (r.FitsIn(nodes_[idx]->Available())) {
+      rr_cursor_ = (idx + 1) % nodes_.size();
+      return nodes_[idx].get();
+    }
+  }
+  return nullptr;
+}
+
+double Cluster::TotalEnergyKwh() {
+  double total = 0.0;
+  for (auto& n : nodes_) {
+    n->SyncEnergy();
+    total += n->EnergyKwh();
+  }
+  return total;
+}
+
+SimDuration Cluster::TotalBusyCoreTime() {
+  SimDuration total = 0;
+  for (auto& n : nodes_) {
+    n->SyncEnergy();
+    total += n->BusyCoreTime();
+  }
+  return total;
+}
+
+}  // namespace ckpt

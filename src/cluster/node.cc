@@ -1,0 +1,63 @@
+#include "cluster/node.h"
+
+#include <utility>
+
+namespace ckpt {
+
+Node::Node(Simulator* sim, NodeId id, Resources capacity, StorageMedium medium,
+           PowerModel power)
+    : sim_(sim),
+      id_(id),
+      capacity_(capacity),
+      storage_(std::make_unique<StorageDevice>(
+          sim, std::move(medium), "node-" + std::to_string(id.value()))),
+      meter_(power) {
+  CKPT_CHECK(sim != nullptr);
+  CKPT_CHECK_GT(capacity.cpus, 0.0);
+}
+
+void Node::SyncEnergy() {
+  const SimTime now = sim_->Now();
+  if (now > last_energy_sync_) {
+    const SimDuration dt = now - last_energy_sync_;
+    meter_.AddCores(active_cpus_, capacity_.cpus, dt);
+    busy_core_time_ += static_cast<SimDuration>(active_cpus_ * dt);
+    last_energy_sync_ = now;
+  }
+}
+
+bool Node::Allocate(const Resources& r) {
+  if (!r.FitsIn(Available())) return false;
+  SyncEnergy();
+  used_ += r;
+  active_cpus_ += r.cpus;
+  return true;
+}
+
+void Node::Release(const Resources& r) {
+  SyncEnergy();
+  used_ -= r;
+  active_cpus_ -= r.cpus;
+  CKPT_CHECK_GE(active_cpus_, -1e-6);
+  if (active_cpus_ < 0) active_cpus_ = 0;
+}
+
+void Node::Suspend(const Resources& r) {
+  SyncEnergy();
+  active_cpus_ -= r.cpus;
+  CKPT_CHECK_GE(active_cpus_, -1e-6);
+  if (active_cpus_ < 0) active_cpus_ = 0;
+}
+
+void Node::Resume(const Resources& r) {
+  SyncEnergy();
+  active_cpus_ += r.cpus;
+  CKPT_CHECK_LE(active_cpus_, capacity_.cpus + 1e-6);
+}
+
+void Node::ReleaseSuspended(const Resources& r) {
+  SyncEnergy();
+  used_ -= r;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,81 @@
+// A cluster node: resource capacity, a local storage device, and
+// utilization-integrated energy accounting.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "cluster/resources.h"
+#include "power/energy.h"
+#include "sim/simulator.h"
+#include "storage/storage_device.h"
+
+namespace ckpt {
+
+class Node {
+ public:
+  Node(Simulator* sim, NodeId id, Resources capacity, StorageMedium medium,
+       PowerModel power = {});
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const Resources& capacity() const { return capacity_; }
+  const Resources& used() const { return used_; }
+  Resources Available() const {
+    return online_ ? capacity_ - used_ : Resources{};
+  }
+
+  // Crash/recovery state: an offline node exposes no capacity. Callers are
+  // responsible for evacuating its tasks.
+  bool online() const { return online_; }
+  void SetOnline(bool online) {
+    SyncEnergy();
+    online_ = online;
+  }
+  // CPU actually executing (allocated minus suspended); this is what the
+  // energy model and busy-core accounting integrate. A process frozen for a
+  // queued checkpoint holds its allocation but burns no dynamic power.
+  double active_cpus() const { return active_cpus_; }
+  double Utilization() const {
+    return capacity_.cpus > 0 ? active_cpus_ / capacity_.cpus : 0.0;
+  }
+
+  // Reserve/return resources; Allocate fails (returns false) on overflow.
+  // Allocations start active.
+  bool Allocate(const Resources& r);
+  void Release(const Resources& r);
+
+  // Freeze/unfreeze an allocation's CPUs without releasing them (CRIU dump
+  // wait, dump/restore I/O): affects energy, not placement.
+  void Suspend(const Resources& r);
+  void Resume(const Resources& r);
+  // Release an allocation whose CPUs are currently suspended.
+  void ReleaseSuspended(const Resources& r);
+
+  StorageDevice& storage() { return *storage_; }
+  const StorageDevice& storage() const { return *storage_; }
+
+  // Fold the elapsed interval at the current utilization into the energy
+  // meter; called implicitly on every allocation change.
+  void SyncEnergy();
+  double EnergyKwh() const { return meter_.kwh(); }
+  SimDuration BusyCoreTime() const { return busy_core_time_; }
+
+ private:
+  Simulator* sim_;
+  NodeId id_;
+  Resources capacity_;
+  Resources used_;
+  double active_cpus_ = 0.0;
+  bool online_ = true;
+  std::unique_ptr<StorageDevice> storage_;
+  EnergyMeter meter_;
+  SimTime last_energy_sync_ = 0;
+  SimDuration busy_core_time_ = 0;  // integral of busy cores over time
+};
+
+}  // namespace ckpt

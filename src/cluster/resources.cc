@@ -1,0 +1,14 @@
+#include "cluster/resources.h"
+
+#include <cstdio>
+
+namespace ckpt {
+
+std::string Resources::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "<%.2f cores, %s>", cpus,
+                FormatBytes(memory).c_str());
+  return buf;
+}
+
+}  // namespace ckpt

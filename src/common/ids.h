@@ -1,0 +1,54 @@
+// Strongly typed integer identifiers.
+//
+// Each entity family (node, job, task, ...) gets its own Id instantiation so
+// a TaskId cannot be accidentally passed where a NodeId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ckpt {
+
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::int64_t value) : value_(value) {}
+
+  constexpr std::int64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  std::int64_t value_ = -1;
+};
+
+struct NodeTag {};
+struct JobTag {};
+struct TaskTag {};
+struct ContainerTag {};
+struct AppTag {};
+struct BlockTag {};
+struct CheckpointTag {};
+
+using NodeId = Id<NodeTag>;
+using JobId = Id<JobTag>;
+using TaskId = Id<TaskTag>;
+using ContainerId = Id<ContainerTag>;
+using AppId = Id<AppTag>;
+using BlockId = Id<BlockTag>;
+using CheckpointId = Id<CheckpointTag>;
+
+}  // namespace ckpt
+
+namespace std {
+template <typename Tag>
+struct hash<ckpt::Id<Tag>> {
+  size_t operator()(ckpt::Id<Tag> id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};
+}  // namespace std

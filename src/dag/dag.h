@@ -1,0 +1,142 @@
+// General DAG execution framework on the YARN substrate — the Spark-like
+// engine the paper's introduction motivates YARN with ("interactive SQL,
+// real-time streaming, and batch processing" sharing one cluster).
+//
+// A job is a DAG of stages; each stage runs `num_tasks` parallel tasks and
+// becomes ready when every upstream stage has finished. A downstream task
+// first *fetches* its input slice from each upstream task's output node
+// (Spark's shuffle / Dryad's channels), then computes. The ApplicationMaster
+// carries the paper's Preemption Manager: Algorithm 1 decides kill vs
+// (incremental) checkpoint per victim, with the input-refetch cost folded
+// into the at-stake side for tasks that already hold their inputs —
+// checkpointing preserves both progress and fetched inputs, killing forfeits
+// both.
+//
+// MapReduce (src/mapreduce) is the two-stage special case of this engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "checkpoint/checkpoint_engine.h"
+#include "common/rng.h"
+#include "dfs/network.h"
+#include "scheduler/policy.h"
+#include "sim/simulator.h"
+#include "yarn/resource_manager.h"
+#include "yarn/yarn_config.h"
+
+namespace ckpt {
+
+struct DagStageSpec {
+  int id = 0;
+  std::vector<int> depends_on;  // upstream stage ids
+  int num_tasks = 1;
+  SimDuration task_duration = Seconds(60);
+  Resources demand{1.0, GiB(1)};
+  // Bytes each task of this stage emits; a downstream stage's task fetches
+  // (output_bytes / downstream.num_tasks) from every task of this stage.
+  Bytes output_bytes = 0;
+};
+
+struct DagJobSpec {
+  JobId id;
+  SimTime submit_time = 0;
+  int priority = 1;
+  double memory_write_rate = 0.02;
+  std::vector<DagStageSpec> stages;
+
+  // Validation helper: ids unique, dependencies resolvable and acyclic.
+  bool Validate() const;
+};
+
+struct DagStats {
+  std::int64_t tasks_done = 0;
+  std::unordered_map<int, std::int64_t> done_by_stage;
+  std::int64_t preempt_events = 0;
+  std::int64_t kills = 0;
+  std::int64_t checkpoints = 0;
+  std::int64_t incremental_checkpoints = 0;
+  std::int64_t restores = 0;
+  std::int64_t input_fetches = 0;  // including refetches after kills
+  Bytes input_bytes_moved = 0;
+  SimDuration lost_work = 0;
+  SimDuration dump_time = 0;
+  SimDuration restore_time = 0;
+};
+
+class DagAm final : public AppClient {
+ public:
+  DagAm(Simulator* sim, ResourceManager* rm, CheckpointEngine* engine,
+        NetworkModel* network, DagJobSpec job, const YarnConfig& config,
+        std::function<void(const DagAm&)> on_done);
+  ~DagAm() override;
+
+  DagAm(const DagAm&) = delete;
+  DagAm& operator=(const DagAm&) = delete;
+
+  void Start();
+
+  // AppClient ---------------------------------------------------------------
+  void OnContainerAllocated(const Container& container) override;
+  void OnPreemptContainer(ContainerId id) override;
+
+  bool Done() const { return stages_left_ == 0; }
+  SimTime finish_time() const { return finish_time_; }
+  const DagJobSpec& job() const { return job_; }
+  const DagStats& stats() const { return stats_; }
+
+ private:
+  struct TaskRt;
+  struct StageRt;
+
+  void LaunchTask(TaskRt* task, const Container& container);
+  void StartFetch(TaskRt* task);
+  void OnFetchComplete(TaskRt* task, int attempt);
+  void RunTask(TaskRt* task);
+  void OnTaskComplete(TaskRt* task, int attempt);
+  void HandlePreempt(TaskRt* task);
+  void KillTask(TaskRt* task);
+  void CheckpointTask(TaskRt* task, bool incremental);
+  void RequeueTask(TaskRt* task);
+  void MaybeActivateStages();
+  SimDuration UnsavedProgress(const TaskRt* task) const;
+  void TouchDirtyPages(TaskRt* task);
+  SimDuration InputRefetchCost(const TaskRt* task) const;
+
+  Simulator* sim_;
+  ResourceManager* rm_;
+  CheckpointEngine* engine_;
+  NetworkModel* network_;
+  DagJobSpec job_;
+  YarnConfig config_;
+  std::function<void(const DagAm&)> on_done_;
+  Rng rng_;
+
+  AppId app_;
+  std::vector<std::unique_ptr<StageRt>> stages_;
+  std::unordered_map<int, StageRt*> stage_by_id_;
+  std::deque<TaskRt*> waiting_;
+  std::unordered_map<ContainerId, TaskRt*> by_container_;
+
+  int stages_left_ = 0;
+  DagStats stats_;
+  SimTime finish_time_ = -1;
+};
+
+// Run a set of DAG jobs on a fresh YARN-like cluster.
+struct DagRunResult {
+  std::int64_t jobs_completed = 0;
+  DagStats totals;
+  std::vector<double> job_response_seconds;
+  SimDuration makespan = 0;
+};
+
+DagRunResult RunDagWorkload(const std::vector<DagJobSpec>& jobs,
+                            const YarnConfig& config);
+
+}  // namespace ckpt

@@ -1,0 +1,322 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+struct DfsCluster::PendingOp {
+  FileInfo file;              // copy: Delete() may race with an in-flight read
+  NodeId requester;
+  size_t next_block = 0;
+  int outstanding = 0;
+  bool failed = false;
+  bool is_write = false;
+  std::function<void(bool)> done;
+};
+
+DfsCluster::DfsCluster(Simulator* sim, NetworkModel* net, DfsConfig config)
+    : sim_(sim), net_(net), config_(config),
+      placement_rng_(config.placement_seed) {
+  CKPT_CHECK(sim != nullptr);
+  CKPT_CHECK(net != nullptr);
+  CKPT_CHECK_GT(config_.block_size, 0);
+  CKPT_CHECK_GE(config_.replication, 1);
+}
+
+void DfsCluster::AddDataNode(NodeId node, StorageDevice* device) {
+  CKPT_CHECK(device != nullptr);
+  CKPT_CHECK(net_->HasNode(node)) << "datanode not in network model";
+  CKPT_CHECK(datanodes_.emplace(node, device).second)
+      << "duplicate datanode " << node.value();
+  datanode_ids_.push_back(node);
+}
+
+Bytes DfsCluster::Inflated(Bytes size) const {
+  return static_cast<Bytes>(static_cast<double>(size) * config_.io_inflation);
+}
+
+StorageDevice* DfsCluster::DeviceFor(NodeId node) const {
+  auto it = datanodes_.find(node);
+  return it == datanodes_.end() ? nullptr : it->second;
+}
+
+std::vector<NodeId> DfsCluster::PlaceReplicas(NodeId writer) {
+  std::vector<NodeId> replicas;
+  const int want =
+      std::min<int>(config_.replication, static_cast<int>(datanode_ids_.size()));
+  if (want == 0) return replicas;
+  // HDFS policy: first replica on the writer when it hosts a datanode,
+  // remaining replicas on distinct random nodes.
+  if (datanodes_.count(writer) > 0) replicas.push_back(writer);
+  while (static_cast<int>(replicas.size()) < want) {
+    NodeId pick = datanode_ids_[static_cast<size_t>(placement_rng_.UniformInt(
+        0, static_cast<std::int64_t>(datanode_ids_.size()) - 1))];
+    if (std::find(replicas.begin(), replicas.end(), pick) == replicas.end()) {
+      replicas.push_back(pick);
+    }
+  }
+  return replicas;
+}
+
+void DfsCluster::Write(const std::string& path, Bytes size, NodeId writer,
+                       std::function<void(bool)> done) {
+  CKPT_CHECK_GE(size, 0);
+  if (files_.count(path) > 0 || datanode_ids_.empty()) {
+    sim_->ScheduleAfter(0, [done = std::move(done)] { done(false); });
+    return;
+  }
+  FileInfo file;
+  file.path = path;
+  file.size = size;
+  Bytes remaining = size;
+  do {
+    BlockInfo block;
+    block.id = BlockId(next_block_id_++);
+    block.size = std::min(remaining, config_.block_size);
+    block.replicas = PlaceReplicas(writer);
+    file.blocks.push_back(std::move(block));
+    remaining -= file.blocks.back().size;
+  } while (remaining > 0);
+
+  // Register the file up front so capacity/metadata reflect in-flight
+  // writes; a failed pipeline removes it again.
+  for (const BlockInfo& block : file.blocks) {
+    current_stored_ += block.size * static_cast<Bytes>(block.replicas.size());
+  }
+  peak_stored_ = std::max(peak_stored_, current_stored_);
+  files_[path] = file;
+
+  auto op = std::make_shared<PendingOp>();
+  op->file = std::move(file);
+  op->requester = writer;
+  op->is_write = true;
+  op->done = std::move(done);
+  WriteNextBlock(std::move(op));
+}
+
+void DfsCluster::WriteNextBlock(std::shared_ptr<PendingOp> op) {
+  if (op->next_block >= op->file.blocks.size() || op->failed) {
+    if (op->failed) Delete(op->file.path);
+    op->done(!op->failed);
+    return;
+  }
+  const BlockInfo& block = op->file.blocks[op->next_block];
+  op->next_block++;
+  op->outstanding = static_cast<int>(block.replicas.size());
+  CKPT_CHECK_GT(op->outstanding, 0);
+
+  auto replica_done = [this, op]() {
+    if (--op->outstanding == 0) {
+      sim_->ScheduleAfter(config_.block_op_overhead,
+                          [this, op] { WriteNextBlock(op); });
+    }
+  };
+
+  // Pipeline: writer streams to the primary, the primary forwards to the
+  // next replica, and so on. Each hop is a network transfer followed by a
+  // device write on the receiving datanode.
+  NodeId prev = op->requester;
+  for (NodeId replica : block.replicas) {
+    StorageDevice* device = DeviceFor(replica);
+    CKPT_CHECK(device != nullptr);
+    const Bytes bytes = block.size;
+    const Bytes device_bytes = Inflated(block.size);
+    net_->Transfer(prev, replica, bytes,
+                   [device, device_bytes, replica_done]() {
+                     device->SubmitWrite(device_bytes, replica_done);
+                   });
+    prev = replica;
+  }
+}
+
+void DfsCluster::Read(const std::string& path, NodeId reader,
+                      std::function<void(bool)> done) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    sim_->ScheduleAfter(0, [done = std::move(done)] { done(false); });
+    return;
+  }
+  auto op = std::make_shared<PendingOp>();
+  op->file = it->second;
+  op->requester = reader;
+  op->done = std::move(done);
+  ReadNextBlock(std::move(op));
+}
+
+void DfsCluster::ReadNextBlock(std::shared_ptr<PendingOp> op) {
+  if (op->next_block >= op->file.blocks.size()) {
+    op->done(true);
+    return;
+  }
+  const BlockInfo& block = op->file.blocks[op->next_block];
+  op->next_block++;
+
+  // Prefer a replica co-located with the reader; otherwise the replica
+  // whose device has the shortest backlog (clients balance across copies).
+  NodeId source = block.replicas.front();
+  bool local = false;
+  for (NodeId replica : block.replicas) {
+    if (replica == op->requester) {
+      source = replica;
+      local = true;
+      break;
+    }
+  }
+  if (!local) {
+    for (NodeId replica : block.replicas) {
+      if (DeviceFor(replica)->QueueDelay() <
+          DeviceFor(source)->QueueDelay()) {
+        source = replica;
+      }
+    }
+  }
+  StorageDevice* device = DeviceFor(source);
+  CKPT_CHECK(device != nullptr);
+  const Bytes bytes = block.size;
+  const NodeId reader = op->requester;
+  device->SubmitRead(Inflated(bytes), [this, op, source, reader, bytes]() {
+    net_->Transfer(source, reader, bytes, [this, op]() {
+      sim_->ScheduleAfter(config_.block_op_overhead,
+                          [this, op] { ReadNextBlock(op); });
+    });
+  });
+}
+
+bool DfsCluster::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  for (const BlockInfo& block : it->second.blocks) {
+    current_stored_ -= block.size * static_cast<Bytes>(block.replicas.size());
+  }
+  files_.erase(it);
+  return true;
+}
+
+bool DfsCluster::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Bytes DfsCluster::FileSize(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? -1 : it->second.size;
+}
+
+const FileInfo* DfsCluster::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+bool DfsCluster::HasLocalReplica(const std::string& path, NodeId node) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  for (const BlockInfo& block : it->second.blocks) {
+    if (std::find(block.replicas.begin(), block.replicas.end(), node) ==
+        block.replicas.end()) {
+      return false;
+    }
+  }
+  return !it->second.blocks.empty();
+}
+
+Bytes DfsCluster::total_stored() const {
+  Bytes total = 0;
+  for (const auto& [path, file] : files_) {
+    for (const BlockInfo& block : file.blocks) {
+      total += block.size * static_cast<Bytes>(block.replicas.size());
+    }
+  }
+  return total;
+}
+
+SimDuration DfsCluster::EstimateWriteService(Bytes size, NodeId writer) const {
+  if (datanode_ids_.empty()) return 0;
+  StorageDevice* local = DeviceFor(writer);
+  StorageDevice* primary = local != nullptr ? local : datanodes_.begin()->second;
+  SimDuration t = primary->EstimateWrite(Inflated(size));
+  if (local == nullptr) t += net_->EstimateTransfer(size);
+  const std::int64_t blocks = (size + config_.block_size - 1) / config_.block_size;
+  t += config_.block_op_overhead * std::max<std::int64_t>(blocks, 1);
+  return t;
+}
+
+SimDuration DfsCluster::EstimateWrite(Bytes size, NodeId writer) const {
+  if (datanode_ids_.empty()) return 0;
+  StorageDevice* local = DeviceFor(writer);
+  // Primary device: the writer's own when co-located, else a representative
+  // (first) datanode. The pipeline hides replica fan-out behind the primary
+  // write, so the estimate charges one device write plus, when remote, one
+  // network traversal.
+  StorageDevice* primary = local != nullptr ? local : datanodes_.begin()->second;
+  SimDuration t = primary->QueueDelay() + primary->EstimateWrite(Inflated(size));
+  if (local == nullptr) {
+    t += net_->EstimateTransfer(size) + net_->QueueDelay(writer);
+  }
+  const std::int64_t blocks = (size + config_.block_size - 1) / config_.block_size;
+  t += config_.block_op_overhead * std::max<std::int64_t>(blocks, 1);
+  return t;
+}
+
+SimDuration DfsCluster::EstimateRead(const std::string& path,
+                                     NodeId reader) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return 0;
+  SimDuration t = 0;
+  for (const BlockInfo& block : it->second.blocks) {
+    NodeId source = block.replicas.front();
+    bool local = false;
+    for (NodeId replica : block.replicas) {
+      if (replica == reader) {
+        source = replica;
+        local = true;
+        break;
+      }
+    }
+    if (!local) {
+      for (NodeId replica : block.replicas) {
+        if (DeviceFor(replica)->QueueDelay() <
+            DeviceFor(source)->QueueDelay()) {
+          source = replica;
+        }
+      }
+    }
+    StorageDevice* device = DeviceFor(source);
+    CKPT_CHECK(device != nullptr);
+    t += device->QueueDelay() + device->EstimateRead(Inflated(block.size));
+    if (source != reader) {
+      t += net_->EstimateTransfer(block.size);
+    }
+    t += config_.block_op_overhead;
+  }
+  return t;
+}
+
+SimDuration DfsCluster::EstimateReadServiceFrom(Bytes size, NodeId reader,
+                                                bool local) const {
+  if (datanode_ids_.empty()) return 0;
+  StorageDevice* device =
+      local ? DeviceFor(reader) : datanodes_.begin()->second;
+  if (device == nullptr) device = datanodes_.begin()->second;
+  SimDuration t = device->EstimateRead(Inflated(size));
+  if (!local) t += net_->EstimateTransfer(size);
+  const std::int64_t blocks = (size + config_.block_size - 1) / config_.block_size;
+  t += config_.block_op_overhead * std::max<std::int64_t>(blocks, 1);
+  return t;
+}
+
+SimDuration DfsCluster::EstimateReadFrom(Bytes size, NodeId reader,
+                                         bool local) const {
+  if (datanode_ids_.empty()) return 0;
+  StorageDevice* device =
+      local ? DeviceFor(reader) : datanodes_.begin()->second;
+  if (device == nullptr) device = datanodes_.begin()->second;
+  SimDuration t = device->QueueDelay() + device->EstimateRead(Inflated(size));
+  if (!local) t += net_->EstimateTransfer(size);
+  const std::int64_t blocks = (size + config_.block_size - 1) / config_.block_size;
+  t += config_.block_op_overhead * std::max<std::int64_t>(blocks, 1);
+  return t;
+}
+
+}  // namespace ckpt

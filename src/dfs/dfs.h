@@ -1,0 +1,131 @@
+// Simulated HDFS.
+//
+// Files are split into fixed-size blocks; the NameNode tracks block
+// placement, and reads/writes exercise the datanodes' storage devices and
+// the network model block by block, so queueing on either resource is
+// reflected in completion times. This substrate stands in for HDFS+libhdfs
+// in the paper's distributed suspend-resume (S3.2.2): a checkpoint written
+// here can be restored from any node, with remote restores paying the
+// network transfer Algorithm 2 accounts for.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "dfs/network.h"
+#include "sim/simulator.h"
+#include "storage/storage_device.h"
+
+namespace ckpt {
+
+struct DfsConfig {
+  Bytes block_size = 128 * kMiB;
+  int replication = 2;
+  // Fixed protocol cost per block operation (RPC to the namenode, pipeline
+  // setup).
+  SimDuration block_op_overhead = Millis(5);
+  // Extra device I/O per payload byte (checksum .meta files, packet framing,
+  // write-path copies). Together with block_op_overhead this is the
+  // overhead Fig. 2b shows HDFS adding over the local filesystem.
+  double io_inflation = 1.08;
+  std::uint64_t placement_seed = 42;
+};
+
+struct BlockInfo {
+  BlockId id;
+  Bytes size = 0;
+  std::vector<NodeId> replicas;  // replicas[0] is the primary
+};
+
+struct FileInfo {
+  std::string path;
+  Bytes size = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+class DfsCluster {
+ public:
+  DfsCluster(Simulator* sim, NetworkModel* net, DfsConfig config);
+
+  DfsCluster(const DfsCluster&) = delete;
+  DfsCluster& operator=(const DfsCluster&) = delete;
+
+  // Register `device` as the datanode storage on `node`. The node must
+  // already exist in the network model.
+  void AddDataNode(NodeId node, StorageDevice* device);
+  int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
+
+  // --- Asynchronous file operations -------------------------------------
+
+  // Create `path` with `size` bytes, written from `writer`. Fails (done
+  // receives false) if the path exists or replicas cannot be placed.
+  void Write(const std::string& path, Bytes size, NodeId writer,
+             std::function<void(bool ok)> done);
+
+  // Read the whole file from `reader`'s vantage point.
+  void Read(const std::string& path, NodeId reader,
+            std::function<void(bool ok)> done);
+
+  bool Delete(const std::string& path);
+
+  // --- Metadata ----------------------------------------------------------
+
+  bool Exists(const std::string& path) const;
+  Bytes FileSize(const std::string& path) const;
+  const FileInfo* Stat(const std::string& path) const;
+  bool HasLocalReplica(const std::string& path, NodeId node) const;
+  Bytes total_stored() const;
+  Bytes peak_stored() const { return peak_stored_; }
+
+  // --- Cost estimates (Algorithm 1/2 inputs) ------------------------------
+
+  // Service-time estimate for writing `size` bytes from `writer`, including
+  // current storage/network backlog on the primary replica.
+  SimDuration EstimateWrite(Bytes size, NodeId writer) const;
+
+  // Like EstimateWrite but excluding the primary device's current backlog
+  // (callers that reserve an explicit queue slot add the wait themselves).
+  SimDuration EstimateWriteService(Bytes size, NodeId writer) const;
+
+  // Estimate for reading `path` from `reader`: local replicas cost a device
+  // read; remote blocks add the network transfer (size/bw_net).
+  SimDuration EstimateRead(const std::string& path, NodeId reader) const;
+
+  // Estimate for reading `size` fresh bytes with/without a local replica;
+  // used before the file exists.
+  SimDuration EstimateReadFrom(Bytes size, NodeId reader, bool local) const;
+
+  // Like EstimateReadFrom but excluding the source device's backlog.
+  SimDuration EstimateReadServiceFrom(Bytes size, NodeId reader,
+                                      bool local) const;
+
+  const DfsConfig& config() const { return config_; }
+
+ private:
+  struct PendingOp;
+
+  std::vector<NodeId> PlaceReplicas(NodeId writer);
+  StorageDevice* DeviceFor(NodeId node) const;
+  Bytes Inflated(Bytes size) const;
+  void WriteNextBlock(std::shared_ptr<PendingOp> op);
+  void ReadNextBlock(std::shared_ptr<PendingOp> op);
+
+  Simulator* sim_;
+  NetworkModel* net_;
+  DfsConfig config_;
+  Rng placement_rng_;
+  std::vector<NodeId> datanode_ids_;
+  std::unordered_map<NodeId, StorageDevice*> datanodes_;
+  std::unordered_map<std::string, FileInfo> files_;
+  std::int64_t next_block_id_ = 0;
+  Bytes current_stored_ = 0;  // bytes across replicas, tracked for peak
+  Bytes peak_stored_ = 0;
+};
+
+}  // namespace ckpt

@@ -1,0 +1,35 @@
+#include "dfs/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ckpt {
+
+SimTime NetworkModel::Transfer(NodeId src, NodeId dst, Bytes size,
+                               std::function<void()> done) {
+  CKPT_CHECK_GE(size, 0);
+  if (src == dst) {
+    const SimTime at = sim_->Now();
+    sim_->ScheduleAt(at, std::move(done));
+    return at;
+  }
+  auto it = links_.find(src);
+  CKPT_CHECK(it != links_.end()) << "unknown network node " << src.value();
+  Link& link = it->second;
+  const SimTime start = std::max(link.busy_until, sim_->Now());
+  link.busy_until = start + TransferTime(size, config_.link_bw);
+  bytes_transferred_ += size;
+  const SimTime delivered = link.busy_until + config_.fabric_latency;
+  sim_->ScheduleAt(delivered, std::move(done));
+  return delivered;
+}
+
+SimDuration NetworkModel::QueueDelay(NodeId node) const {
+  auto it = links_.find(node);
+  if (it == links_.end()) return 0;
+  return it->second.busy_until > sim_->Now()
+             ? it->second.busy_until - sim_->Now()
+             : 0;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,64 @@
+// Cluster network fabric model.
+//
+// Each node has a full-duplex NIC; a transfer occupies the sender's egress
+// link FIFO (serialized like the storage queues) and is delivered after a
+// fabric latency. This is the bandwidth term `bw_net` in the paper's
+// Algorithm 2 remote-restore estimate.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/logging.h"
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace ckpt {
+
+struct NetworkConfig {
+  Bandwidth link_bw = GBps(1.25);     // 10 GbE
+  SimDuration fabric_latency = 100;   // microseconds, one way
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(Simulator* sim, NetworkConfig config)
+      : sim_(sim), config_(config) {
+    CKPT_CHECK(sim != nullptr);
+  }
+
+  NetworkModel(const NetworkModel&) = delete;
+  NetworkModel& operator=(const NetworkModel&) = delete;
+
+  void AddNode(NodeId node) { links_.try_emplace(node); }
+  bool HasNode(NodeId node) const { return links_.count(node) > 0; }
+
+  // Transfer `size` bytes from `src` to `dst`; `done` fires on delivery.
+  // Same-node transfers complete immediately (loopback).
+  SimTime Transfer(NodeId src, NodeId dst, Bytes size,
+                   std::function<void()> done);
+
+  // Service time for one transfer, ignoring queueing.
+  SimDuration EstimateTransfer(Bytes size) const {
+    return config_.fabric_latency + TransferTime(size, config_.link_bw);
+  }
+
+  // Current egress backlog of `node`.
+  SimDuration QueueDelay(NodeId node) const;
+
+  Bytes total_bytes_transferred() const { return bytes_transferred_; }
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct Link {
+    SimTime busy_until = 0;
+  };
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, Link> links_;
+  Bytes bytes_transferred_ = 0;
+};
+
+}  // namespace ckpt

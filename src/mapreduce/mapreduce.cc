@@ -1,0 +1,72 @@
+#include "mapreduce/mapreduce.h"
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+namespace {
+constexpr int kMapStage = 0;
+constexpr int kReduceStage = 1;
+}  // namespace
+
+DagJobSpec ToDagJob(const MapReduceJobSpec& job) {
+  CKPT_CHECK_GE(job.num_maps, 0);
+  CKPT_CHECK_GE(job.num_reduces, 0);
+  DagJobSpec dag;
+  dag.id = job.id;
+  dag.submit_time = job.submit_time;
+  dag.priority = job.priority;
+  dag.memory_write_rate = job.memory_write_rate;
+
+  DagStageSpec maps;
+  maps.id = kMapStage;
+  maps.num_tasks = job.num_maps;
+  maps.task_duration = job.map_duration;
+  maps.demand = job.map_demand;
+  maps.output_bytes = job.map_output_bytes;
+  dag.stages.push_back(maps);
+
+  DagStageSpec reduces;
+  reduces.id = kReduceStage;
+  reduces.depends_on = {kMapStage};
+  reduces.num_tasks = job.num_reduces;
+  reduces.task_duration = job.reduce_duration;
+  reduces.demand = job.reduce_demand;
+  dag.stages.push_back(reduces);
+  return dag;
+}
+
+MapReduceRunResult RunMapReduceWorkload(
+    const std::vector<MapReduceJobSpec>& jobs, const YarnConfig& config) {
+  std::vector<DagJobSpec> dag_jobs;
+  dag_jobs.reserve(jobs.size());
+  for (const MapReduceJobSpec& job : jobs) {
+    dag_jobs.push_back(ToDagJob(job));
+  }
+  const DagRunResult dag = RunDagWorkload(dag_jobs, config);
+
+  MapReduceRunResult result;
+  result.jobs_completed = dag.jobs_completed;
+  result.job_response_seconds = dag.job_response_seconds;
+  result.makespan = dag.makespan;
+
+  auto stage_done = [&dag](int stage) -> std::int64_t {
+    auto it = dag.totals.done_by_stage.find(stage);
+    return it == dag.totals.done_by_stage.end() ? 0 : it->second;
+  };
+  result.totals.maps_done = stage_done(kMapStage);
+  result.totals.reduces_done = stage_done(kReduceStage);
+  result.totals.preempt_events = dag.totals.preempt_events;
+  result.totals.kills = dag.totals.kills;
+  result.totals.checkpoints = dag.totals.checkpoints;
+  result.totals.incremental_checkpoints = dag.totals.incremental_checkpoints;
+  result.totals.restores = dag.totals.restores;
+  result.totals.shuffle_fetches = dag.totals.input_fetches;
+  result.totals.shuffle_bytes_moved = dag.totals.input_bytes_moved;
+  result.totals.lost_work = dag.totals.lost_work;
+  result.totals.dump_time = dag.totals.dump_time;
+  result.totals.restore_time = dag.totals.restore_time;
+  return result;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,21 @@
+// ASCII table/series printers shared by the bench harnesses so every
+// reproduced figure/table prints in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ckpt {
+
+// Fixed-width table: first row is the header.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+// Render a CDF or XY series as aligned "x<TAB>y" lines with a title.
+std::string RenderSeries(const std::string& title,
+                         const std::string& x_label,
+                         const std::string& y_label,
+                         const std::vector<std::pair<double, double>>& series);
+
+std::string Fmt(double v, int precision = 2);
+
+}  // namespace ckpt

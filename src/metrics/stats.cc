@@ -1,0 +1,80 @@
+#include "metrics/stats.h"
+
+#include <cmath>
+
+namespace ckpt {
+
+void SummaryStats::Sort() const {
+  if (!sorted_) {
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SummaryStats::Min() const {
+  Sort();
+  return sorted_samples_.empty() ? 0.0 : sorted_samples_.front();
+}
+
+double SummaryStats::Max() const {
+  Sort();
+  return sorted_samples_.empty() ? 0.0 : sorted_samples_.back();
+}
+
+double SummaryStats::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - mean) * (x - mean);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SummaryStats::Quantile(double p) const {
+  CKPT_CHECK_GE(p, 0.0);
+  CKPT_CHECK_LE(p, 1.0);
+  Sort();
+  if (sorted_samples_.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted_samples_.size() - 1);
+  const auto lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, sorted_samples_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+}
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double Cdf::At(double x) const {
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::Quantile(double p) const {
+  CKPT_CHECK_GE(p, 0.0);
+  CKPT_CHECK_LE(p, 1.0);
+  if (samples_.empty()) return 0.0;
+  const double idx = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<size_t>(idx);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> Cdf::Series(int points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(static_cast<size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * i / (points - 1);
+    out.emplace_back(x, At(x));
+  }
+  return out;
+}
+
+}  // namespace ckpt

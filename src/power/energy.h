@@ -1,0 +1,53 @@
+// Energy accounting.
+//
+// The paper computes energy by converting average CPU utilization to a
+// wattage and multiplying by elapsed time (S3.3.2); this module does the
+// same with a standard linear utilization->power model.
+#pragma once
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace ckpt {
+
+struct PowerModel {
+  double idle_watts = 140.0;  // dual-socket Xeon 5650 node at idle
+  double peak_watts = 320.0;  // fully loaded
+
+  // Instantaneous power draw at CPU utilization `util` in [0, 1].
+  double Watts(double util) const {
+    CKPT_CHECK_GE(util, 0.0);
+    CKPT_CHECK_LE(util, 1.0 + 1e-9);
+    return idle_watts + (peak_watts - idle_watts) * util;
+  }
+};
+
+// Integrates node power over simulated intervals.
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(PowerModel model = {}) : model_(model) {}
+
+  // Account `duration` of simulated time at utilization `util`.
+  void Add(double util, SimDuration duration) {
+    CKPT_CHECK_GE(duration, 0);
+    joules_ += model_.Watts(util) * ToSeconds(duration);
+  }
+
+  // Account an interval where `busy_cores` of `total_cores` were active.
+  void AddCores(double busy_cores, double total_cores, SimDuration duration) {
+    CKPT_CHECK_GT(total_cores, 0.0);
+    double util = busy_cores / total_cores;
+    if (util > 1.0) util = 1.0;
+    Add(util, duration);
+  }
+
+  double joules() const { return joules_; }
+  double kwh() const { return joules_ / 3.6e6; }
+  const PowerModel& model() const { return model_; }
+
+ private:
+  PowerModel model_;
+  double joules_ = 0.0;
+};
+
+}  // namespace ckpt

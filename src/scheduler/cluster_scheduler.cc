@@ -1,0 +1,822 @@
+#include "scheduler/cluster_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+// --- Runtime state ----------------------------------------------------------
+
+struct ClusterScheduler::RtJob {
+  JobSpec spec;
+  int tasks_left = 0;
+  SimTime finish_time = -1;
+};
+
+struct ClusterScheduler::RtTask {
+  const TaskSpec* spec = nullptr;
+  RtJob* job = nullptr;
+
+  enum class State { kPending, kRunning, kDumping, kRestoring, kFinished };
+  State state = State::kPending;
+  int attempt = 0;  // bumped on every transition; stale events check it
+
+  SimTime submit_time = 0;
+  SimTime finish_time = -1;
+  SimTime run_start = -1;         // valid while kRunning
+  SimDuration work_done = 0;      // validated work while not running
+  SimDuration saved_work = 0;     // progress captured in the image
+  SimDuration unsynced_run = 0;   // run time since last dump (dirty model)
+
+  NodeId node;  // holder of resources in kRunning/kDumping/kRestoring
+
+  bool has_image = false;
+  NodeId image_node;
+  Bytes stored_bytes = 0;  // on image_node's device (base + layers)
+
+  // In-flight dump bookkeeping so a node failure can unwind the
+  // capacity reservation.
+  Bytes pending_dump_bytes = 0;
+  NodeId pending_dump_node;
+
+  int preempt_count = 0;
+  // Dumps in flight that were initiated to make room for this task; while
+  // nonzero the task does not trigger further preemption.
+  int releases_in_flight = 0;
+  // Resubmission backoff: not schedulable before this instant.
+  SimTime eligible_at = 0;
+};
+
+bool ClusterScheduler::PendingLess::operator()(const RtTask* a,
+                                               const RtTask* b) const {
+  if (a->spec->priority != b->spec->priority)
+    return a->spec->priority > b->spec->priority;
+  if (a->submit_time != b->submit_time) return a->submit_time < b->submit_time;
+  return a->spec->id.value() < b->spec->id.value();
+}
+
+// --- Construction -----------------------------------------------------------
+
+ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
+                                   SchedulerConfig config)
+    : sim_(sim), cluster_(cluster), config_(config), rng_(config.seed) {
+  CKPT_CHECK(sim != nullptr);
+  CKPT_CHECK(cluster != nullptr);
+  CKPT_CHECK_GT(cluster->size(), 0);
+  network_ = std::make_unique<NetworkModel>(sim_, config_.network);
+  for (Node* node : cluster_->nodes()) {
+    network_->AddNode(node->id());
+    running_[node->id()];  // materialize the bucket
+  }
+}
+
+ClusterScheduler::~ClusterScheduler() = default;
+
+void ClusterScheduler::Submit(const Workload& workload) {
+  for (const JobSpec& job_spec : workload.jobs) {
+    auto job = std::make_unique<RtJob>();
+    job->spec = job_spec;
+    job->tasks_left = static_cast<int>(job_spec.tasks.size());
+    RtJob* jp = job.get();
+    jobs_.push_back(std::move(job));
+    sim_->ScheduleAt(jp->spec.submit_time, [this, jp] { OnJobArrival(jp); });
+  }
+}
+
+SimulationResult ClusterScheduler::Run() {
+  sim_->Run();
+  result_.total_busy_core_hours = ToHours(cluster_->TotalBusyCoreTime());
+  result_.energy_kwh = cluster_->TotalEnergyKwh();
+  SimDuration device_busy = 0;
+  for (Node* node : cluster_->nodes()) {
+    device_busy += node->storage().total_busy_time();
+  }
+  if (result_.makespan > 0 && cluster_->size() > 0) {
+    result_.io_overhead_fraction =
+        static_cast<double>(device_busy) /
+        (static_cast<double>(result_.makespan) * cluster_->size());
+  }
+  return result_;
+}
+
+// --- Arrival & scheduling ---------------------------------------------------
+
+void ClusterScheduler::OnJobArrival(RtJob* job) {
+  for (const TaskSpec& spec : job->spec.tasks) {
+    auto task = std::make_unique<RtTask>();
+    task->spec = &spec;
+    task->job = job;
+    task->submit_time = sim_->Now();
+    AddPending(task.get());
+    tasks_.push_back(std::move(task));
+  }
+  FinishJobIfDone(job);  // degenerate zero-task jobs complete immediately
+  TrySchedule();
+}
+
+void ClusterScheduler::AddPending(RtTask* task) {
+  task->state = RtTask::State::kPending;
+  CKPT_CHECK(pending_.insert(task).second);
+}
+
+void ClusterScheduler::RemovePending(RtTask* task) {
+  CKPT_CHECK(pending_.erase(task) == 1);
+}
+
+void ClusterScheduler::TrySchedule() {
+  if (schedule_scheduled_) return;
+  schedule_scheduled_ = true;
+  // Coalesce: many completions can land at one instant; schedule once.
+  sim_->ScheduleAfter(0, [this] {
+    schedule_scheduled_ = false;
+    int scanned = 0;
+    auto it = pending_.begin();
+    while (it != pending_.end() && scanned < config_.max_backfill_scan) {
+      RtTask* task = *it;
+      ++scanned;
+      if (TryPlace(task)) {
+        // Placement erased `task` from pending_; restart the scan (the new
+        // head may now fit or be entitled to preempt).
+        it = pending_.begin();
+        continue;
+      }
+      // The whole top-priority class may trigger preemption (the RM asks
+      // victims to vacate for every unsatisfied top-priority container, not
+      // just one); lower classes only backfill.
+      const bool top_class =
+          task->spec->priority == (*pending_.begin())->spec->priority;
+      if (top_class && config_.policy != PreemptionPolicy::kWait &&
+          task->eligible_at <= sim_->Now() &&
+          task->releases_in_flight == 0 && TryPreemptFor(task)) {
+        if (TryPlace(task)) {  // kill-released resources are free already
+          it = pending_.begin();
+          continue;
+        }
+      }
+      ++it;
+    }
+  });
+}
+
+namespace {
+// First-fit probe over all nodes, scanning round-robin from `cursor` so
+// placements spread and the common case exits early.
+Node* ProbeFit(Cluster& cluster, const Resources& demand, size_t& cursor) {
+  const size_t n = static_cast<size_t>(cluster.size());
+  for (size_t i = 0; i < n; ++i) {
+    Node& node = cluster.node(NodeId(static_cast<std::int64_t>((cursor + i) % n)));
+    if (demand.FitsIn(node.Available())) {
+      cursor = (cursor + i + 1) % n;
+      return &node;
+    }
+  }
+  return nullptr;
+}
+}  // namespace
+
+bool ClusterScheduler::TryPlace(RtTask* task) {
+  if (task->eligible_at > sim_->Now()) return false;  // backoff pending
+  size_t& cursor = place_cursor_;
+  const Resources& demand = task->spec->demand;
+
+  if (!task->has_image) {
+    Node* node = ProbeFit(*cluster_, demand, cursor);
+    if (node == nullptr) return false;
+    StartTask(task, node);
+    return true;
+  }
+
+  // Task has a checkpoint: Algorithm 2.
+  Node* image_node = &cluster_->node(task->image_node);
+  const bool local_fits = demand.FitsIn(image_node->Available());
+
+  if (!config_.checkpoint_to_dfs) {
+    // Stock CRIU: the image is only readable where it was dumped.
+    if (!local_fits) return false;
+    BeginRestore(task, image_node, /*remote=*/false);
+    return true;
+  }
+
+  const StorageDevice& src = image_node->storage();
+  RestoreCost cost;
+  cost.image_bytes = task->stored_bytes;
+  cost.read_bw = src.medium().read_bw;
+  cost.net_bw = network_->config().link_bw;
+  cost.local_queue_time = src.QueueDelay();
+  cost.remote_queue_time = src.QueueDelay() + network_->QueueDelay(task->image_node);
+  const SimDuration local_overhead = EstimateLocalRestore(cost);
+  const SimDuration remote_overhead = EstimateRemoteRestore(cost);
+
+  switch (config_.restore_policy) {
+    case RestorePolicy::kAlwaysLocal:
+      if (!local_fits) return false;
+      BeginRestore(task, image_node, false);
+      return true;
+    case RestorePolicy::kAlwaysRemote: {
+      Node* node = ProbeFit(*cluster_, demand, cursor);
+      if (node == nullptr) return false;
+      BeginRestore(task, node, node->id() != task->image_node);
+      return true;
+    }
+    case RestorePolicy::kAdaptive: {
+      const RestoreChoice choice =
+          DecideRestore(true, local_overhead, remote_overhead);
+      if (choice == RestoreChoice::kLocal && local_fits) {
+        BeginRestore(task, image_node, false);
+        return true;
+      }
+      // Local loses (or cannot fit right now): any node with room; if that
+      // happens to be the image node the restore is local after all.
+      Node* node = ProbeFit(*cluster_, demand, cursor);
+      if (node == nullptr) return false;
+      BeginRestore(task, node, node->id() != task->image_node);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterScheduler::StartTask(RtTask* task, Node* node) {
+  CKPT_CHECK(node->Allocate(task->spec->demand));
+  RemovePending(task);
+  task->state = RtTask::State::kRunning;
+  task->node = node->id();
+  task->run_start = sim_->Now();
+  task->attempt++;
+  running_[node->id()].push_back(task);
+
+  SimDuration remaining = task->spec->duration - task->work_done;
+  if (remaining < 1) remaining = 1;
+  const int attempt = task->attempt;
+  sim_->ScheduleAfter(remaining,
+                      [this, task, attempt] { OnTaskComplete(task, attempt); });
+}
+
+void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
+  CKPT_CHECK(task->has_image);
+  CKPT_CHECK(node->Allocate(task->spec->demand));
+  RemovePending(task);
+  task->state = RtTask::State::kRestoring;
+  task->node = node->id();
+  task->attempt++;
+  running_[node->id()].push_back(task);
+  // The container is held but the process is not yet executing: restore is
+  // I/O, so the CPUs stay suspended until it completes.
+  node->Suspend(task->spec->demand);
+  if (remote) {
+    result_.remote_restores++;
+  } else {
+    result_.local_restores++;
+  }
+
+  const int attempt = task->attempt;
+  StorageDevice& src = cluster_->node(task->image_node).storage();
+  Bytes bytes = task->stored_bytes;
+  if (config_.lazy_restore) {
+    // Copy-on-touch resumption: reload metadata plus the eagerly-paged
+    // fraction; remaining pages fault in from NVRAM while the task runs.
+    bytes = config_.checkpoint_metadata +
+            static_cast<Bytes>(config_.lazy_eager_fraction *
+                               static_cast<double>(bytes));
+  }
+  SimDuration service = src.EstimateRead(bytes);
+  if (remote) service += network_->EstimateTransfer(bytes);
+  result_.total_restore_time += service;
+  result_.overhead_core_hours += ToHours(service) * task->spec->demand.cpus;
+  result_.wasted_core_hours += ToHours(service) * task->spec->demand.cpus;
+  auto finish = [this, task, attempt] {
+    if (task->attempt != attempt ||
+        task->state != RtTask::State::kRestoring) {
+      return;
+    }
+    OnRestoreDone(task, attempt);
+  };
+  if (remote) {
+    const NodeId src_node = task->image_node;
+    const NodeId dst_node = node->id();
+    src.SubmitRead(bytes, [this, src_node, dst_node, bytes,
+                           finish = std::move(finish)] {
+      network_->Transfer(src_node, dst_node, bytes, finish);
+    });
+  } else {
+    src.SubmitRead(bytes, std::move(finish));
+  }
+}
+
+void ClusterScheduler::OnRestoreDone(RtTask* task, int attempt) {
+  CKPT_CHECK_EQ(task->attempt, attempt);
+  cluster_->node(task->node).Resume(task->spec->demand);
+  task->state = RtTask::State::kRunning;
+  task->work_done = task->saved_work;
+  task->run_start = sim_->Now();
+  task->attempt++;
+
+  SimDuration remaining = task->spec->duration - task->work_done;
+  if (remaining < 1) remaining = 1;
+  const int next_attempt = task->attempt;
+  sim_->ScheduleAfter(remaining, [this, task, next_attempt] {
+    OnTaskComplete(task, next_attempt);
+  });
+}
+
+void ClusterScheduler::StopRunning(RtTask* task) {
+  CKPT_CHECK(task->state == RtTask::State::kRunning);
+  const SimDuration span = sim_->Now() - task->run_start;
+  task->work_done += span;
+  task->unsynced_run += span;
+  task->run_start = -1;
+}
+
+void ClusterScheduler::DetachFromNode(RtTask* task) {
+  cluster_->node(task->node).Release(task->spec->demand);
+  auto& bucket = running_[task->node];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), task));
+}
+
+void ClusterScheduler::OnTaskComplete(RtTask* task, int attempt) {
+  if (task->attempt != attempt || task->state != RtTask::State::kRunning) {
+    return;  // preempted since this completion was scheduled
+  }
+  StopRunning(task);
+  CKPT_CHECK_GE(task->work_done, task->spec->duration);
+  task->state = RtTask::State::kFinished;
+  task->finish_time = sim_->Now();
+  task->attempt++;
+
+  DetachFromNode(task);
+  ReleaseImage(task);
+
+  result_.tasks_completed++;
+  result_.makespan = std::max(result_.makespan, sim_->Now());
+  const auto band = static_cast<size_t>(BandOf(task->spec->priority));
+  result_.task_response_by_band[band].Add(
+      ToSeconds(task->finish_time - task->submit_time));
+
+  task->job->tasks_left--;
+  FinishJobIfDone(task->job);
+  TrySchedule();
+}
+
+void ClusterScheduler::FinishJobIfDone(RtJob* job) {
+  if (job->tasks_left > 0 || job->finish_time >= 0) return;
+  job->finish_time = sim_->Now();
+  result_.jobs_completed++;
+  const double response = ToSeconds(job->finish_time - job->spec.submit_time);
+  const auto band = static_cast<size_t>(BandOf(job->spec.priority));
+  result_.job_response_by_band[band].Add(response);
+  result_.all_job_responses.Add(response);
+}
+
+// --- Preemption -------------------------------------------------------------
+
+Bytes ClusterScheduler::DirtyBytes(const RtTask* victim) const {
+  SimDuration exposure = victim->unsynced_run;
+  if (victim->state == RtTask::State::kRunning && victim->run_start >= 0) {
+    exposure += sim_->Now() - victim->run_start;
+  }
+  const double dirty_fraction =
+      std::min(1.0, victim->spec->memory_write_rate * ToSeconds(exposure));
+  return static_cast<Bytes>(dirty_fraction *
+                            static_cast<double>(victim->spec->demand.memory));
+}
+
+Bytes ClusterScheduler::DumpBytes(const RtTask* victim,
+                                  bool incremental) const {
+  Bytes payload = incremental && victim->has_image
+                      ? DirtyBytes(victim)
+                      : victim->spec->demand.memory;
+  if (config_.shadow_buffering) {
+    // The background mirror has already streamed part of the (dirty) state
+    // to NVM; only the unsynced residue must be copied at dump time.
+    SimDuration exposure = victim->unsynced_run;
+    if (victim->state == RtTask::State::kRunning && victim->run_start >= 0) {
+      exposure += sim_->Now() - victim->run_start;
+    }
+    const Bytes shadowed = static_cast<Bytes>(
+        config_.shadow_sync_bw * ToSeconds(exposure));
+    payload = std::max<Bytes>(payload - shadowed, 0);
+  }
+  return payload + config_.checkpoint_metadata;
+}
+
+SimDuration ClusterScheduler::UnsavedProgress(const RtTask* task) const {
+  SimDuration progress = task->work_done - task->saved_work;
+  if (task->state == RtTask::State::kRunning && task->run_start >= 0) {
+    progress += sim_->Now() - task->run_start;
+  }
+  return progress;
+}
+
+bool ClusterScheduler::CanIncrement(const RtTask* victim) const {
+  return config_.incremental_checkpoints && victim->has_image &&
+         (config_.checkpoint_to_dfs || victim->image_node == victim->node);
+}
+
+SimDuration ClusterScheduler::VictimCheckpointOverhead(
+    const RtTask* victim) const {
+  const bool incremental = CanIncrement(victim);
+  CheckpointCost cost;
+  cost.dump_bytes = DumpBytes(victim, incremental);
+  cost.restore_bytes = victim->stored_bytes + cost.dump_bytes;
+  cost.write_bw = config_.medium.write_bw;
+  cost.read_bw = config_.medium.read_bw;
+  // Queue term: the node's device backlog (dumps are submitted at freeze
+  // time, so the backlog is the sequential checkpoint queue).
+  cost.dump_queue_time = cluster_->node(victim->node).storage().QueueDelay();
+  return EstimateCheckpointOverhead(cost);
+}
+
+PreemptAction ClusterScheduler::DecideVictimAction(RtTask* victim) const {
+  const bool can_increment = CanIncrement(victim);
+  switch (config_.policy) {
+    case PreemptionPolicy::kWait:
+      CKPT_CHECK(false) << "wait policy never preempts";
+      return PreemptAction::kKill;
+    case PreemptionPolicy::kKill:
+      return PreemptAction::kKill;
+    case PreemptionPolicy::kCheckpoint:
+      return can_increment ? PreemptAction::kCheckpointIncremental
+                           : PreemptAction::kCheckpointFull;
+    case PreemptionPolicy::kAdaptive:
+      return DecidePreemption(UnsavedProgress(victim),
+                              VictimCheckpointOverhead(victim), can_increment,
+                              config_.adaptive_threshold);
+  }
+  return PreemptAction::kKill;
+}
+
+bool ClusterScheduler::TryPreemptFor(RtTask* task) {
+  const Resources& demand = task->spec->demand;
+  const int priority = task->spec->priority;
+
+  // A task whose image is pinned to one node (local-only store, or the
+  // always-local ablation) can only run there; preempting elsewhere would
+  // free resources it cannot use.
+  const bool image_bound =
+      task->has_image && (!config_.checkpoint_to_dfs ||
+                          config_.restore_policy == RestorePolicy::kAlwaysLocal);
+
+  // Find a node whose free resources plus lower-priority running work cover
+  // the demand. The scan rotates so preemption pressure spreads across the
+  // cluster instead of repeatedly recycling the same nodes' fresh tasks.
+  Node* chosen = nullptr;
+  std::vector<RtTask*> candidates;
+  const size_t n = static_cast<size_t>(cluster_->size());
+  for (size_t i = 0; i < n; ++i) {
+    Node* node = &cluster_->node(
+        NodeId(static_cast<std::int64_t>((victim_cursor_ + i) % n)));
+    if (image_bound && node->id() != task->image_node) continue;
+    Resources releasable = node->Available();
+    std::vector<RtTask*> local;
+    for (RtTask* running : running_[node->id()]) {
+      if (running->state == RtTask::State::kRunning &&
+          running->spec->priority < priority &&
+          running->spec->latency_class <
+              config_.protect_latency_class_at_least) {
+        releasable += running->spec->demand;
+        local.push_back(running);
+      }
+    }
+    if (demand.FitsIn(releasable)) {
+      chosen = node;
+      candidates = std::move(local);
+      victim_cursor_ = (victim_cursor_ + i + 1) % n;
+      break;
+    }
+  }
+  if (chosen == nullptr) return false;
+
+  switch (config_.victim_order) {
+    case VictimOrder::kCostAware:
+      std::sort(candidates.begin(), candidates.end(),
+                [this](RtTask* a, RtTask* b) {
+                  return VictimCheckpointOverhead(a) <
+                         VictimCheckpointOverhead(b);
+                });
+      break;
+    case VictimOrder::kLowestPriority:
+      std::sort(candidates.begin(), candidates.end(),
+                [](RtTask* a, RtTask* b) {
+                  if (a->spec->priority != b->spec->priority)
+                    return a->spec->priority < b->spec->priority;
+                  return a->run_start > b->run_start;  // least progress first
+                });
+      break;
+    case VictimOrder::kRandom:
+      std::shuffle(candidates.begin(), candidates.end(), rng_.engine());
+      break;
+  }
+
+  Resources freed = chosen->Available();
+  for (RtTask* victim : candidates) {
+    if (demand.FitsIn(freed)) break;
+    freed += victim->spec->demand;
+    PreemptAction action = DecideVictimAction(victim);
+    PreemptVictim(victim, action);
+    if (victim->state == RtTask::State::kDumping) {
+      // Remember whom this dump is for; until it completes the beneficiary
+      // must not trigger further preemption.
+      task->releases_in_flight++;
+      dump_beneficiary_[victim] = task;
+    }
+  }
+  return true;
+}
+
+void ClusterScheduler::KillVictim(RtTask* victim) {
+  // Unsaved progress is lost and will be re-executed; the task restarts
+  // from its last image if one exists (Algorithm 2), else from scratch.
+  const SimDuration lost = victim->work_done - victim->saved_work;
+  result_.lost_work_core_hours += ToHours(lost) * victim->spec->demand.cpus;
+  result_.wasted_core_hours += ToHours(lost) * victim->spec->demand.cpus;
+  result_.kills++;
+  if (!victim->has_image) result_.restarts_from_scratch++;
+  victim->work_done = victim->saved_work;
+  victim->unsynced_run = 0;
+  DetachFromNode(victim);
+  ApplyResubmitBackoff(victim);
+  AddPending(victim);
+}
+
+void ClusterScheduler::ApplyResubmitBackoff(RtTask* task) {
+  if (config_.resubmit_delay <= 0) return;
+  task->eligible_at = sim_->Now() + config_.resubmit_delay;
+  // Wake the scheduler when the task becomes eligible; nothing else may be
+  // pending at that instant.
+  sim_->ScheduleAt(task->eligible_at, [this] { TrySchedule(); });
+}
+
+void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
+  CKPT_CHECK(victim->state == RtTask::State::kRunning);
+  result_.preemptions++;
+  victim->preempt_count++;
+  StopRunning(victim);
+  victim->attempt++;  // invalidate the scheduled completion
+
+  if (action == PreemptAction::kKill) {
+    KillVictim(victim);
+    return;
+  }
+
+  const bool incremental =
+      action == PreemptAction::kCheckpointIncremental && CanIncrement(victim);
+  const Bytes dump_bytes = DumpBytes(victim, incremental);
+
+  Node& node = cluster_->node(victim->node);
+  // Capacity is accounted on the node that serves later restores: the base
+  // image's node for increments, the dumping node for full images.
+  StorageDevice& image_device =
+      incremental ? cluster_->node(victim->image_node).storage()
+                  : node.storage();
+  if (config_.enforce_checkpoint_capacity && !image_device.Reserve(dump_bytes)) {
+    // No room for the image: fall back to killing the victim.
+    result_.capacity_fallback_kills++;
+    KillVictim(victim);
+    return;
+  }
+
+  // A full dump replaces (and releases) any previous image.
+  if (!incremental && victim->has_image) {
+    ReleaseImage(victim);
+  }
+
+  // Freeze: the process tree stops here and the dump enters the node's
+  // sequential checkpoint queue. While frozen the container keeps its
+  // allocation but burns no CPU, so only the dump's *service* time (actual
+  // I/O work) counts as preemption overhead; queue wait shows up purely in
+  // response times.
+  victim->state = RtTask::State::kDumping;
+  node.Suspend(victim->spec->demand);
+  victim->pending_dump_bytes = dump_bytes;
+  victim->pending_dump_node =
+      incremental ? victim->image_node : victim->node;
+  result_.checkpoints++;
+  if (incremental) result_.incremental_checkpoints++;
+  result_.total_checkpoint_bytes_written += dump_bytes;
+
+  StorageDevice& device = node.storage();
+  const SimDuration service = device.EstimateWrite(dump_bytes);
+  result_.total_dump_time += service;
+  result_.overhead_core_hours += ToHours(service) * victim->spec->demand.cpus;
+  result_.wasted_core_hours += ToHours(service) * victim->spec->demand.cpus;
+
+  const int attempt = victim->attempt;
+  auto finish = [this, victim, attempt, incremental, dump_bytes] {
+    OnDumpComplete(victim, attempt, incremental, dump_bytes, 0);
+  };
+  if (config_.checkpoint_to_dfs && config_.dfs_replication > 1 &&
+      cluster_->size() > 1) {
+    // Local write, then pipeline one replica to a random peer (the DFS
+    // overhead visible in Fig. 2b).
+    NodeId peer;
+    do {
+      peer = NodeId(rng_.UniformInt(0, cluster_->size() - 1));
+    } while (peer == victim->node);
+    const NodeId src = victim->node;
+    device.SubmitWrite(dump_bytes,
+                       [this, src, peer, dump_bytes,
+                        finish = std::move(finish)]() mutable {
+                         network_->Transfer(src, peer, dump_bytes,
+                                            std::move(finish));
+                       });
+  } else {
+    device.SubmitWrite(dump_bytes, std::move(finish));
+  }
+}
+
+void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
+                                      bool incremental, Bytes dump_bytes,
+                                      SimTime /*dump_started*/) {
+  if (victim->attempt != attempt ||
+      victim->state != RtTask::State::kDumping) {
+    return;
+  }
+  victim->saved_work = victim->work_done;
+  victim->unsynced_run = 0;
+  victim->has_image = true;
+  victim->pending_dump_bytes = 0;
+  if (!incremental) victim->image_node = victim->node;
+  victim->stored_bytes += dump_bytes;
+  current_checkpoint_bytes_ += dump_bytes;
+  result_.peak_checkpoint_bytes =
+      std::max(result_.peak_checkpoint_bytes, current_checkpoint_bytes_);
+
+  victim->attempt++;
+  cluster_->node(victim->node).ReleaseSuspended(victim->spec->demand);
+  auto& bucket = running_[victim->node];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
+  ApplyResubmitBackoff(victim);
+  AddPending(victim);
+
+  auto it = dump_beneficiary_.find(victim);
+  if (it != dump_beneficiary_.end()) {
+    it->second->releases_in_flight--;
+    CKPT_CHECK_GE(it->second->releases_in_flight, 0);
+    dump_beneficiary_.erase(it);
+  }
+  TrySchedule();
+}
+
+// --- Failure injection --------------------------------------------------------
+
+void ClusterScheduler::InjectNodeFailure(NodeId node, SimTime at,
+                                         SimDuration down_for) {
+  CKPT_CHECK(node.valid());
+  CKPT_CHECK_LT(node.value(), cluster_->size());
+  sim_->ScheduleAt(at,
+                   [this, node, down_for] { OnNodeFailure(node, down_for); });
+}
+
+void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
+  Node& node = cluster_->node(node_id);
+  if (!node.online()) return;
+  result_.node_failures++;
+  node.SetOnline(false);
+
+  // Interrupt every task holding resources on the node. Copy the bucket:
+  // the handlers below mutate it.
+  const std::vector<RtTask*> victims = running_[node_id];
+  for (RtTask* task : victims) {
+    result_.tasks_interrupted_by_failure++;
+    switch (task->state) {
+      case RtTask::State::kRunning: {
+        StopRunning(task);
+        task->attempt++;
+        const SimDuration lost = task->work_done - task->saved_work;
+        result_.lost_work_core_hours +=
+            ToHours(lost) * task->spec->demand.cpus;
+        result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+        task->work_done = task->saved_work;
+        task->unsynced_run = 0;
+        DetachFromNode(task);
+        AddPending(task);
+        break;
+      }
+      case RtTask::State::kRestoring: {
+        // Abort the restore; the image is untouched.
+        task->attempt++;
+        node.ReleaseSuspended(task->spec->demand);
+        auto& bucket = running_[node_id];
+        bucket.erase(std::find(bucket.begin(), bucket.end(), task));
+        AddPending(task);
+        break;
+      }
+      case RtTask::State::kDumping: {
+        // The in-flight dump dies with the node: unwind its reservation and
+        // fall back to kill semantics (progress since the last image dies).
+        task->attempt++;
+        if (config_.enforce_checkpoint_capacity &&
+            task->pending_dump_bytes > 0) {
+          cluster_->node(task->pending_dump_node)
+              .storage()
+              .Release(task->pending_dump_bytes);
+        }
+        task->pending_dump_bytes = 0;
+        const SimDuration lost = task->work_done - task->saved_work;
+        result_.lost_work_core_hours +=
+            ToHours(lost) * task->spec->demand.cpus;
+        result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+        task->work_done = task->saved_work;
+        task->unsynced_run = 0;
+        node.ReleaseSuspended(task->spec->demand);
+        auto& bucket = running_[node_id];
+        bucket.erase(std::find(bucket.begin(), bucket.end(), task));
+        AddPending(task);
+        auto it = dump_beneficiary_.find(task);
+        if (it != dump_beneficiary_.end()) {
+          it->second->releases_in_flight--;
+          dump_beneficiary_.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Incremental dumps in flight from other nodes *to* the failed image
+  // node: their reservation and their target are gone — unwind them like
+  // dumps on the failed node itself.
+  for (auto& task_ptr : tasks_) {
+    RtTask* task = task_ptr.get();
+    if (task->state != RtTask::State::kDumping || task->node == node_id ||
+        task->pending_dump_node != node_id) {
+      continue;
+    }
+    task->attempt++;
+    if (config_.enforce_checkpoint_capacity && task->pending_dump_bytes > 0) {
+      cluster_->node(node_id).storage().Release(task->pending_dump_bytes);
+    }
+    task->pending_dump_bytes = 0;
+    const SimDuration lost = task->work_done - task->saved_work;
+    result_.lost_work_core_hours += ToHours(lost) * task->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+    task->work_done = task->saved_work;
+    task->unsynced_run = 0;
+    cluster_->node(task->node).ReleaseSuspended(task->spec->demand);
+    auto& bucket = running_[task->node];
+    bucket.erase(std::find(bucket.begin(), bucket.end(), task));
+    AddPending(task);
+    auto it = dump_beneficiary_.find(task);
+    if (it != dump_beneficiary_.end()) {
+      it->second->releases_in_flight--;
+      dump_beneficiary_.erase(it);
+    }
+  }
+
+  // Checkpoint images whose accounting device was on the failed node.
+  for (auto& task : tasks_) {
+    if (task->has_image && task->image_node == node_id) {
+      EvacuateImage(task.get(), node_id);
+    }
+  }
+
+  if (down_for >= 0) {
+    sim_->ScheduleAfter(down_for, [this, node_id] {
+      cluster_->node(node_id).SetOnline(true);
+      TrySchedule();
+    });
+  }
+  TrySchedule();
+}
+
+void ClusterScheduler::EvacuateImage(RtTask* task, NodeId failed) {
+  if (config_.checkpoint_to_dfs && cluster_->size() > 1) {
+    // A DFS replica survives on another node: rebind the image's
+    // accounting to an online host.
+    for (Node* candidate : cluster_->nodes()) {
+      if (!candidate->online() || candidate->id() == failed) continue;
+      if (!config_.enforce_checkpoint_capacity ||
+          candidate->storage().Reserve(task->stored_bytes)) {
+        if (config_.enforce_checkpoint_capacity) {
+          cluster_->node(failed).storage().Release(task->stored_bytes);
+        }
+        task->image_node = candidate->id();
+        result_.images_survived_failure++;
+        return;
+      }
+    }
+  }
+  // Local-only image (or nowhere to evacuate): the checkpoint is gone and
+  // the task restarts from scratch.
+  ReleaseImage(task);
+  if (task->state == RtTask::State::kPending) {
+    task->work_done = 0;
+  }
+  result_.images_lost_to_failure++;
+}
+
+void ClusterScheduler::ReleaseImage(RtTask* task) {
+  if (!task->has_image) return;
+  if (config_.enforce_checkpoint_capacity) {
+    cluster_->node(task->image_node).storage().Release(task->stored_bytes);
+  }
+  current_checkpoint_bytes_ -= task->stored_bytes;
+  task->has_image = false;
+  task->stored_bytes = 0;
+  task->saved_work = 0;
+}
+
+}  // namespace ckpt

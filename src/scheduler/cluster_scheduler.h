@@ -1,0 +1,212 @@
+// Trace-driven cluster scheduling simulator (the paper's S3.3.2 simulator).
+//
+// Implements the system model of S3.1: jobs arrive with a priority and
+// per-task resource demands; a priority scheduler places tasks on nodes and,
+// under contention, preempts lower-priority victims using one of the four
+// policies (wait / kill / checkpoint / adaptive). Checkpoint traffic runs
+// through each node's StorageDevice queue plus the network model, so dump
+// and restore latencies — and therefore Algorithm 1/2's decisions — reflect
+// the backlog on the chosen storage medium.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rng.h"
+#include "dfs/network.h"
+#include "metrics/stats.h"
+#include "scheduler/policy.h"
+#include "sim/simulator.h"
+#include "storage/medium.h"
+#include "trace/workload.h"
+
+namespace ckpt {
+
+struct SchedulerConfig {
+  PreemptionPolicy policy = PreemptionPolicy::kKill;
+  StorageMedium medium = StorageMedium::Hdd();
+  NetworkConfig network;
+
+  // Checkpoint handling.
+  bool incremental_checkpoints = true;
+  // Checkpoints go to a DFS: restorable from any node (paper's HDFS
+  // extension). When false, images are local-only (stock CRIU) and a task
+  // can resume only on the node that dumped it.
+  bool checkpoint_to_dfs = true;
+  int dfs_replication = 2;
+  double adaptive_threshold = 1.0;
+  VictimOrder victim_order = VictimOrder::kCostAware;
+  RestorePolicy restore_policy = RestorePolicy::kAdaptive;
+  Bytes checkpoint_metadata = 512 * kKiB;
+  // Enforce device capacity for images; a victim whose image does not fit
+  // falls back to kill.
+  bool enforce_checkpoint_capacity = true;
+
+  // --- NVRAM-as-virtual-memory extensions (paper S3.2.3 / future work) ---
+  // Shadow buffering: while a task runs, a background mirror streams its
+  // dirty pages to NVM at `shadow_sync_bw`, so a later dump only writes the
+  // residue that the mirror has not caught up with.
+  bool shadow_buffering = false;
+  Bandwidth shadow_sync_bw = GBps(2);
+  // Lazy (copy-on-touch) restore: resume after reloading metadata plus a
+  // small eagerly-paged fraction; the rest faults back from NVRAM on demand
+  // via OS paging.
+  bool lazy_restore = false;
+  double lazy_eager_fraction = 0.05;
+
+  // Backoff before a preempted task may be scheduled again (the Google
+  // trace shows tens of seconds between eviction and resubmission). Zero
+  // re-queues instantly; nonzero damps preemption ping-pong on fast media.
+  SimDuration resubmit_delay = 0;
+
+  // QoS guard motivated by the paper's Table 2: in the Google trace 14.8%
+  // of the *most* latency-sensitive tasks were still preempted. Tasks with
+  // latency_class >= this threshold are never selected as victims
+  // (kNumLatencyClasses disables the guard, reproducing the trace).
+  int protect_latency_class_at_least = kNumLatencyClasses;
+
+  // Backfill scan bound: pending tasks examined per scheduling pass.
+  int max_backfill_scan = 64;
+
+  std::uint64_t seed = 7;
+};
+
+struct SimulationResult {
+  // Fig. 3a / 8a.
+  double wasted_core_hours = 0;     // lost work + preemption overhead
+  double lost_work_core_hours = 0;  // re-executed work (kills)
+  double overhead_core_hours = 0;   // cores held during dump/restore
+  double total_busy_core_hours = 0;
+  double WastedFraction() const {
+    return total_busy_core_hours > 0 ? wasted_core_hours / total_busy_core_hours
+                                     : 0;
+  }
+
+  // Fig. 3b / 8b.
+  double energy_kwh = 0;
+
+  // Fig. 3c / 8c / 9: response times in seconds.
+  std::array<SummaryStats, 3> job_response_by_band;   // by PriorityBand
+  std::array<SummaryStats, 3> task_response_by_band;
+  SummaryStats all_job_responses;
+
+  // Event counts.
+  std::int64_t preemptions = 0;
+  std::int64_t kills = 0;
+  std::int64_t checkpoints = 0;
+  std::int64_t incremental_checkpoints = 0;
+  std::int64_t local_restores = 0;
+  std::int64_t remote_restores = 0;
+  std::int64_t restarts_from_scratch = 0;  // killed work re-run
+  std::int64_t capacity_fallback_kills = 0;
+
+  // Fig. 12 overhead accounting.
+  SimDuration total_dump_time = 0;
+  SimDuration total_restore_time = 0;
+  double CheckpointCpuOverhead() const {
+    const double busy = total_busy_core_hours;
+    return busy > 0 ? overhead_core_hours / busy : 0;
+  }
+  double io_overhead_fraction = 0;  // device busy time / wall time
+  Bytes peak_checkpoint_bytes = 0;
+  Bytes total_checkpoint_bytes_written = 0;
+
+  SimDuration makespan = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t tasks_completed = 0;
+
+  // Failure injection.
+  std::int64_t node_failures = 0;
+  std::int64_t tasks_interrupted_by_failure = 0;
+  std::int64_t images_lost_to_failure = 0;
+  std::int64_t images_survived_failure = 0;
+};
+
+class ClusterScheduler {
+ public:
+  ClusterScheduler(Simulator* sim, Cluster* cluster, SchedulerConfig config);
+  ~ClusterScheduler();
+
+  ClusterScheduler(const ClusterScheduler&) = delete;
+  ClusterScheduler& operator=(const ClusterScheduler&) = delete;
+
+  // Register the workload's arrival events. Call once before Run().
+  void Submit(const Workload& workload);
+
+  // Failure injection: crash `node` at `at`, recover it `down_for` later
+  // (never, when down_for < 0). Tasks on the node are interrupted; with
+  // DFS-replicated checkpoints their images survive and they resume
+  // elsewhere from saved progress — local-only images die with the node.
+  void InjectNodeFailure(NodeId node, SimTime at, SimDuration down_for);
+
+  // Drive the simulation to completion and return the collected metrics.
+  SimulationResult Run();
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct RtTask;
+  struct RtJob;
+  struct PendingLess {
+    bool operator()(const RtTask* a, const RtTask* b) const;
+  };
+
+  void OnJobArrival(RtJob* job);
+  void TrySchedule();
+  bool TryPlace(RtTask* task);
+  bool TryPreemptFor(RtTask* task);
+  void StartTask(RtTask* task, Node* node);
+  void BeginRestore(RtTask* task, Node* node, bool remote);
+  void OnRestoreDone(RtTask* task, int attempt);
+  void OnTaskComplete(RtTask* task, int attempt);
+  void PreemptVictim(RtTask* victim, PreemptAction action);
+  void KillVictim(RtTask* victim);
+  void ApplyResubmitBackoff(RtTask* task);
+  void OnDumpComplete(RtTask* victim, int attempt, bool incremental,
+                      Bytes dump_bytes, SimTime dump_started);
+  void StopRunning(RtTask* task);  // fold progress, detach from node
+  void DetachFromNode(RtTask* task);
+  void ReleaseImage(RtTask* task);
+  PreemptAction DecideVictimAction(RtTask* victim) const;
+  bool CanIncrement(const RtTask* victim) const;
+  SimDuration VictimCheckpointOverhead(const RtTask* victim) const;
+  Bytes DumpBytes(const RtTask* victim, bool incremental) const;
+  Bytes DirtyBytes(const RtTask* victim) const;
+  SimDuration UnsavedProgress(const RtTask* task) const;
+  void AddPending(RtTask* task);
+  void RemovePending(RtTask* task);
+  void FinishJobIfDone(RtJob* job);
+  void OnNodeFailure(NodeId node, SimDuration down_for);
+  void EvacuateImage(RtTask* task, NodeId failed);
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  SchedulerConfig config_;
+  Rng rng_;
+  std::unique_ptr<NetworkModel> network_;
+
+  std::vector<std::unique_ptr<RtJob>> jobs_;
+  std::vector<std::unique_ptr<RtTask>> tasks_;
+
+  // Pending tasks ordered by (priority desc, submit asc, id asc).
+  std::set<RtTask*, PendingLess> pending_;
+
+  // Running/dumping tasks per node for victim search.
+  std::unordered_map<NodeId, std::vector<RtTask*>> running_;
+
+  // For each in-flight victim dump, the pending task it makes room for.
+  std::unordered_map<RtTask*, RtTask*> dump_beneficiary_;
+
+  SimulationResult result_;
+  Bytes current_checkpoint_bytes_ = 0;
+  bool schedule_scheduled_ = false;  // coalesce TrySchedule calls
+  size_t place_cursor_ = 0;          // round-robin fit probe position
+  size_t victim_cursor_ = 0;         // round-robin preemption-node position
+};
+
+}  // namespace ckpt

@@ -1,0 +1,85 @@
+// Preemption policy vocabulary and the paper's Algorithms 1 and 2 as pure,
+// independently testable decision functions.
+//
+// Algorithm 1 (adaptive preemption): estimate the total checkpoint overhead
+//   overhead = size/bw_write + size/bw_read + queue_time_dump
+// and checkpoint the victim only when its (unsaved) progress exceeds the
+// overhead; otherwise kill it. Victims with an earlier image are dumped
+// incrementally.
+//
+// Algorithm 2 (adaptive resumption): tasks without an image restart from
+// scratch; otherwise restore locally or remotely, whichever overhead is
+// smaller:
+//   overhead_local  = size/bw_read + queue_time_local
+//   overhead_remote = size/bw_net + size/bw_read + queue_time_remote
+#pragma once
+
+#include "common/units.h"
+
+namespace ckpt {
+
+enum class PreemptionPolicy {
+  kWait,        // never preempt: arrivals queue behind running work
+  kKill,        // stock YARN/Google behaviour: kill victims
+  kCheckpoint,  // "basic": always checkpoint victims
+  kAdaptive,    // Algorithm 1
+};
+
+const char* PolicyName(PreemptionPolicy policy);
+
+enum class RestorePolicy {
+  kAlwaysLocal,   // ablation: resume only on the checkpointing node
+  kAlwaysRemote,  // ablation: always move the image
+  kAdaptive,      // Algorithm 2
+};
+
+enum class VictimOrder {
+  kCostAware,       // lowest checkpoint cost first (paper S5.2.2)
+  kLowestPriority,  // priority, then most recently started
+  kRandom,          // ablation baseline
+};
+
+// --- Algorithm 1 -----------------------------------------------------------
+
+struct CheckpointCost {
+  Bytes dump_bytes = 0;     // what the next dump would write
+  Bytes restore_bytes = 0;  // what a later restore would read
+  Bandwidth write_bw = 0;
+  Bandwidth read_bw = 0;
+  SimDuration dump_queue_time = 0;  // wait behind other checkpoint ops
+};
+
+// Total suspend-resume overhead as Algorithm 1 estimates it.
+SimDuration EstimateCheckpointOverhead(const CheckpointCost& cost);
+
+enum class PreemptAction { kKill, kCheckpointFull, kCheckpointIncremental };
+
+// Decide kill vs (incremental) checkpoint for one victim.
+//  `unsaved_progress` — work that dies with the task if killed;
+//  `overhead`         — EstimateCheckpointOverhead result;
+//  `has_prior_image`  — enables the incremental path;
+//  `threshold`        — scaling knob on the progress>overhead comparison
+//                       (1.0 reproduces the paper; swept by the ablation).
+PreemptAction DecidePreemption(SimDuration unsaved_progress,
+                               SimDuration overhead, bool has_prior_image,
+                               double threshold = 1.0);
+
+// --- Algorithm 2 -----------------------------------------------------------
+
+struct RestoreCost {
+  Bytes image_bytes = 0;
+  Bandwidth read_bw = 0;
+  Bandwidth net_bw = 0;
+  SimDuration local_queue_time = 0;
+  SimDuration remote_queue_time = 0;
+};
+
+SimDuration EstimateLocalRestore(const RestoreCost& cost);
+SimDuration EstimateRemoteRestore(const RestoreCost& cost);
+
+enum class RestoreChoice { kRestart, kLocal, kRemote };
+
+RestoreChoice DecideRestore(bool has_image, SimDuration local_overhead,
+                            SimDuration remote_overhead);
+
+}  // namespace ckpt

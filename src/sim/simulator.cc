@@ -1,0 +1,39 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace ckpt {
+
+void Simulator::ScheduleAt(SimTime when, Callback cb) {
+  CKPT_CHECK_GE(when, now_) << "cannot schedule into the past";
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+std::int64_t Simulator::Run(SimTime until) {
+  std::int64_t processed = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // Copy out before pop: the callback may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ++events_processed_;
+    ++processed;
+    ev.cb();
+  }
+  // Advance the clock to the bound: remaining events (if any) are strictly
+  // later, so simulated time `until` has elapsed without activity.
+  if (now_ < until && until != kMaxTime) now_ = until;
+  return processed;
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_processed_;
+  ev.cb();
+  return true;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,69 @@
+// Deterministic discrete-event simulator.
+//
+// All substrates (storage, DFS, checkpoint engine, schedulers, YARN layer)
+// run on one Simulator. Events scheduled for the same instant fire in
+// schedule order (a monotone sequence number breaks ties), which makes every
+// run reproducible regardless of container iteration order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace ckpt {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedule `cb` to run at absolute time `when` (>= Now()).
+  void ScheduleAt(SimTime when, Callback cb);
+
+  // Schedule `cb` to run `delay` after the current time.
+  void ScheduleAfter(SimDuration delay, Callback cb) {
+    CKPT_CHECK_GE(delay, 0);
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  // Run until the event queue drains or `until` is reached (whichever is
+  // first). Returns the number of events processed.
+  std::int64_t Run(SimTime until = kMaxTime);
+
+  // Process exactly one event if any is pending; returns false when idle.
+  bool Step();
+
+  bool Empty() const { return queue_.empty(); }
+  std::int64_t EventsProcessed() const { return events_processed_; }
+
+  static constexpr SimTime kMaxTime = INT64_MAX / 4;
+
+ private:
+  struct Event {
+    SimTime when;
+    std::int64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace ckpt

@@ -1,0 +1,74 @@
+#include "storage/medium.h"
+
+namespace ckpt {
+
+StorageMedium StorageMedium::Hdd() {
+  return StorageMedium{
+      .name = "HDD",
+      .write_bw = MBps(32),
+      .read_bw = MBps(45),
+      .access_latency = Millis(8),
+      .capacity = GiB(500),
+  };
+}
+
+StorageMedium StorageMedium::Ssd() {
+  return StorageMedium{
+      .name = "SSD",
+      .write_bw = MBps(125),
+      .read_bw = MBps(165),
+      .access_latency = Millis(0.1),
+      .capacity = GiB(120),
+  };
+}
+
+StorageMedium StorageMedium::Nvm() {
+  return StorageMedium{
+      .name = "NVM",
+      .write_bw = GBps(1.85),
+      .read_bw = GBps(2.4),
+      .access_latency = 2,  // microseconds: PMFS bypasses the block layer
+      .capacity = GiB(48),
+  };
+}
+
+StorageMedium StorageMedium::NvramMemory() {
+  return StorageMedium{
+      .name = "NVRAM",
+      .write_bw = GBps(8),   // DRAM -> NVM store bandwidth
+      .read_bw = GBps(12),   // NVM -> DRAM load bandwidth
+      .access_latency = 0,   // no block layer, no serialization
+      .capacity = GiB(48),
+  };
+}
+
+StorageMedium StorageMedium::WithBandwidth(std::string name, Bandwidth bw,
+                                           Bytes capacity) {
+  return StorageMedium{
+      .name = std::move(name),
+      .write_bw = bw,
+      .read_bw = bw,
+      .access_latency = 10,
+      .capacity = capacity,
+  };
+}
+
+StorageMedium MediumFor(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kHdd: return StorageMedium::Hdd();
+    case MediaKind::kSsd: return StorageMedium::Ssd();
+    case MediaKind::kNvm: return StorageMedium::Nvm();
+  }
+  return StorageMedium::Hdd();
+}
+
+const char* MediaName(MediaKind kind) {
+  switch (kind) {
+    case MediaKind::kHdd: return "HDD";
+    case MediaKind::kSsd: return "SSD";
+    case MediaKind::kNvm: return "NVM";
+  }
+  return "?";
+}
+
+}  // namespace ckpt

@@ -1,0 +1,54 @@
+// Storage media parameter sets.
+//
+// Calibrated to the paper's measurements:
+//  - Table 3: a full 5 GB dump takes 169.18 s (HDD), 43.73 s (SSD),
+//    2.92 s (PMFS/NVM) -> effective write bandwidths of ~32 / ~125 /
+//    ~1850 MB/s.
+//  - Fig. 2a: dump+restore is linear in image size, SSD is 3-4x faster than
+//    HDD and NVM 10-15x faster than SSD; reads run slightly faster than
+//    writes on all three media.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace ckpt {
+
+struct StorageMedium {
+  std::string name;
+  Bandwidth write_bw = 0;      // bytes/sec, sequential
+  Bandwidth read_bw = 0;       // bytes/sec, sequential
+  SimDuration access_latency = 0;  // fixed per-operation setup cost
+  Bytes capacity = 0;
+
+  // Time for one write/read of `size` bytes with no queueing.
+  SimDuration WriteTime(Bytes size) const {
+    return access_latency + TransferTime(size, write_bw);
+  }
+  SimDuration ReadTime(Bytes size) const {
+    return access_latency + TransferTime(size, read_bw);
+  }
+
+  static StorageMedium Hdd();
+  static StorageMedium Ssd();
+  static StorageMedium Nvm();
+
+  // NVM used as byte-addressable virtual memory (NVRAM, paper S3.2.3):
+  // checkpoint data moves by memcpy between DRAM and NVM, skipping the
+  // filesystem and serialization entirely — higher bandwidth and
+  // effectively no per-operation latency.
+  static StorageMedium NvramMemory();
+
+  // A medium with symmetric read/write bandwidth `bw`; used by the
+  // bandwidth-sweep experiments (Fig. 4 and Fig. 6).
+  static StorageMedium WithBandwidth(std::string name, Bandwidth bw,
+                                     Bytes capacity);
+};
+
+enum class MediaKind { kHdd, kSsd, kNvm };
+
+StorageMedium MediumFor(MediaKind kind);
+const char* MediaName(MediaKind kind);
+
+}  // namespace ckpt

@@ -1,0 +1,49 @@
+#include "storage/storage_device.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ckpt {
+
+SimTime StorageDevice::Enqueue(SimDuration service,
+                               std::function<void()> done) {
+  const SimTime start = std::max(busy_until_, sim_->Now());
+  busy_until_ = start + service;
+  busy_time_ += service;
+  ++pending_ops_;
+  const SimTime completion = busy_until_;
+  sim_->ScheduleAt(completion, [this, done = std::move(done)]() {
+    --pending_ops_;
+    ++ops_completed_;
+    if (done) done();
+  });
+  return completion;
+}
+
+SimTime StorageDevice::SubmitWrite(Bytes size, std::function<void()> done) {
+  CKPT_CHECK_GE(size, 0);
+  bytes_written_ += size;
+  return Enqueue(medium_.WriteTime(size), std::move(done));
+}
+
+SimTime StorageDevice::SubmitRead(Bytes size, std::function<void()> done) {
+  CKPT_CHECK_GE(size, 0);
+  bytes_read_ += size;
+  return Enqueue(medium_.ReadTime(size), std::move(done));
+}
+
+bool StorageDevice::Reserve(Bytes size) {
+  CKPT_CHECK_GE(size, 0);
+  if (used_ + size > medium_.capacity) return false;
+  used_ += size;
+  peak_used_ = std::max(peak_used_, used_);
+  return true;
+}
+
+void StorageDevice::Release(Bytes size) {
+  CKPT_CHECK_GE(size, 0);
+  CKPT_CHECK_GE(used_, size);
+  used_ -= size;
+}
+
+}  // namespace ckpt

@@ -1,0 +1,117 @@
+#include "trace/analyzer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+TraceAnalysis AnalyzeTrace(const EventTrace& trace) {
+  TraceAnalysis out;
+  const int days =
+      static_cast<int>((trace.span + kDay - 1) / kDay);
+  out.daily.resize(static_cast<size_t>(std::max(days, 1)));
+
+  struct TaskAgg {
+    int priority = 0;
+    int latency_class = 0;
+    double cpus = 0;
+    int evictions = 0;
+    bool scheduled = false;
+    SimTime last_schedule = -1;
+  };
+  std::unordered_map<std::int64_t, TaskAgg> tasks;
+
+  // Per-day counters for Fig. 1a.
+  struct DayCount {
+    std::array<std::int64_t, 3> scheduled{};
+    std::array<std::int64_t, 3> evicted{};
+  };
+  std::vector<DayCount> day_counts(static_cast<size_t>(std::max(days, 1)));
+
+  std::int64_t total_evictions = 0;
+  std::array<std::int64_t, 12> evictions_by_priority{};
+
+  for (const TraceEvent& ev : trace.events) {
+    TaskAgg& agg = tasks[ev.task.value()];
+    const auto band = static_cast<size_t>(BandOf(ev.priority));
+    const auto day = static_cast<size_t>(
+        std::min<SimTime>(ev.time / kDay, days > 0 ? days - 1 : 0));
+    switch (ev.type) {
+      case TraceEventType::kSubmit:
+        agg.priority = ev.priority;
+        agg.latency_class = ev.latency_class;
+        agg.cpus = ev.cpus;
+        break;
+      case TraceEventType::kSchedule:
+        agg.scheduled = true;
+        agg.last_schedule = ev.time;
+        day_counts[day].scheduled[band]++;
+        break;
+      case TraceEventType::kEvict: {
+        agg.evictions++;
+        total_evictions++;
+        CKPT_CHECK_GE(ev.priority, 0);
+        CKPT_CHECK_LE(ev.priority, 11);
+        evictions_by_priority[static_cast<size_t>(ev.priority)]++;
+        day_counts[day].evicted[band]++;
+        if (agg.last_schedule >= 0) {
+          const double cpu_hours =
+              ToHours(ev.time - agg.last_schedule) * agg.cpus;
+          out.wasted_cpu_hours += cpu_hours;
+          out.total_cpu_hours += cpu_hours;
+          agg.last_schedule = -1;
+        }
+        break;
+      }
+      case TraceEventType::kFinish:
+        if (agg.last_schedule >= 0) {
+          out.total_cpu_hours += ToHours(ev.time - agg.last_schedule) * agg.cpus;
+          agg.last_schedule = -1;
+        }
+        break;
+    }
+  }
+
+  std::int64_t scheduled_tasks = 0;
+  std::int64_t preempted_tasks = 0;
+  for (const auto& [id, agg] : tasks) {
+    if (!agg.scheduled) continue;
+    ++scheduled_tasks;
+    const auto band = static_cast<size_t>(BandOf(agg.priority));
+    const auto cls = static_cast<size_t>(agg.latency_class);
+    out.by_band[band].tasks++;
+    out.by_latency[cls].tasks++;
+    if (agg.evictions > 0) {
+      ++preempted_tasks;
+      out.by_band[band].preempted_tasks++;
+      out.by_latency[cls].preempted_tasks++;
+      const int bucket = std::min(agg.evictions, 10) - 1;
+      out.preemption_count_hist[static_cast<size_t>(bucket)]++;
+    }
+  }
+  out.overall_preemption_rate =
+      scheduled_tasks == 0
+          ? 0.0
+          : static_cast<double>(preempted_tasks) / scheduled_tasks;
+
+  for (size_t p = 0; p < evictions_by_priority.size(); ++p) {
+    out.preemption_share_by_priority[p] =
+        total_evictions == 0
+            ? 0.0
+            : 100.0 * evictions_by_priority[p] / total_evictions;
+  }
+
+  for (size_t d = 0; d < day_counts.size(); ++d) {
+    for (size_t b = 0; b < 3; ++b) {
+      const auto sched = day_counts[d].scheduled[b];
+      out.daily[d].rate_by_band[b] =
+          sched == 0 ? 0.0
+                     : static_cast<double>(day_counts[d].evicted[b]) / sched;
+    }
+  }
+  return out;
+}
+
+}  // namespace ckpt

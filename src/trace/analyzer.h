@@ -1,0 +1,48 @@
+// Event-trace analysis reproducing the paper's S2 study (Fig. 1, Tables 1-2,
+// and the wasted-CPU estimate).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/google_trace.h"
+
+namespace ckpt {
+
+struct BandStats {
+  std::int64_t tasks = 0;
+  std::int64_t preempted_tasks = 0;
+  double PercentPreempted() const {
+    return tasks == 0 ? 0.0 : 100.0 * preempted_tasks / tasks;
+  }
+};
+
+struct TraceAnalysis {
+  // Fig. 1a: per-day preemption rate (preempted / scheduled) per band.
+  struct DailyRate {
+    std::array<double, 3> rate_by_band{};  // indexed by PriorityBand
+  };
+  std::vector<DailyRate> daily;
+
+  // Fig. 1b: share (%) of all eviction events by priority 0-11.
+  std::array<double, 12> preemption_share_by_priority{};
+
+  // Fig. 1c: distinct tasks with 1, 2, ..., 9, >=10 preemptions.
+  std::array<std::int64_t, 10> preemption_count_hist{};
+
+  // Table 1 (by band) and Table 2 (by latency class).
+  std::array<BandStats, 3> by_band{};
+  std::array<BandStats, kNumLatencyClasses> by_latency{};
+
+  double overall_preemption_rate = 0.0;  // fraction of tasks evicted >= once
+  double wasted_cpu_hours = 0.0;         // schedule->evict CPU time
+  double total_cpu_hours = 0.0;          // all attempt CPU time
+  double WastedFraction() const {
+    return total_cpu_hours == 0.0 ? 0.0 : wasted_cpu_hours / total_cpu_hours;
+  }
+};
+
+TraceAnalysis AnalyzeTrace(const EventTrace& trace);
+
+}  // namespace ckpt

@@ -1,0 +1,97 @@
+#include "trace/facebook_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ckpt {
+
+Workload GenerateFacebookWorkload(const FacebookWorkloadConfig& config) {
+  CKPT_CHECK_GE(config.total_jobs, 4);
+  Rng rng(config.seed);
+  Workload workload;
+  std::int64_t next_task = 0;
+
+  // Facebook's mix (S2): most jobs are small and low priority; ~3 % of jobs
+  // need more than half the cluster and ~2 % exceed its capacity. We budget
+  // the 7,000 tasks as: a handful of large high-priority production jobs
+  // (one oversubscribing the cluster) and a long tail of small low-priority
+  // jobs.
+  const int high_jobs = std::max(config.total_jobs / 8, 2);
+  const int low_jobs = config.total_jobs - high_jobs;
+
+  int tasks_left = config.total_tasks;
+  auto add_job = [&](int priority, int num_tasks, SimTime submit) {
+    num_tasks = std::max(1, std::min(num_tasks, tasks_left));
+    tasks_left -= num_tasks;
+    JobSpec job;
+    job.id = JobId(static_cast<std::int64_t>(workload.jobs.size()));
+    job.submit_time = submit;
+    job.priority = priority;
+    job.tasks.reserve(static_cast<size_t>(num_tasks));
+    const bool production = priority >= config.high_priority;
+    for (int t = 0; t < num_tasks; ++t) {
+      TaskSpec task;
+      task.id = TaskId(next_task++);
+      task.job = job.id;
+      task.priority = priority;
+      task.latency_class = production ? 2 : 0;
+      if (production) {
+        task.duration = static_cast<SimDuration>(
+            static_cast<double>(config.task_duration) *
+            rng.Uniform(0.85, 1.25));
+      } else {
+        // Heavy-tailed batch tasks: the long ones are what repeated
+        // kill-based preemption wastes (they lose minutes of progress per
+        // eviction).
+        const double median = ToSeconds(config.low_duration_median);
+        const double secs =
+            std::min(rng.LogNormal(std::log(median), config.low_duration_sigma),
+                     ToSeconds(config.low_duration_cap));
+        task.duration = Seconds(std::max(secs, 5.0));
+      }
+      task.demand = Resources{config.task_cpus, config.task_memory};
+      // k-means rewrites its centroid/assignment buffers each iteration:
+      // a moderate, steady dirtying rate.
+      task.memory_write_rate = rng.Uniform(0.01, 0.04);
+      job.tasks.push_back(task);
+    }
+    workload.jobs.push_back(std::move(job));
+  };
+
+  // High-priority production jobs arrive periodically; the first is sized
+  // beyond the entire cluster so scheduling it preempts everything below it.
+  for (int j = 0; j < high_jobs; ++j) {
+    const SimTime submit =
+        config.production_period * (j + 1) +
+        Seconds(rng.Uniform(0.0, 30.0));
+    const int tasks =
+        j == 0 ? static_cast<int>(config.cluster_containers * 1.2)
+               : static_cast<int>(config.cluster_containers *
+                                  rng.Uniform(0.35, 0.8));
+    add_job(config.high_priority, tasks, submit);
+  }
+
+  // Low-priority batch jobs: sizes log-normal, arrivals spread across the
+  // experiment window, submitted early enough to occupy the cluster before
+  // the production bursts land.
+  const SimDuration window = config.production_period * (high_jobs + 2);
+  for (int j = 0; j < low_jobs; ++j) {
+    const SimTime submit =
+        static_cast<SimTime>(rng.Uniform(0.0, ToSeconds(window) * 0.8) *
+                             static_cast<double>(kSecond));
+    int remaining_jobs = low_jobs - j;
+    const int fair_share = std::max(tasks_left / std::max(remaining_jobs, 1), 8);
+    const int tasks = static_cast<int>(std::clamp(
+        rng.LogNormal(std::log(static_cast<double>(fair_share)), 0.6), 4.0,
+        static_cast<double>(2 * fair_share)));
+    add_job(config.low_priority, tasks, submit);
+  }
+
+  workload.SortBySubmitTime();
+  return workload;
+}
+
+}  // namespace ckpt

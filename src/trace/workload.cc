@@ -1,0 +1,23 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+
+namespace ckpt {
+
+const char* BandName(PriorityBand band) {
+  switch (band) {
+    case PriorityBand::kFree: return "Free(0-1)";
+    case PriorityBand::kMiddle: return "Middle(2-8)";
+    case PriorityBand::kProduction: return "Production(9-11)";
+  }
+  return "?";
+}
+
+void Workload::SortBySubmitTime() {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+}
+
+}  // namespace ckpt

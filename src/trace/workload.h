@@ -1,0 +1,75 @@
+// Workload model shared by the trace-driven simulator and the YARN layer.
+//
+// Follows the Google trace schema (S2): a job is a set of tasks; each task
+// carries a 0-11 scheduling priority, a 0-3 latency-sensitivity class, a
+// resource demand and a duration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "cluster/resources.h"
+
+namespace ckpt {
+
+// Priority bands used throughout the paper's analysis (Table 1).
+enum class PriorityBand { kFree, kMiddle, kProduction };
+
+constexpr int kMinPriority = 0;
+constexpr int kMaxPriority = 11;
+constexpr int kNumLatencyClasses = 4;
+
+constexpr PriorityBand BandOf(int priority) {
+  if (priority <= 1) return PriorityBand::kFree;
+  if (priority <= 8) return PriorityBand::kMiddle;
+  return PriorityBand::kProduction;
+}
+
+const char* BandName(PriorityBand band);
+
+struct TaskSpec {
+  TaskId id;
+  JobId job;
+  SimDuration duration = 0;  // CPU work at full speed
+  Resources demand;
+  int priority = 0;
+  int latency_class = 0;
+  // Fraction of the task's memory it re-dirties per second of execution;
+  // drives incremental checkpoint sizes.
+  double memory_write_rate = 0.01;
+};
+
+struct JobSpec {
+  JobId id;
+  SimTime submit_time = 0;
+  int priority = 0;
+  std::vector<TaskSpec> tasks;
+
+  SimDuration TotalWork() const {
+    SimDuration total = 0;
+    for (const TaskSpec& t : tasks) total += t.duration;
+    return total;
+  }
+};
+
+struct Workload {
+  std::vector<JobSpec> jobs;
+
+  std::int64_t TotalTasks() const {
+    std::int64_t total = 0;
+    for (const JobSpec& j : jobs) total += static_cast<std::int64_t>(j.tasks.size());
+    return total;
+  }
+  Resources PeakDemand() const {
+    Resources total;
+    for (const JobSpec& j : jobs)
+      for (const TaskSpec& t : j.tasks) total += t.demand;
+    return total;
+  }
+  void SortBySubmitTime();
+};
+
+}  // namespace ckpt

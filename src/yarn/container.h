@@ -1,0 +1,20 @@
+// Container records shared between the ResourceManager and the application
+// masters.
+#pragma once
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "cluster/resources.h"
+
+namespace ckpt {
+
+struct Container {
+  ContainerId id;
+  AppId app;
+  NodeId node;
+  Resources size;
+  int priority = 0;
+  SimTime started = 0;  // allocation time; victim ranking tie-break
+};
+
+}  // namespace ckpt

@@ -1,0 +1,70 @@
+// Per-node agent: owns the node's container slots, launches and kills
+// containers on the ResourceManager's or an ApplicationMaster's behalf, and
+// fronts the node's datanode storage for checkpoint traffic.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cluster/node.h"
+#include "common/logging.h"
+#include "yarn/container.h"
+
+namespace ckpt {
+
+class NodeManager {
+ public:
+  explicit NodeManager(Node* node) : node_(node) {
+    CKPT_CHECK(node != nullptr);
+  }
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  NodeId id() const { return node_->id(); }
+  Node& node() { return *node_; }
+
+  // Reserve the container's resources; false when the node is full.
+  bool LaunchContainer(const Container& container) {
+    if (!node_->Allocate(container.size)) return false;
+    CKPT_CHECK(live_.emplace(container.id, container).second);
+    return true;
+  }
+
+  // Return the container's resources (task finished, was killed, or its
+  // checkpoint completed).
+  void StopContainer(ContainerId id) {
+    auto it = live_.find(id);
+    CKPT_CHECK(it != live_.end()) << "unknown container " << id.value();
+    if (suspended_.erase(id) > 0) {
+      node_->ReleaseSuspended(it->second.size);
+    } else {
+      node_->Release(it->second.size);
+    }
+    live_.erase(it);
+  }
+
+  // Freeze/unfreeze the container's process (CRIU dump wait or restore
+  // I/O): the slot stays reserved, the CPUs go idle.
+  void SuspendContainer(ContainerId id) {
+    auto it = live_.find(id);
+    CKPT_CHECK(it != live_.end());
+    if (suspended_.insert(id).second) node_->Suspend(it->second.size);
+  }
+  void ResumeContainer(ContainerId id) {
+    auto it = live_.find(id);
+    CKPT_CHECK(it != live_.end());
+    if (suspended_.erase(id) > 0) node_->Resume(it->second.size);
+  }
+
+  bool IsLive(ContainerId id) const { return live_.count(id) > 0; }
+  int live_containers() const { return static_cast<int>(live_.size()); }
+  Resources Available() const { return node_->Available(); }
+
+ private:
+  Node* node_;
+  std::unordered_map<ContainerId, Container> live_;
+  std::unordered_set<ContainerId> suspended_;
+};
+
+}  // namespace ckpt

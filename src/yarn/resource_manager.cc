@@ -1,0 +1,326 @@
+#include "yarn/resource_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+ResourceManager::ResourceManager(Simulator* sim,
+                                 std::vector<NodeManager*> nodes,
+                                 const YarnConfig& config)
+    : sim_(sim), nodes_(std::move(nodes)), config_(config) {
+  CKPT_CHECK(sim != nullptr);
+  CKPT_CHECK(!nodes_.empty());
+  for (NodeManager* nm : nodes_) {
+    CKPT_CHECK(nm != nullptr);
+    node_by_id_[nm->id()] = nm;
+    const Resources capacity = nm->node().capacity();
+    const int by_cpu = static_cast<int>(capacity.cpus /
+                                        config_.container_size.cpus);
+    const int by_mem = static_cast<int>(capacity.memory /
+                                        config_.container_size.memory);
+    total_slots_ += std::min(by_cpu, by_mem);
+  }
+  CKPT_CHECK_GE(config_.production_guarantee, 0.0);
+  CKPT_CHECK_LE(config_.production_guarantee, 1.0);
+  guaranteed_slots_[1] = static_cast<int>(
+      total_slots_ * config_.production_guarantee + 0.5);
+  guaranteed_slots_[0] = total_slots_ - guaranteed_slots_[1];
+}
+
+std::array<int, 2> ResourceManager::QueueUsage() const {
+  std::array<int, 2> usage{};
+  for (const auto& [id, container] : live_) {
+    usage[static_cast<size_t>(QueueOf(container.priority))]++;
+  }
+  return usage;
+}
+
+AppId ResourceManager::RegisterApp(AppClient* client, int priority) {
+  CKPT_CHECK(client != nullptr);
+  AppId id(next_app_++);
+  apps_[id] = AppInfo{client, priority};
+  return id;
+}
+
+void ResourceManager::UnregisterApp(AppId app) {
+  apps_.erase(app);
+  for (auto it = asks_.begin(); it != asks_.end();) {
+    it = it->app == app ? asks_.erase(it) : std::next(it);
+  }
+}
+
+void ResourceManager::RequestContainers(AppId app, int count,
+                                        NodeId preferred) {
+  auto it = apps_.find(app);
+  CKPT_CHECK(it != apps_.end());
+  for (int i = 0; i < count; ++i) {
+    asks_.insert(Ask{app, it->second.priority, preferred, next_seq_++});
+  }
+  RequestSchedule();
+}
+
+void ResourceManager::ReleaseContainer(ContainerId id) {
+  auto it = live_.find(id);
+  CKPT_CHECK(it != live_.end()) << "release of unknown container";
+  node_by_id_.at(it->second.node)->StopContainer(id);
+  live_.erase(it);
+  preempt_pending_.erase(id);
+  RequestSchedule();
+}
+
+SimDuration ResourceManager::DumpQueueDelay(NodeId node) const {
+  return node_by_id_.at(node)->node().storage().QueueDelay();
+}
+
+void ResourceManager::SuspendContainer(ContainerId id) {
+  auto it = live_.find(id);
+  CKPT_CHECK(it != live_.end());
+  node_by_id_.at(it->second.node)->SuspendContainer(id);
+}
+
+void ResourceManager::ResumeContainer(ContainerId id) {
+  auto it = live_.find(id);
+  CKPT_CHECK(it != live_.end());
+  node_by_id_.at(it->second.node)->ResumeContainer(id);
+}
+
+const Container* ResourceManager::FindContainer(ContainerId id) const {
+  auto it = live_.find(id);
+  return it == live_.end() ? nullptr : &it->second;
+}
+
+void ResourceManager::RequestSchedule() {
+  if (schedule_scheduled_) return;
+  schedule_scheduled_ = true;
+  sim_->ScheduleAfter(0, [this] {
+    schedule_scheduled_ = false;
+    ScheduleLoop();
+  });
+}
+
+NodeManager* ResourceManager::PickNode(NodeId preferred) {
+  if (preferred.valid()) {
+    auto it = node_by_id_.find(preferred);
+    if (it != node_by_id_.end() &&
+        config_.container_size.FitsIn(it->second->Available())) {
+      return it->second;
+    }
+  }
+  const size_t n = nodes_.size();
+  for (size_t i = 0; i < n; ++i) {
+    NodeManager* nm = nodes_[(place_cursor_ + i) % n];
+    if (config_.container_size.FitsIn(nm->Available())) {
+      place_cursor_ = (place_cursor_ + i + 1) % n;
+      return nm;
+    }
+  }
+  return nullptr;
+}
+
+void ResourceManager::ScheduleLoop() {
+  if (config_.scheduling_mode == SchedulingMode::kCapacity) {
+    CapacityAllocate();
+  } else {
+    PriorityAllocate();
+  }
+  if (config_.policy != PreemptionPolicy::kWait) {
+    if (config_.scheduling_mode == SchedulingMode::kCapacity) {
+      RunCapacityMonitor();
+    } else {
+      RunPreemptionMonitor();
+    }
+  }
+}
+
+// Place one container for `ask`; false when no node can host it.
+bool ResourceManager::Allocate(const Ask& ask) {
+  NodeManager* nm = PickNode(ask.preferred);
+  if (nm == nullptr) return false;
+  auto app_it = apps_.find(ask.app);
+  if (app_it == apps_.end()) return true;  // stale ask: drop silently
+  Container container;
+  container.id = ContainerId(next_container_++);
+  container.app = ask.app;
+  container.node = nm->id();
+  container.size = config_.container_size;
+  container.priority = ask.priority;
+  container.started = sim_->Now();
+  CKPT_CHECK(nm->LaunchContainer(container));
+  live_[container.id] = container;
+  AppClient* client = app_it->second.client;
+  sim_->ScheduleAfter(config_.rpc_latency, [client, container] {
+    client->OnContainerAllocated(container);
+  });
+  return true;
+}
+
+void ResourceManager::PriorityAllocate() {
+  // Satisfy asks highest-priority first while slots last.
+  for (auto it = asks_.begin(); it != asks_.end();) {
+    if (!Allocate(*it)) break;  // cluster full: fall through to the monitor
+    it = asks_.erase(it);
+  }
+}
+
+void ResourceManager::CapacityAllocate() {
+  auto usage = QueueUsage();
+  // Pass 1: queues below their guarantee claim their share first.
+  for (auto it = asks_.begin(); it != asks_.end();) {
+    const auto queue = static_cast<size_t>(QueueOf(it->priority));
+    if (usage[queue] >= guaranteed_slots_[queue]) {
+      ++it;
+      continue;
+    }
+    if (!Allocate(*it)) return;
+    usage[queue]++;
+    it = asks_.erase(it);
+  }
+  // Pass 2: work conservation — idle slots may be borrowed beyond the
+  // guarantee (they come back through the capacity monitor when needed).
+  for (auto it = asks_.begin(); it != asks_.end();) {
+    if (!Allocate(*it)) return;
+    it = asks_.erase(it);
+  }
+}
+
+SimDuration ResourceManager::VictimCost(const Container& container) const {
+  // Paper S5.2.2 "checkpoint cost-aware eviction": container memory divided
+  // by the node's checkpoint bandwidth, plus that node's current
+  // checkpoint-queue backlog.
+  const StorageDevice& device = node_by_id_.at(container.node)->node().storage();
+  return device.QueueDelay() + device.EstimateWrite(container.size.memory);
+}
+
+void ResourceManager::RankVictims(
+    std::vector<const Container*>& victims) const {
+  switch (config_.victim_order) {
+    case VictimOrder::kCostAware:
+      std::sort(victims.begin(), victims.end(),
+                [this](const Container* a, const Container* b) {
+                  const SimDuration ca = VictimCost(*a);
+                  const SimDuration cb = VictimCost(*b);
+                  if (ca != cb) return ca < cb;
+                  // Equal checkpoint cost (same container size and queue):
+                  // vacate the youngest container — it has the least
+                  // progress to save or lose.
+                  if (a->started != b->started) return a->started > b->started;
+                  return a->id.value() < b->id.value();
+                });
+      break;
+    case VictimOrder::kLowestPriority:
+      std::sort(victims.begin(), victims.end(),
+                [](const Container* a, const Container* b) {
+                  if (a->priority != b->priority)
+                    return a->priority < b->priority;
+                  return a->id.value() < b->id.value();
+                });
+      break;
+    case VictimOrder::kRandom:
+      // Deterministic shuffle stand-in: order by id hash-ish.
+      std::sort(victims.begin(), victims.end(),
+                [](const Container* a, const Container* b) {
+                  return (a->id.value() * 2654435761u % 1000003) <
+                         (b->id.value() * 2654435761u % 1000003);
+                });
+      break;
+  }
+}
+
+void ResourceManager::DispatchPreempts(std::vector<const Container*> victims,
+                                       std::int64_t count) {
+  // Per-node cap on concurrent vacating containers: checkpoints on a node
+  // are sequential, so asking more victims than that to dump at once only
+  // freezes work that could still be executing.
+  std::unordered_map<NodeId, int> vacating;
+  for (ContainerId id : preempt_pending_) {
+    auto it = live_.find(id);
+    if (it != live_.end()) vacating[it->second.node]++;
+  }
+
+  for (const Container* victim : victims) {
+    if (count <= 0) break;
+    if (config_.policy != PreemptionPolicy::kKill &&
+        vacating[victim->node] >= config_.max_vacating_per_node) {
+      continue;
+    }
+    auto app_it = apps_.find(victim->app);
+    if (app_it == apps_.end()) continue;
+    preempt_pending_.insert(victim->id);
+    vacating[victim->node]++;
+    ++preempt_events_;
+    --count;
+    AppClient* client = app_it->second.client;
+    const ContainerId cid = victim->id;
+    sim_->ScheduleAfter(config_.rpc_latency,
+                        [client, cid] { client->OnPreemptContainer(cid); });
+  }
+}
+
+void ResourceManager::RunPreemptionMonitor() {
+  if (asks_.empty()) return;
+  // Consider only the top ask's priority level; lower asks wait their turn.
+  const int want_priority = asks_.begin()->priority;
+  std::int64_t unsatisfied = 0;
+  for (const Ask& ask : asks_) {
+    if (ask.priority == want_priority) ++unsatisfied;
+  }
+  const auto in_flight = static_cast<std::int64_t>(preempt_pending_.size());
+  if (unsatisfied <= in_flight) return;
+
+  std::vector<const Container*> victims;
+  for (const auto& [id, container] : live_) {
+    if (container.priority < want_priority &&
+        preempt_pending_.count(id) == 0) {
+      victims.push_back(&container);
+    }
+  }
+  RankVictims(victims);
+  DispatchPreempts(std::move(victims), unsatisfied - in_flight);
+}
+
+void ResourceManager::RunCapacityMonitor() {
+  if (asks_.empty()) return;
+  auto usage = QueueUsage();
+
+  // Count unsatisfied asks and pending reclaims per queue.
+  std::array<std::int64_t, 2> unsatisfied{};
+  for (const Ask& ask : asks_) {
+    unsatisfied[static_cast<size_t>(QueueOf(ask.priority))]++;
+  }
+  std::array<std::int64_t, 2> pending{};
+  for (ContainerId id : preempt_pending_) {
+    auto it = live_.find(id);
+    if (it != live_.end()) {
+      pending[static_cast<size_t>(QueueOf(it->second.priority))]++;
+    }
+  }
+
+  // Serve the production queue's deficit first, then batch's.
+  for (size_t queue : {size_t{1}, size_t{0}}) {
+    const size_t other = 1 - queue;
+    const std::int64_t deficit = guaranteed_slots_[queue] - usage[queue];
+    if (deficit <= 0 || unsatisfied[queue] == 0) continue;
+    // Only containers the other queue holds beyond its own guarantee are
+    // reclaimable: a queue within its share is never preempted.
+    const std::int64_t surplus = static_cast<std::int64_t>(usage[other]) -
+                                 guaranteed_slots_[other] - pending[other];
+    const std::int64_t want =
+        std::min({deficit, unsatisfied[queue], surplus});
+    if (want <= 0) continue;
+
+    std::vector<const Container*> victims;
+    for (const auto& [id, container] : live_) {
+      if (static_cast<size_t>(QueueOf(container.priority)) == other &&
+          preempt_pending_.count(id) == 0) {
+        victims.push_back(&container);
+      }
+    }
+    RankVictims(victims);
+    DispatchPreempts(std::move(victims), want);
+    return;  // one queue per monitor round
+  }
+}
+
+}  // namespace ckpt

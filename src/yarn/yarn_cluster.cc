@@ -1,0 +1,116 @@
+#include "yarn/yarn_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+YarnCluster::YarnCluster(YarnConfig config) : config_(config) {
+  sim_ = std::make_unique<Simulator>();
+  cluster_ = std::make_unique<Cluster>(sim_.get());
+  const Resources per_node{
+      config_.container_size.cpus * config_.containers_per_node,
+      config_.container_size.memory * config_.containers_per_node};
+  cluster_->AddNodes(config_.num_nodes, per_node, config_.medium,
+                     config_.power);
+
+  network_ = std::make_unique<NetworkModel>(sim_.get(), config_.network);
+  dfs_ = std::make_unique<DfsCluster>(sim_.get(), network_.get(), config_.dfs);
+  for (Node* node : cluster_->nodes()) {
+    network_->AddNode(node->id());
+    // The datanode shares the node's checkpoint device, as in the paper
+    // (HDFS data directories mounted on the HDD/SSD/PMFS under test).
+    dfs_->AddDataNode(node->id(), &node->storage());
+    node_managers_.push_back(std::make_unique<NodeManager>(node));
+  }
+  store_ = std::make_unique<DfsStore>(dfs_.get());
+  engine_ = std::make_unique<CheckpointEngine>(sim_.get(), store_.get());
+
+  std::vector<NodeManager*> nms;
+  nms.reserve(node_managers_.size());
+  for (auto& nm : node_managers_) nms.push_back(nm.get());
+  rm_ = std::make_unique<ResourceManager>(sim_.get(), std::move(nms), config_);
+}
+
+YarnCluster::~YarnCluster() = default;
+
+YarnResult YarnCluster::RunWorkload(const Workload& workload) {
+  YarnResult result;
+
+  for (const JobSpec& job : workload.jobs) {
+    auto am = std::make_unique<DistributedShellAm>(
+        sim_.get(), rm_.get(), engine_.get(), job, config_,
+        [&result, this](const DistributedShellAm& am) {
+          result.jobs_completed++;
+          const double response =
+              ToSeconds(am.finish_time() - am.job().submit_time);
+          result.all_job_responses.Add(response);
+          if (BandOf(am.job().priority) == PriorityBand::kProduction) {
+            result.high_priority_job_responses.Add(response);
+          } else {
+            result.low_priority_job_responses.Add(response);
+          }
+          result.makespan = std::max(result.makespan, sim_->Now());
+        });
+    DistributedShellAm* am_ptr = am.get();
+    ams_.push_back(std::move(am));
+    sim_->ScheduleAt(job.submit_time, [am_ptr] { am_ptr->Start(); });
+  }
+
+  sim_->Run();
+
+  // Aggregate AM-side statistics.
+  SimDuration lost_work = 0;
+  SimDuration overhead_time = 0;
+  for (const auto& am : ams_) {
+    const AmStats& stats = am->stats();
+    CKPT_CHECK(am->Done()) << "job " << am->job().id.value()
+                           << " did not finish";
+    result.tasks_completed += stats.tasks_done;
+    result.preempt_events += stats.preempt_events;
+    result.kills += stats.kills;
+    result.checkpoints += stats.checkpoints;
+    result.incremental_checkpoints += stats.incremental_checkpoints;
+    result.restores += stats.restores;
+    result.remote_restores += stats.remote_restores;
+    lost_work += stats.lost_work;
+    overhead_time += stats.dump_time + stats.restore_time;
+    for (double response : stats.task_response_seconds) {
+      result.all_task_responses.push_back(response);
+    }
+  }
+
+  // Containers are single-core, so container-held time equals core-time.
+  const double cpus = config_.container_size.cpus;
+  result.lost_work_core_hours = ToHours(lost_work) * cpus;
+  result.overhead_core_hours = ToHours(overhead_time) * cpus;
+  result.wasted_core_hours =
+      result.lost_work_core_hours + result.overhead_core_hours;
+  result.total_busy_core_hours = ToHours(cluster_->TotalBusyCoreTime());
+  result.energy_kwh = cluster_->TotalEnergyKwh();
+  result.checkpoint_cpu_overhead =
+      result.total_busy_core_hours > 0
+          ? result.overhead_core_hours / result.total_busy_core_hours
+          : 0;
+
+  SimDuration device_busy = 0;
+  Bytes capacity = 0;
+  for (Node* node : cluster_->nodes()) {
+    device_busy += node->storage().total_busy_time();
+    capacity += node->storage().capacity();
+  }
+  if (result.makespan > 0 && cluster_->size() > 0) {
+    result.io_overhead = static_cast<double>(device_busy) /
+                         (static_cast<double>(result.makespan) *
+                          cluster_->size());
+  }
+  if (capacity > 0) {
+    result.storage_used_fraction =
+        static_cast<double>(dfs_->peak_stored()) /
+        static_cast<double>(capacity);
+  }
+  return result;
+}
+
+}  // namespace ckpt

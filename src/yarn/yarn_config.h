@@ -1,0 +1,66 @@
+// Configuration for the YARN-like layer (paper S5 testbed shape).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "cluster/resources.h"
+#include "dfs/dfs.h"
+#include "dfs/network.h"
+#include "power/energy.h"
+#include "scheduler/policy.h"
+#include "storage/medium.h"
+
+namespace ckpt {
+
+// Scheduling discipline of the ResourceManager (paper S3.1: "multiple
+// scheduling policies — such as priority, fair-sharing and capacity
+// scheduling — can be employed").
+//  kPriority — strict priority: higher-priority asks always allocate (and
+//              preempt) first.
+//  kCapacity — two queues (production = priority >= 9, batch = the rest)
+//              with guaranteed capacity shares. Idle capacity may be
+//              borrowed; a queue under its guarantee reclaims borrowed
+//              containers through preemption, but never digs into the other
+//              queue's guaranteed share — so batch work cannot be starved.
+enum class SchedulingMode { kPriority, kCapacity };
+
+struct YarnConfig {
+  // Cluster shape: the paper's 8-node testbed, 24 containers per node, each
+  // 1 core / 2 GB.
+  int num_nodes = 8;
+  int containers_per_node = 24;
+  Resources container_size{1.0, GiB(2)};
+
+  StorageMedium medium = StorageMedium::Hdd();
+  NetworkConfig network;
+  DfsConfig dfs;
+  PowerModel power;
+
+  // Scheduling discipline.
+  SchedulingMode scheduling_mode = SchedulingMode::kPriority;
+  // Capacity mode: share of the cluster guaranteed to the production queue;
+  // the batch queue is guaranteed the remainder.
+  double production_guarantee = 0.5;
+
+  // Preemption behaviour.
+  PreemptionPolicy policy = PreemptionPolicy::kKill;
+  bool incremental_checkpoints = true;
+  double adaptive_threshold = 1.0;
+  RestorePolicy restore_policy = RestorePolicy::kAdaptive;
+  VictimOrder victim_order = VictimOrder::kCostAware;
+
+  // Sequential checkpoint/restore limit (paper S5.2.2): at most this many
+  // containers per node may be vacating (dumping) at a time; the remaining
+  // candidates keep running until the monitor's next round reaches them.
+  int max_vacating_per_node = 2;
+
+  // Plumbing.
+  SimDuration rpc_latency = Millis(1);
+  Bytes image_page_size = kMiB;  // coarse pages keep big runs cheap
+  Bytes checkpoint_metadata = 512 * kKiB;
+
+  std::uint64_t seed = 77;
+};
+
+}  // namespace ckpt

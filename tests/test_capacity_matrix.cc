@@ -1,0 +1,124 @@
+// Capacity-scheduling mode under every preemption policy and medium:
+// conservation, guarantee enforcement, and reclaim accounting.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "yarn/yarn_cluster.h"
+
+namespace ckpt {
+namespace {
+
+Workload MixedWorkload() {
+  Workload w;
+  JobSpec batch;
+  batch.id = JobId(0);
+  batch.priority = 1;
+  for (int i = 0; i < 10; ++i) {
+    TaskSpec task;
+    task.id = TaskId(i);
+    task.job = batch.id;
+    task.duration = Seconds(100);
+    task.demand = Resources{1.0, MiB(1800)};
+    task.priority = 1;
+    task.memory_write_rate = 0.02;
+    batch.tasks.push_back(task);
+  }
+  w.jobs.push_back(batch);
+
+  for (int burst = 0; burst < 2; ++burst) {
+    JobSpec prod;
+    prod.id = JobId(1 + burst);
+    prod.submit_time = Seconds(20 + 90 * burst);
+    prod.priority = 10;
+    for (int i = 0; i < 6; ++i) {
+      TaskSpec task;
+      task.id = TaskId(100 + burst * 10 + i);
+      task.job = prod.id;
+      task.duration = Seconds(45);
+      task.demand = Resources{1.0, MiB(1800)};
+      task.priority = 10;
+      task.memory_write_rate = 0.02;
+      prod.tasks.push_back(task);
+    }
+    w.jobs.push_back(prod);
+  }
+  return w;
+}
+
+class CapacityMatrix
+    : public ::testing::TestWithParam<
+          std::tuple<PreemptionPolicy, MediaKind, double /*guarantee*/>> {};
+
+TEST_P(CapacityMatrix, CompletesWithGuarantee) {
+  const auto [policy, media, guarantee] = GetParam();
+  YarnConfig config;
+  config.num_nodes = 2;
+  config.containers_per_node = 4;
+  config.scheduling_mode = SchedulingMode::kCapacity;
+  config.production_guarantee = guarantee;
+  config.policy = policy;
+  config.medium = MediumFor(media);
+  YarnCluster yarn(config);
+  const YarnResult result = yarn.RunWorkload(MixedWorkload());
+
+  EXPECT_EQ(result.jobs_completed, 3);
+  EXPECT_EQ(result.tasks_completed, 22);
+  if (policy == PreemptionPolicy::kWait) {
+    EXPECT_EQ(result.preempt_events, 0);
+  }
+  if (policy == PreemptionPolicy::kKill) {
+    EXPECT_EQ(result.checkpoints, 0);
+  }
+  if (policy == PreemptionPolicy::kCheckpoint) {
+    EXPECT_EQ(result.kills, 0);
+    EXPECT_DOUBLE_EQ(result.lost_work_core_hours, 0.0);
+  }
+  EXPECT_GE(result.wasted_core_hours, 0.0);
+  EXPECT_GT(result.energy_kwh, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CapacityMatrix,
+    ::testing::Combine(::testing::Values(PreemptionPolicy::kWait,
+                                         PreemptionPolicy::kKill,
+                                         PreemptionPolicy::kCheckpoint,
+                                         PreemptionPolicy::kAdaptive),
+                       ::testing::Values(MediaKind::kSsd, MediaKind::kNvm),
+                       ::testing::Values(0.25, 0.5, 0.75)));
+
+TEST(CapacityMatrixEdge, ZeroGuaranteeMeansPurePriorityForProduction) {
+  // guarantee = 0: the production queue owns nothing and can only borrow
+  // idle slots; the batch guarantee covers the whole cluster, so no batch
+  // container is ever reclaimed.
+  YarnConfig config;
+  config.num_nodes = 2;
+  config.containers_per_node = 4;
+  config.scheduling_mode = SchedulingMode::kCapacity;
+  config.production_guarantee = 0.0;
+  config.policy = PreemptionPolicy::kAdaptive;
+  config.medium = StorageMedium::Nvm();
+  YarnCluster yarn(config);
+  const YarnResult result = yarn.RunWorkload(MixedWorkload());
+  EXPECT_EQ(result.jobs_completed, 3);
+  EXPECT_EQ(result.preempt_events, 0);
+}
+
+TEST(CapacityMatrixEdge, FullGuaranteeReclaimsEverything) {
+  // guarantee = 1: production may reclaim the entire cluster, degenerating
+  // to strict priority behaviour.
+  YarnConfig config;
+  config.num_nodes = 2;
+  config.containers_per_node = 4;
+  config.scheduling_mode = SchedulingMode::kCapacity;
+  config.production_guarantee = 1.0;
+  config.policy = PreemptionPolicy::kCheckpoint;
+  config.medium = StorageMedium::Nvm();
+  YarnCluster yarn(config);
+  const YarnResult result = yarn.RunWorkload(MixedWorkload());
+  EXPECT_EQ(result.jobs_completed, 3);
+  EXPECT_GT(result.preempt_events, 0);
+}
+
+}  // namespace
+}  // namespace ckpt

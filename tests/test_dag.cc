@@ -1,0 +1,196 @@
+#include "dag/dag.h"
+
+#include <gtest/gtest.h>
+
+namespace ckpt {
+namespace {
+
+YarnConfig SmallYarn(PreemptionPolicy policy, MediaKind media) {
+  YarnConfig config;
+  config.num_nodes = 2;
+  config.containers_per_node = 4;
+  config.policy = policy;
+  config.medium = MediumFor(media);
+  return config;
+}
+
+DagStageSpec Stage(int id, std::vector<int> deps, int tasks,
+                   SimDuration duration, Bytes output = 0) {
+  DagStageSpec stage;
+  stage.id = id;
+  stage.depends_on = std::move(deps);
+  stage.num_tasks = tasks;
+  stage.task_duration = duration;
+  stage.output_bytes = output;
+  stage.demand = Resources{1.0, GiB(1)};
+  return stage;
+}
+
+TEST(DagValidate, AcceptsWellFormedDags) {
+  DagJobSpec job;
+  job.stages = {Stage(0, {}, 2, Seconds(10)), Stage(1, {0}, 2, Seconds(10)),
+                Stage(2, {0, 1}, 1, Seconds(10))};
+  EXPECT_TRUE(job.Validate());
+}
+
+TEST(DagValidate, RejectsDuplicateIds) {
+  DagJobSpec job;
+  job.stages = {Stage(0, {}, 1, Seconds(1)), Stage(0, {}, 1, Seconds(1))};
+  EXPECT_FALSE(job.Validate());
+}
+
+TEST(DagValidate, RejectsUnknownDependency) {
+  DagJobSpec job;
+  job.stages = {Stage(0, {7}, 1, Seconds(1))};
+  EXPECT_FALSE(job.Validate());
+}
+
+TEST(DagValidate, RejectsSelfDependency) {
+  DagJobSpec job;
+  job.stages = {Stage(0, {0}, 1, Seconds(1))};
+  EXPECT_FALSE(job.Validate());
+}
+
+TEST(DagValidate, RejectsCycles) {
+  DagJobSpec job;
+  job.stages = {Stage(0, {1}, 1, Seconds(1)), Stage(1, {0}, 1, Seconds(1))};
+  EXPECT_FALSE(job.Validate());
+}
+
+DagJobSpec DiamondJob(JobId id, int priority, SimTime submit = 0) {
+  DagJobSpec job;
+  job.id = id;
+  job.submit_time = submit;
+  job.priority = priority;
+  job.stages = {
+      Stage(0, {}, 4, Seconds(30), MiB(64)),      // source
+      Stage(1, {0}, 2, Seconds(40), MiB(32)),     // left branch
+      Stage(2, {0}, 2, Seconds(20), MiB(32)),     // right branch
+      Stage(3, {1, 2}, 1, Seconds(30)),           // join
+  };
+  return job;
+}
+
+TEST(DagExecution, DiamondRunsInTopologicalOrder) {
+  const DagRunResult result = RunDagWorkload(
+      {DiamondJob(JobId(0), 1)}, SmallYarn(PreemptionPolicy::kKill,
+                                           MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_EQ(result.totals.tasks_done, 9);
+  EXPECT_EQ(result.totals.done_by_stage.at(0), 4);
+  EXPECT_EQ(result.totals.done_by_stage.at(3), 1);
+  // Critical path: 30 (source) + 40 (left) + 30 (join) plus fetch time.
+  EXPECT_GE(ToSeconds(result.makespan), 100.0);
+  EXPECT_LT(ToSeconds(result.makespan), 130.0);
+}
+
+TEST(DagExecution, DownstreamFetchesFromEveryUpstreamTask) {
+  const DagRunResult result = RunDagWorkload(
+      {DiamondJob(JobId(0), 1)}, SmallYarn(PreemptionPolicy::kKill,
+                                           MediaKind::kNvm));
+  // Stage1 (2 tasks) + stage2 (2 tasks) fetch from stage0; stage3 (1 task)
+  // fetches from stages 1 and 2: 5 fetch rounds.
+  EXPECT_EQ(result.totals.input_fetches, 5);
+  // Bytes: each branch stage pulls the full 4x64 MiB of stage-0 output
+  // (32 MiB slice x 4 sources x 2 tasks = 256 MiB per branch); the join
+  // pulls 2x32 MiB from each branch = 128 MiB.
+  EXPECT_EQ(result.totals.input_bytes_moved, MiB(256 + 256 + 128));
+}
+
+TEST(DagExecution, IndependentStagesRunConcurrently) {
+  DagJobSpec job;
+  job.id = JobId(0);
+  job.priority = 1;
+  job.stages = {Stage(0, {}, 4, Seconds(60)), Stage(1, {}, 4, Seconds(60))};
+  const DagRunResult result = RunDagWorkload(
+      {job}, SmallYarn(PreemptionPolicy::kKill, MediaKind::kNvm));
+  // 8 tasks on 8 containers: both stages run in one concurrent wave.
+  EXPECT_NEAR(ToSeconds(result.makespan), 60.0, 5.0);
+}
+
+TEST(DagExecution, EmptyDagCompletesImmediately) {
+  DagJobSpec job;
+  job.id = JobId(0);
+  const DagRunResult result = RunDagWorkload(
+      {job}, SmallYarn(PreemptionPolicy::kKill, MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_EQ(result.makespan, 0);
+}
+
+TEST(DagExecution, ZeroTaskStageDoesNotBlockDownstream) {
+  DagJobSpec job;
+  job.id = JobId(0);
+  job.priority = 1;
+  job.stages = {Stage(0, {}, 0, Seconds(10)), Stage(1, {0}, 2, Seconds(20))};
+  const DagRunResult result = RunDagWorkload(
+      {job}, SmallYarn(PreemptionPolicy::kKill, MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_EQ(result.totals.tasks_done, 2);
+}
+
+// Preemption behaviour mirroring the MapReduce findings, on a deeper DAG.
+std::vector<DagJobSpec> ContendedDagWorkload() {
+  std::vector<DagJobSpec> jobs;
+  DagJobSpec batch = DiamondJob(JobId(0), 1);
+  batch.stages[1].task_duration = Minutes(4);  // long left branch
+  jobs.push_back(batch);
+
+  DagJobSpec burst;
+  burst.id = JobId(1);
+  burst.submit_time = Seconds(60);
+  burst.priority = 9;
+  burst.stages = {Stage(0, {}, 8, Seconds(40))};
+  jobs.push_back(burst);
+  return jobs;
+}
+
+TEST(DagPreemption, CheckpointPreservesBranchProgress) {
+  const DagRunResult kill = RunDagWorkload(
+      ContendedDagWorkload(), SmallYarn(PreemptionPolicy::kKill,
+                                        MediaKind::kNvm));
+  const DagRunResult chk = RunDagWorkload(
+      ContendedDagWorkload(), SmallYarn(PreemptionPolicy::kCheckpoint,
+                                        MediaKind::kNvm));
+  EXPECT_EQ(kill.jobs_completed, 2);
+  EXPECT_EQ(chk.jobs_completed, 2);
+  EXPECT_GT(kill.totals.kills, 0);
+  EXPECT_GT(kill.totals.lost_work, 0);
+  EXPECT_EQ(chk.totals.lost_work, 0);
+  // The batch DAG finishes sooner when its branch progress survives.
+  EXPECT_LT(chk.job_response_seconds[0] + chk.job_response_seconds[1],
+            kill.job_response_seconds[0] + kill.job_response_seconds[1]);
+}
+
+TEST(DagPreemption, KilledTasksRefetchInputs) {
+  const DagRunResult kill = RunDagWorkload(
+      ContendedDagWorkload(), SmallYarn(PreemptionPolicy::kKill,
+                                        MediaKind::kNvm));
+  // 5 baseline fetch rounds; kills force repeats.
+  EXPECT_GT(kill.totals.input_fetches, 5);
+}
+
+TEST(DagPreemption, DeterministicAcrossRuns) {
+  const DagRunResult a = RunDagWorkload(
+      ContendedDagWorkload(), SmallYarn(PreemptionPolicy::kAdaptive,
+                                        MediaKind::kSsd));
+  const DagRunResult b = RunDagWorkload(
+      ContendedDagWorkload(), SmallYarn(PreemptionPolicy::kAdaptive,
+                                        MediaKind::kSsd));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.totals.checkpoints, b.totals.checkpoints);
+}
+
+TEST(DagPreemption, AdaptiveCompletesMultiTenantMix) {
+  std::vector<DagJobSpec> jobs;
+  for (int j = 0; j < 3; ++j) {
+    DagJobSpec job = DiamondJob(JobId(j), 1 + 4 * j, Seconds(30 * j));
+    jobs.push_back(job);
+  }
+  const DagRunResult result = RunDagWorkload(
+      jobs, SmallYarn(PreemptionPolicy::kAdaptive, MediaKind::kHdd));
+  EXPECT_EQ(result.jobs_completed, 3);
+  EXPECT_EQ(result.totals.tasks_done, 27);
+}
+
+}  // namespace
+}  // namespace ckpt

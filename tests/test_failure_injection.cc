@@ -1,0 +1,158 @@
+// Node-failure injection: DFS-replicated checkpoint images survive a crash
+// (the task resumes elsewhere from saved progress), local-only images die
+// with the node.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "scheduler/cluster_scheduler.h"
+#include "sim/simulator.h"
+
+namespace ckpt {
+namespace {
+
+// Two long low-priority tasks fill both nodes; a high-priority arrival at
+// t=2min forces one of them (on node 0, the rotating victim cursor's first
+// stop) to checkpoint. The chosen node then fails.
+Workload CheckpointThenFailWorkload() {
+  Workload w;
+  JobSpec low;
+  low.id = JobId(0);
+  low.priority = 1;
+  for (int i = 0; i < 2; ++i) {
+    TaskSpec task;
+    task.id = TaskId(i);
+    task.job = low.id;
+    task.duration = Minutes(10);
+    task.demand = Resources{4.0, GiB(4)};
+    task.priority = 1;
+    task.memory_write_rate = 0.01;
+    low.tasks.push_back(task);
+  }
+  w.jobs.push_back(low);
+
+  JobSpec high;
+  high.id = JobId(1);
+  high.submit_time = Minutes(2);
+  high.priority = 9;
+  TaskSpec ht = low.tasks[0];
+  ht.id = TaskId(10);
+  ht.job = high.id;
+  ht.duration = Minutes(5);
+  ht.priority = 9;
+  high.tasks.push_back(ht);
+  w.jobs.push_back(high);
+  return w;
+}
+
+struct FailureRun {
+  SimulationResult result;
+};
+
+FailureRun RunWithFailure(bool dfs_images, SimTime fail_at,
+                          SimDuration down_for) {
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(2, Resources{4.0, GiB(16)}, StorageMedium::Nvm());
+  SchedulerConfig config;
+  config.policy = PreemptionPolicy::kCheckpoint;
+  config.medium = StorageMedium::Nvm();
+  config.checkpoint_to_dfs = dfs_images;
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  scheduler.Submit(CheckpointThenFailWorkload());
+  // Node 0 hosts the first placement (round-robin from 0).
+  scheduler.InjectNodeFailure(NodeId(0), fail_at, down_for);
+  FailureRun run;
+  run.result = scheduler.Run();
+  return run;
+}
+
+TEST(FailureInjection, AllTasksStillComplete) {
+  for (bool dfs : {true, false}) {
+    const FailureRun run = RunWithFailure(dfs, Minutes(3), Minutes(2));
+    EXPECT_EQ(run.result.tasks_completed, 3) << "dfs=" << dfs;
+    EXPECT_EQ(run.result.node_failures, 1);
+    EXPECT_GT(run.result.tasks_interrupted_by_failure, 0);
+  }
+}
+
+TEST(FailureInjection, DfsImageSurvivesCrash) {
+  const FailureRun run = RunWithFailure(true, Minutes(3), Minutes(2));
+  EXPECT_GE(run.result.images_survived_failure, 1);
+  EXPECT_EQ(run.result.images_lost_to_failure, 0);
+}
+
+TEST(FailureInjection, LocalImageDiesWithNode) {
+  const FailureRun run = RunWithFailure(false, Minutes(3), Minutes(2));
+  EXPECT_EQ(run.result.images_survived_failure, 0);
+  EXPECT_GE(run.result.images_lost_to_failure, 1);
+}
+
+TEST(FailureInjection, DfsImagesPreserveMoreWorkThroughCrash) {
+  const FailureRun dfs = RunWithFailure(true, Minutes(3), Minutes(2));
+  const FailureRun local = RunWithFailure(false, Minutes(3), Minutes(2));
+  // With the image intact the batch task resumes from ~2 min of saved
+  // progress; without it, that progress is re-executed on top of the
+  // failure's own losses.
+  EXPECT_LT(dfs.result.lost_work_core_hours,
+            local.result.lost_work_core_hours);
+}
+
+TEST(FailureInjection, PermanentFailureShrinksCluster) {
+  // down_for < 0: the node never comes back; everything still completes on
+  // the surviving node.
+  const FailureRun run = RunWithFailure(true, Minutes(3), -1);
+  EXPECT_EQ(run.result.tasks_completed, 3);
+}
+
+TEST(FailureInjection, FailureOfIdleNodeIsHarmless) {
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(2, Resources{4.0, GiB(16)}, StorageMedium::Nvm());
+  SchedulerConfig config;
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  Workload w;
+  JobSpec job;
+  job.id = JobId(0);
+  job.priority = 1;
+  TaskSpec task;
+  task.id = TaskId(0);
+  task.job = job.id;
+  task.duration = Seconds(30);
+  task.demand = Resources{4.0, GiB(4)};
+  task.priority = 1;
+  job.tasks.push_back(task);
+  w.jobs.push_back(job);
+  scheduler.Submit(w);
+  scheduler.InjectNodeFailure(NodeId(1), Seconds(5), Seconds(60));
+  const SimulationResult result = scheduler.Run();
+  EXPECT_EQ(result.tasks_completed, 1);
+  EXPECT_EQ(result.tasks_interrupted_by_failure, 0);
+  EXPECT_NEAR(ToSeconds(result.makespan), 30.0, 1.0);
+}
+
+TEST(FailureInjection, RunningTaskLosesUnsavedProgressOnly) {
+  // Fail at 4 min: the task checkpointed at ~2 min, so exactly the last
+  // ~2 min of work are lost.
+  const FailureRun run = RunWithFailure(true, Minutes(4), Minutes(1));
+  EXPECT_EQ(run.result.tasks_completed, 3);
+  // Lost work is bounded by (fail time - checkpoint time) * 4 cores.
+  EXPECT_LE(run.result.lost_work_core_hours, 4.2 * 4.5 / 60.0);
+  EXPECT_GT(run.result.lost_work_core_hours, 0.0);
+}
+
+TEST(FailureInjection, RepeatedFailureOfSameNodeCountsOnce) {
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(2, Resources{4.0, GiB(16)}, StorageMedium::Nvm());
+  SchedulerConfig config;
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  scheduler.Submit(CheckpointThenFailWorkload());
+  scheduler.InjectNodeFailure(NodeId(0), Minutes(3), Minutes(10));
+  scheduler.InjectNodeFailure(NodeId(0), Minutes(4), Minutes(10));  // already down
+  const SimulationResult result = scheduler.Run();
+  EXPECT_EQ(result.node_failures, 1);
+  EXPECT_EQ(result.tasks_completed, 3);
+}
+
+}  // namespace
+}  // namespace ckpt

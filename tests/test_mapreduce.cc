@@ -1,0 +1,155 @@
+#include "mapreduce/mapreduce.h"
+
+#include <gtest/gtest.h>
+
+namespace ckpt {
+namespace {
+
+YarnConfig SmallYarn(PreemptionPolicy policy, MediaKind media) {
+  YarnConfig config;
+  config.num_nodes = 2;
+  config.containers_per_node = 4;
+  config.policy = policy;
+  config.medium = MediumFor(media);
+  return config;
+}
+
+MapReduceJobSpec MrJob(JobId id, int priority, int maps, int reduces,
+                       SimTime submit = 0) {
+  MapReduceJobSpec job;
+  job.id = id;
+  job.submit_time = submit;
+  job.priority = priority;
+  job.num_maps = maps;
+  job.num_reduces = reduces;
+  job.map_duration = Seconds(30);
+  job.reduce_duration = Seconds(60);
+  job.map_output_bytes = MiB(64);
+  return job;
+}
+
+TEST(MapReduce, SingleJobRunsBothPhases) {
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      {MrJob(JobId(0), 1, 8, 4)}, SmallYarn(PreemptionPolicy::kKill,
+                                            MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_EQ(result.totals.maps_done, 8);
+  EXPECT_EQ(result.totals.reduces_done, 4);
+  EXPECT_EQ(result.totals.shuffle_fetches, 4);
+  EXPECT_GT(result.totals.shuffle_bytes_moved, 0);
+  // 8 maps on 8 slots (30 s) + shuffle + reduce (60 s): ~95-120 s.
+  EXPECT_GT(ToSeconds(result.makespan), 90.0);
+  EXPECT_LT(ToSeconds(result.makespan), 150.0);
+}
+
+TEST(MapReduce, ReducesWaitForAllMaps) {
+  // 10 maps on 8 slots: two map waves before any reduce may start, so the
+  // makespan is at least 2 x 30 s + 60 s.
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      {MrJob(JobId(0), 1, 10, 2)}, SmallYarn(PreemptionPolicy::kKill,
+                                             MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_GE(ToSeconds(result.makespan), 120.0);
+}
+
+TEST(MapReduce, ZeroReduceJobIsMapOnly) {
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      {MrJob(JobId(0), 1, 6, 0)}, SmallYarn(PreemptionPolicy::kKill,
+                                            MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_EQ(result.totals.reduces_done, 0);
+  EXPECT_EQ(result.totals.shuffle_fetches, 0);
+}
+
+TEST(MapReduce, EmptyJobCompletesImmediately) {
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      {MrJob(JobId(0), 1, 0, 0)}, SmallYarn(PreemptionPolicy::kKill,
+                                            MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_EQ(result.makespan, 0);
+}
+
+// The headline scenario: a production burst lands mid-reduce.
+std::vector<MapReduceJobSpec> ContendedWorkload() {
+  std::vector<MapReduceJobSpec> jobs;
+  MapReduceJobSpec batch = MrJob(JobId(0), 1, 8, 8);
+  batch.reduce_duration = Seconds(240);
+  jobs.push_back(batch);
+  // High-priority job arrives while the reduces are running.
+  MapReduceJobSpec burst = MrJob(JobId(1), 9, 8, 0, Seconds(90));
+  jobs.push_back(burst);
+  return jobs;
+}
+
+TEST(MapReduce, KillPolicyRepeatsShuffles) {
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      ContendedWorkload(), SmallYarn(PreemptionPolicy::kKill, MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 2);
+  EXPECT_GT(result.totals.kills, 0);
+  // Killed reduces refetch their partitions: more fetches than reduces.
+  EXPECT_GT(result.totals.shuffle_fetches, 8);
+}
+
+TEST(MapReduce, CheckpointPreservesShuffleAndProgress) {
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      ContendedWorkload(),
+      SmallYarn(PreemptionPolicy::kCheckpoint, MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 2);
+  EXPECT_GT(result.totals.checkpoints, 0);
+  // A checkpointed reduce resumes with its partition: one fetch per reduce.
+  EXPECT_EQ(result.totals.shuffle_fetches, 8);
+  EXPECT_EQ(result.totals.lost_work, 0);
+}
+
+TEST(MapReduce, CheckpointBeatsKillOnBatchResponse) {
+  const MapReduceRunResult kill = RunMapReduceWorkload(
+      ContendedWorkload(), SmallYarn(PreemptionPolicy::kKill, MediaKind::kNvm));
+  const MapReduceRunResult chk = RunMapReduceWorkload(
+      ContendedWorkload(),
+      SmallYarn(PreemptionPolicy::kCheckpoint, MediaKind::kNvm));
+  ASSERT_EQ(kill.job_response_seconds.size(), 2u);
+  ASSERT_EQ(chk.job_response_seconds.size(), 2u);
+  // The batch job (largest response) finishes sooner with checkpointing.
+  EXPECT_LT(*std::max_element(chk.job_response_seconds.begin(),
+                              chk.job_response_seconds.end()),
+            *std::max_element(kill.job_response_seconds.begin(),
+                              kill.job_response_seconds.end()));
+}
+
+TEST(MapReduce, AdaptiveWeighsShuffleIntoDecision) {
+  // On HDD, dumping a 2 GiB reduce costs ~70 s; with the shuffle refetch
+  // folded into the at-stake side, reduces with fetched partitions are
+  // checkpointed rather than killed.
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      ContendedWorkload(),
+      SmallYarn(PreemptionPolicy::kAdaptive, MediaKind::kHdd));
+  EXPECT_EQ(result.jobs_completed, 2);
+  EXPECT_GT(result.totals.preempt_events, 0);
+}
+
+TEST(MapReduce, DeterministicAcrossRuns) {
+  const MapReduceRunResult a = RunMapReduceWorkload(
+      ContendedWorkload(),
+      SmallYarn(PreemptionPolicy::kAdaptive, MediaKind::kSsd));
+  const MapReduceRunResult b = RunMapReduceWorkload(
+      ContendedWorkload(),
+      SmallYarn(PreemptionPolicy::kAdaptive, MediaKind::kSsd));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.totals.checkpoints, b.totals.checkpoints);
+  EXPECT_EQ(a.totals.shuffle_fetches, b.totals.shuffle_fetches);
+}
+
+TEST(MapReduce, MultipleJobsShareTheCluster) {
+  std::vector<MapReduceJobSpec> jobs;
+  for (int j = 0; j < 3; ++j) {
+    jobs.push_back(MrJob(JobId(j), 1 + j, 6, 3, Seconds(20 * j)));
+  }
+  const MapReduceRunResult result = RunMapReduceWorkload(
+      jobs, SmallYarn(PreemptionPolicy::kAdaptive, MediaKind::kNvm));
+  EXPECT_EQ(result.jobs_completed, 3);
+  EXPECT_EQ(result.totals.maps_done, 18);
+  EXPECT_EQ(result.totals.reduces_done, 9);
+}
+
+}  // namespace
+}  // namespace ckpt

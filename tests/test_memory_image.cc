@@ -1,0 +1,106 @@
+#include "checkpoint/memory_image.h"
+
+#include <gtest/gtest.h>
+
+namespace ckpt {
+namespace {
+
+TEST(MemoryImage, StartsFullyDirtyWithTrackingOff) {
+  MemoryImage image(MiB(4), 4 * kKiB);
+  EXPECT_FALSE(image.tracking_enabled());
+  EXPECT_EQ(image.num_pages(), 1024);
+  EXPECT_EQ(image.dirty_pages(), 1024);
+  EXPECT_EQ(image.DirtyBytes(), MiB(4));
+}
+
+TEST(MemoryImage, DirtyBytesEqualsSizeWhileNotTracking) {
+  MemoryImage image(MiB(4), 4 * kKiB);
+  // Even after clearing... there is no clearing without tracking; the whole
+  // image must be dumped.
+  EXPECT_EQ(image.DirtyBytes(), image.size());
+}
+
+TEST(MemoryImage, StartTrackingClearsSoftDirtyBits) {
+  MemoryImage image(MiB(4), 4 * kKiB);
+  image.StartTracking();
+  EXPECT_TRUE(image.tracking_enabled());
+  EXPECT_EQ(image.dirty_pages(), 0);
+  EXPECT_EQ(image.DirtyBytes(), 0);
+}
+
+TEST(MemoryImage, TouchRangeMarksCoveredPages) {
+  MemoryImage image(MiB(1), 4 * kKiB);
+  image.StartTracking();
+  image.TouchRange(0, 4 * kKiB);  // exactly one page
+  EXPECT_EQ(image.dirty_pages(), 1);
+  image.TouchRange(4 * kKiB - 1, 2);  // straddles pages 0 and 1
+  EXPECT_EQ(image.dirty_pages(), 2);
+  EXPECT_TRUE(image.IsPageDirty(0));
+  EXPECT_TRUE(image.IsPageDirty(1));
+  EXPECT_FALSE(image.IsPageDirty(2));
+}
+
+TEST(MemoryImage, TouchRangeIdempotentOnSamePages) {
+  MemoryImage image(MiB(1), 4 * kKiB);
+  image.StartTracking();
+  image.TouchRange(0, 8 * kKiB);
+  image.TouchRange(0, 8 * kKiB);
+  EXPECT_EQ(image.dirty_pages(), 2);
+}
+
+TEST(MemoryImage, TouchAllDirtiesEverything) {
+  MemoryImage image(MiB(1), 4 * kKiB);
+  image.StartTracking();
+  image.TouchAll();
+  EXPECT_EQ(image.dirty_pages(), image.num_pages());
+}
+
+TEST(MemoryImage, RandomFractionApproximatesTarget) {
+  MemoryImage image(MiB(64), 4 * kKiB);
+  image.StartTracking();
+  Rng rng(5);
+  image.TouchRandomFraction(0.10, rng);
+  const double dirty =
+      static_cast<double>(image.dirty_pages()) / image.num_pages();
+  // ~10% of writes land on distinct pages (few collisions at 10%).
+  EXPECT_NEAR(dirty, 0.095, 0.01);
+}
+
+TEST(MemoryImage, RepeatedDumpCycleShrinksDirtySet) {
+  // The Table-3 scenario: full dump, touch 10%, second dump is ~10x smaller.
+  MemoryImage image(GiB(5), kMiB);
+  const Bytes first = image.DirtyBytes();
+  EXPECT_EQ(first, GiB(5));
+  image.StartTracking();  // after first dump
+  Rng rng(7);
+  image.TouchRandomFraction(0.10, rng);
+  const Bytes second = image.DirtyBytes();
+  EXPECT_LT(second, first / 8);
+  EXPECT_GT(second, first / 14);
+}
+
+TEST(MemoryImage, PartialLastPageCapsDirtyBytes) {
+  MemoryImage image(4 * kKiB + 100, 4 * kKiB);
+  EXPECT_EQ(image.num_pages(), 2);
+  image.StartTracking();
+  image.TouchAll();
+  EXPECT_EQ(image.DirtyBytes(), 4 * kKiB + 100);  // capped at size
+}
+
+TEST(MemoryImage, ZeroSizedImage) {
+  MemoryImage image(0);
+  EXPECT_EQ(image.num_pages(), 0);
+  EXPECT_EQ(image.DirtyBytes(), 0);
+  image.StartTracking();
+  Rng rng(3);
+  image.TouchRandomFraction(0.5, rng);  // must not crash
+  EXPECT_EQ(image.dirty_pages(), 0);
+}
+
+TEST(MemoryImageDeathTest, TouchRangeBeyondSizeAborts) {
+  MemoryImage image(MiB(1));
+  EXPECT_DEATH(image.TouchRange(MiB(1) - 10, 100), "");
+}
+
+}  // namespace
+}  // namespace ckpt

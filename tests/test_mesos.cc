@@ -1,0 +1,213 @@
+#include "mesos/mesos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dfs/dfs.h"
+
+namespace ckpt {
+namespace {
+
+// Full harness: master + engine over a DFS store on a small cluster.
+struct MesosHarness {
+  Simulator sim;
+  Cluster cluster{&sim};
+  std::unique_ptr<NetworkModel> net;
+  std::unique_ptr<DfsCluster> dfs;
+  std::unique_ptr<DfsStore> store;
+  std::unique_ptr<CheckpointEngine> engine;
+  std::unique_ptr<MesosMaster> master;
+
+  explicit MesosHarness(int nodes = 2,
+                        PreemptionPolicy policy = PreemptionPolicy::kAdaptive) {
+    cluster.AddNodes(nodes, Resources{4.0, GiB(8)}, StorageMedium::Nvm());
+    net = std::make_unique<NetworkModel>(&sim, NetworkConfig{});
+    DfsConfig dfs_config;
+    dfs_config.replication = 1;
+    dfs = std::make_unique<DfsCluster>(&sim, net.get(), dfs_config);
+    for (Node* node : cluster.nodes()) {
+      net->AddNode(node->id());
+      dfs->AddDataNode(node->id(), &node->storage());
+    }
+    store = std::make_unique<DfsStore>(dfs.get());
+    engine = std::make_unique<CheckpointEngine>(&sim, store.get());
+    MesosConfig config;
+    config.policy = policy;
+    master = std::make_unique<MesosMaster>(&sim, &cluster, config);
+  }
+};
+
+BatchFrameworkConfig SmallBatch(int tasks, SimDuration duration,
+                                PreemptionPolicy policy) {
+  BatchFrameworkConfig config;
+  config.num_tasks = tasks;
+  config.task_duration = duration;
+  config.task_demand = Resources{1.0, GiB(2)};
+  config.policy = policy;
+  return config;
+}
+
+TEST(Mesos, SingleFrameworkRunsToCompletion) {
+  MesosHarness h;
+  BatchFramework fw(&h.sim, h.master.get(), h.engine.get(), "batch",
+                    SmallBatch(8, Seconds(30), PreemptionPolicy::kAdaptive),
+                    nullptr);
+  h.master->RegisterFramework(&fw, 1);
+  fw.Start();
+  h.sim.Run();
+  EXPECT_TRUE(fw.Done());
+  EXPECT_EQ(fw.stats().tasks_done, 8);
+  EXPECT_EQ(fw.stats().revocations, 0);
+  // 8 tasks fit the 8 slots: one wave of ~30 s.
+  EXPECT_NEAR(ToSeconds(fw.finish_time()), 30.0, 2.0);
+}
+
+TEST(Mesos, OffersAreSentAndConsumed) {
+  MesosHarness h;
+  BatchFramework fw(&h.sim, h.master.get(), h.engine.get(), "batch",
+                    SmallBatch(4, Seconds(10), PreemptionPolicy::kKill),
+                    nullptr);
+  h.master->RegisterFramework(&fw, 1);
+  fw.Start();
+  h.sim.Run();
+  EXPECT_GT(h.master->offers_sent(), 0);
+  EXPECT_EQ(fw.stats().launches, 4);
+}
+
+TEST(Mesos, TwoFrameworksShareTheCluster) {
+  MesosHarness h;
+  BatchFramework a(&h.sim, h.master.get(), h.engine.get(), "a",
+                   SmallBatch(6, Seconds(60), PreemptionPolicy::kAdaptive),
+                   nullptr);
+  BatchFramework b(&h.sim, h.master.get(), h.engine.get(), "b",
+                   SmallBatch(6, Seconds(60), PreemptionPolicy::kAdaptive),
+                   nullptr);
+  h.master->RegisterFramework(&a, 1);
+  h.master->RegisterFramework(&b, 1);
+  a.Start();
+  b.Start();
+  h.sim.Run();
+  EXPECT_TRUE(a.Done());
+  EXPECT_TRUE(b.Done());
+  // Equal weights: neither framework revokes the other.
+  EXPECT_EQ(h.master->revocations_sent(), 0);
+}
+
+TEST(Mesos, HighWeightFrameworkRevokesLowWeightTasks) {
+  MesosHarness h;
+  BatchFramework low(&h.sim, h.master.get(), h.engine.get(), "low",
+                     SmallBatch(8, Minutes(5), PreemptionPolicy::kAdaptive),
+                     nullptr);
+  h.master->RegisterFramework(&low, 1);
+  low.Start();
+  h.sim.Run(Seconds(30));  // low occupies everything
+
+  BatchFramework prod(&h.sim, h.master.get(), h.engine.get(), "prod",
+                      SmallBatch(4, Seconds(30), PreemptionPolicy::kAdaptive),
+                      nullptr);
+  h.master->RegisterFramework(&prod, 10);
+  prod.Start();
+  h.sim.Run();
+
+  EXPECT_TRUE(low.Done());
+  EXPECT_TRUE(prod.Done());
+  EXPECT_GE(h.master->revocations_sent(), 4);
+  EXPECT_GE(low.stats().revocations, 4);
+  // Production finished long before the 5-minute batch tasks would have
+  // drained on their own.
+  EXPECT_LT(ToSeconds(prod.finish_time()), 120.0);
+}
+
+TEST(Mesos, AdaptiveRevocationCheckpointsProgressedTasks) {
+  MesosHarness h;
+  BatchFramework low(&h.sim, h.master.get(), h.engine.get(), "low",
+                     SmallBatch(8, Minutes(5), PreemptionPolicy::kAdaptive),
+                     nullptr);
+  h.master->RegisterFramework(&low, 1);
+  low.Start();
+  h.sim.Run(Minutes(2));  // two minutes of progress at stake
+
+  BatchFramework prod(&h.sim, h.master.get(), h.engine.get(), "prod",
+                      SmallBatch(8, Seconds(30), PreemptionPolicy::kAdaptive),
+                      nullptr);
+  h.master->RegisterFramework(&prod, 10);
+  prod.Start();
+  h.sim.Run();
+
+  // On NVM, two minutes of progress dwarfs the dump cost: Algorithm 1
+  // checkpoints every victim and nothing is re-executed.
+  EXPECT_GT(low.stats().checkpoints, 0);
+  EXPECT_EQ(low.stats().kills, 0);
+  EXPECT_EQ(low.stats().lost_work, 0);
+  // Restores may outnumber checkpoints: a restore aborted by a fresh
+  // revocation notice leaves the image intact and is retried later.
+  EXPECT_GE(low.stats().restores, low.stats().checkpoints);
+}
+
+TEST(Mesos, KillPolicyRevocationLosesWork) {
+  MesosHarness h(2, PreemptionPolicy::kKill);
+  BatchFramework low(&h.sim, h.master.get(), h.engine.get(), "low",
+                     SmallBatch(8, Minutes(5), PreemptionPolicy::kKill),
+                     nullptr);
+  h.master->RegisterFramework(&low, 1);
+  low.Start();
+  h.sim.Run(Minutes(2));
+
+  BatchFramework prod(&h.sim, h.master.get(), h.engine.get(), "prod",
+                      SmallBatch(8, Seconds(30), PreemptionPolicy::kKill),
+                      nullptr);
+  h.master->RegisterFramework(&prod, 10);
+  prod.Start();
+  h.sim.Run();
+
+  EXPECT_GT(low.stats().kills, 0);
+  EXPECT_GE(ToSeconds(low.stats().lost_work), 100.0);  // ~2 min x victims
+  EXPECT_TRUE(low.Done());
+}
+
+TEST(Mesos, DeclinedOffersBackOffAndRetry) {
+  // A framework that declines everything until a flag flips.
+  class PickyFramework : public MesosFramework {
+   public:
+    explicit PickyFramework(MesosMaster* master) : master_(master) {}
+    void OnOffer(const ResourceOffer& offer) override {
+      ++offers_seen;
+      if (!accept) return;  // decline
+      master_->LaunchTask(this, offer, Resources{1.0, GiB(1)});
+      ++launched;
+    }
+    void OnRevoke(std::int64_t) override {}
+    const char* name() const override { return "picky"; }
+    MesosMaster* master_;
+    bool accept = false;
+    int offers_seen = 0;
+    int launched = 0;
+  };
+
+  MesosHarness h;
+  PickyFramework fw(h.master.get());
+  h.master->RegisterFramework(&fw, 1);
+  h.master->RequestResources(&fw, Resources{1.0, GiB(1)});
+  h.sim.Run(Seconds(12));
+  EXPECT_GE(fw.offers_seen, 2);  // re-offered after the 5 s backoffs
+  EXPECT_GT(h.master->offers_declined(), 0);
+  fw.accept = true;
+  h.sim.Run(Seconds(30));
+  EXPECT_EQ(fw.launched, 1);
+}
+
+TEST(Mesos, ShareAccountingTracksAllocations) {
+  MesosHarness h;
+  BatchFramework fw(&h.sim, h.master.get(), h.engine.get(), "batch",
+                    SmallBatch(4, Minutes(5), PreemptionPolicy::kAdaptive),
+                    nullptr);
+  h.master->RegisterFramework(&fw, 1);
+  fw.Start();
+  h.sim.Run(Seconds(10));
+  // 4 of 8 cluster cores allocated.
+  EXPECT_NEAR(h.master->FrameworkShare(&fw), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,79 @@
+#include "dfs/network.h"
+
+#include <gtest/gtest.h>
+
+namespace ckpt {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_.AddNode(NodeId(0));
+    net_.AddNode(NodeId(1));
+    net_.AddNode(NodeId(2));
+  }
+  Simulator sim_;
+  NetworkModel net_{&sim_, NetworkConfig{GBps(1.0), 100}};
+};
+
+TEST_F(NetworkTest, TransferTakesBandwidthPlusLatency) {
+  SimTime delivered = -1;
+  net_.Transfer(NodeId(0), NodeId(1), static_cast<Bytes>(1e9),
+                [&] { delivered = sim_.Now(); });
+  sim_.Run();
+  // 1e9 bytes at 1 GB/s = 1 s, plus 100 us latency.
+  EXPECT_NEAR(ToSeconds(delivered), 1.0001, 0.001);
+}
+
+TEST_F(NetworkTest, LoopbackIsFree) {
+  SimTime delivered = -1;
+  net_.Transfer(NodeId(0), NodeId(0), GiB(10), [&] { delivered = sim_.Now(); });
+  sim_.Run();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST_F(NetworkTest, EgressLinkSerializesTransfers) {
+  SimTime second = -1;
+  net_.Transfer(NodeId(0), NodeId(1), static_cast<Bytes>(1e9), [] {});
+  net_.Transfer(NodeId(0), NodeId(2), static_cast<Bytes>(1e9),
+                [&] { second = sim_.Now(); });
+  sim_.Run();
+  EXPECT_NEAR(ToSeconds(second), 2.0001, 0.001);
+}
+
+TEST_F(NetworkTest, DistinctSendersDoNotContend) {
+  SimTime a = -1, b = -1;
+  net_.Transfer(NodeId(0), NodeId(2), static_cast<Bytes>(1e9),
+                [&] { a = sim_.Now(); });
+  net_.Transfer(NodeId(1), NodeId(2), static_cast<Bytes>(1e9),
+                [&] { b = sim_.Now(); });
+  sim_.Run();
+  EXPECT_NEAR(ToSeconds(a), 1.0001, 0.001);
+  EXPECT_NEAR(ToSeconds(b), 1.0001, 0.001);
+}
+
+TEST_F(NetworkTest, QueueDelayTracksBacklog) {
+  EXPECT_EQ(net_.QueueDelay(NodeId(0)), 0);
+  net_.Transfer(NodeId(0), NodeId(1), static_cast<Bytes>(2e9), [] {});
+  EXPECT_NEAR(ToSeconds(net_.QueueDelay(NodeId(0))), 2.0, 0.01);
+  sim_.Run();
+  EXPECT_EQ(net_.QueueDelay(NodeId(0)), 0);
+}
+
+TEST_F(NetworkTest, AccumulatesTransferredBytes) {
+  net_.Transfer(NodeId(0), NodeId(1), MiB(10), [] {});
+  net_.Transfer(NodeId(1), NodeId(0), MiB(5), [] {});
+  sim_.Run();
+  EXPECT_EQ(net_.total_bytes_transferred(), MiB(15));
+}
+
+TEST_F(NetworkTest, EstimateMatchesUnloadedTransfer) {
+  SimTime delivered = -1;
+  const SimDuration est = net_.EstimateTransfer(MiB(64));
+  net_.Transfer(NodeId(1), NodeId(2), MiB(64), [&] { delivered = sim_.Now(); });
+  sim_.Run();
+  EXPECT_EQ(delivered, est);
+}
+
+}  // namespace
+}  // namespace ckpt

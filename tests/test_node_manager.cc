@@ -1,0 +1,100 @@
+#include "yarn/node_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace ckpt {
+namespace {
+
+class NodeManagerTest : public ::testing::Test {
+ protected:
+  Container MakeContainer(std::int64_t id) {
+    Container c;
+    c.id = ContainerId(id);
+    c.node = node_.id();
+    c.size = Resources{1.0, GiB(2)};
+    c.priority = 1;
+    return c;
+  }
+
+  Simulator sim_;
+  Node node_{&sim_, NodeId(0), Resources{4.0, GiB(8)}, StorageMedium::Ssd()};
+  NodeManager nm_{&node_};
+};
+
+TEST_F(NodeManagerTest, LaunchConsumesCapacity) {
+  EXPECT_TRUE(nm_.LaunchContainer(MakeContainer(1)));
+  EXPECT_TRUE(nm_.LaunchContainer(MakeContainer(2)));
+  EXPECT_EQ(nm_.live_containers(), 2);
+  EXPECT_DOUBLE_EQ(nm_.Available().cpus, 2.0);
+}
+
+TEST_F(NodeManagerTest, LaunchFailsWhenFull) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(nm_.LaunchContainer(MakeContainer(i)));
+  }
+  EXPECT_FALSE(nm_.LaunchContainer(MakeContainer(99)));
+  EXPECT_EQ(nm_.live_containers(), 4);
+}
+
+TEST_F(NodeManagerTest, StopReturnsCapacity) {
+  ASSERT_TRUE(nm_.LaunchContainer(MakeContainer(1)));
+  nm_.StopContainer(ContainerId(1));
+  EXPECT_EQ(nm_.live_containers(), 0);
+  EXPECT_DOUBLE_EQ(nm_.Available().cpus, 4.0);
+  EXPECT_FALSE(nm_.IsLive(ContainerId(1)));
+}
+
+TEST_F(NodeManagerTest, SuspendStopsCpuAccounting) {
+  ASSERT_TRUE(nm_.LaunchContainer(MakeContainer(1)));
+  EXPECT_DOUBLE_EQ(node_.active_cpus(), 1.0);
+  nm_.SuspendContainer(ContainerId(1));
+  EXPECT_DOUBLE_EQ(node_.active_cpus(), 0.0);
+  // Allocation stays reserved while suspended.
+  EXPECT_DOUBLE_EQ(node_.Available().cpus, 3.0);
+  nm_.ResumeContainer(ContainerId(1));
+  EXPECT_DOUBLE_EQ(node_.active_cpus(), 1.0);
+}
+
+TEST_F(NodeManagerTest, SuspendIsIdempotent) {
+  ASSERT_TRUE(nm_.LaunchContainer(MakeContainer(1)));
+  nm_.SuspendContainer(ContainerId(1));
+  nm_.SuspendContainer(ContainerId(1));  // no double-decrement
+  EXPECT_DOUBLE_EQ(node_.active_cpus(), 0.0);
+  nm_.ResumeContainer(ContainerId(1));
+  nm_.ResumeContainer(ContainerId(1));  // no double-increment
+  EXPECT_DOUBLE_EQ(node_.active_cpus(), 1.0);
+}
+
+TEST_F(NodeManagerTest, StopWhileSuspendedKeepsAccountingConsistent) {
+  ASSERT_TRUE(nm_.LaunchContainer(MakeContainer(1)));
+  ASSERT_TRUE(nm_.LaunchContainer(MakeContainer(2)));
+  nm_.SuspendContainer(ContainerId(1));
+  nm_.StopContainer(ContainerId(1));  // released while frozen
+  EXPECT_DOUBLE_EQ(node_.Available().cpus, 3.0);
+  EXPECT_DOUBLE_EQ(node_.active_cpus(), 1.0);  // container 2 still active
+  nm_.StopContainer(ContainerId(2));
+  EXPECT_DOUBLE_EQ(node_.active_cpus(), 0.0);
+  EXPECT_DOUBLE_EQ(node_.Available().cpus, 4.0);
+}
+
+TEST_F(NodeManagerTest, FrozenContainerBurnsNoEnergyAboveIdle) {
+  ASSERT_TRUE(nm_.LaunchContainer(MakeContainer(1)));
+  nm_.SuspendContainer(ContainerId(1));
+  sim_.ScheduleAt(Hours(1), [] {});
+  sim_.Run();
+  node_.SyncEnergy();
+  // One hour fully suspended: idle floor only.
+  const double idle_kwh = PowerModel{}.idle_watts / 1000.0;
+  EXPECT_NEAR(node_.EnergyKwh(), idle_kwh, 1e-6);
+  EXPECT_EQ(node_.BusyCoreTime(), 0);
+}
+
+TEST(NodeManagerDeathTest, StopUnknownContainerAborts) {
+  Simulator sim;
+  Node node(&sim, NodeId(0), Resources{4.0, GiB(8)}, StorageMedium::Ssd());
+  NodeManager nm(&node);
+  EXPECT_DEATH(nm.StopContainer(ContainerId(404)), "unknown container");
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,226 @@
+// Property-style sweeps over the trace-driven scheduler: invariants that
+// must hold for every (policy, medium) combination and across seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cluster/cluster.h"
+#include "scheduler/cluster_scheduler.h"
+#include "sim/simulator.h"
+#include "trace/google_trace.h"
+
+namespace ckpt {
+namespace {
+
+Workload SmallContentiousWorkload(std::uint64_t seed) {
+  GoogleTraceConfig config;
+  config.sample_jobs = 150;
+  config.seed = seed;
+  Workload workload = GoogleTraceGenerator(config).GenerateWorkloadSample();
+  // Compress arrivals into two hours so the small cluster sees contention.
+  for (JobSpec& job : workload.jobs) job.submit_time /= 12;
+  return workload;
+}
+
+SimulationResult RunWith(const Workload& workload, SchedulerConfig config,
+                         int nodes = 6) {
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(nodes, Resources{16.0, GiB(64)}, config.medium);
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  scheduler.Submit(workload);
+  return scheduler.Run();
+}
+
+class PolicyMediaSweep
+    : public ::testing::TestWithParam<std::tuple<PreemptionPolicy, MediaKind>> {
+};
+
+TEST_P(PolicyMediaSweep, EveryTaskCompletesExactlyOnce) {
+  const auto [policy, media] = GetParam();
+  const Workload workload = SmallContentiousWorkload(31);
+  SchedulerConfig config;
+  config.policy = policy;
+  config.medium = MediumFor(media);
+  const SimulationResult result = RunWith(workload, config);
+  EXPECT_EQ(result.tasks_completed, workload.TotalTasks());
+  EXPECT_EQ(result.jobs_completed,
+            static_cast<std::int64_t>(workload.jobs.size()));
+}
+
+TEST_P(PolicyMediaSweep, AccountingIdentitiesHold) {
+  const auto [policy, media] = GetParam();
+  const Workload workload = SmallContentiousWorkload(32);
+  SchedulerConfig config;
+  config.policy = policy;
+  config.medium = MediumFor(media);
+  const SimulationResult result = RunWith(workload, config);
+
+  // Wastage decomposes exactly into lost work + dump/restore overhead.
+  EXPECT_NEAR(result.wasted_core_hours,
+              result.lost_work_core_hours + result.overhead_core_hours, 1e-6);
+  // A preemption is either a kill or a checkpoint.
+  EXPECT_EQ(result.preemptions, result.kills + result.checkpoints);
+  EXPECT_LE(result.incremental_checkpoints, result.checkpoints);
+  // Every restore follows some preemption of that task (a single image can
+  // be restored several times if the task keeps getting preempted).
+  EXPECT_LE(result.local_restores + result.remote_restores,
+            result.preemptions);
+  // Busy time covers at least the pure work (it also includes re-execution).
+  double work_core_hours = 0;
+  for (const JobSpec& job : workload.jobs) {
+    for (const TaskSpec& task : job.tasks) {
+      work_core_hours += ToHours(task.duration) * task.demand.cpus;
+    }
+  }
+  EXPECT_GE(result.total_busy_core_hours, work_core_hours * 0.999);
+}
+
+TEST_P(PolicyMediaSweep, DeterministicAcrossIdenticalRuns) {
+  const auto [policy, media] = GetParam();
+  const Workload workload = SmallContentiousWorkload(33);
+  SchedulerConfig config;
+  config.policy = policy;
+  config.medium = MediumFor(media);
+  const SimulationResult a = RunWith(workload, config);
+  const SimulationResult b = RunWith(workload, config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_DOUBLE_EQ(a.wasted_core_hours, b.wasted_core_hours);
+  EXPECT_DOUBLE_EQ(a.energy_kwh, b.energy_kwh);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicyMediaSweep,
+    ::testing::Combine(::testing::Values(PreemptionPolicy::kWait,
+                                         PreemptionPolicy::kKill,
+                                         PreemptionPolicy::kCheckpoint,
+                                         PreemptionPolicy::kAdaptive),
+                       ::testing::Values(MediaKind::kHdd, MediaKind::kSsd,
+                                         MediaKind::kNvm)));
+
+// Seed sweep: structural invariants independent of the workload draw.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, WaitPolicyNeverWastes) {
+  SchedulerConfig config;
+  config.policy = PreemptionPolicy::kWait;
+  const SimulationResult result =
+      RunWith(SmallContentiousWorkload(GetParam()), config);
+  EXPECT_EQ(result.preemptions, 0);
+  EXPECT_DOUBLE_EQ(result.wasted_core_hours, 0.0);
+}
+
+TEST_P(SeedSweep, CheckpointPolicyLosesWorkOnlyOnCapacityFallback) {
+  SchedulerConfig config;
+  config.policy = PreemptionPolicy::kCheckpoint;
+  config.medium = StorageMedium::Nvm();
+  const SimulationResult result =
+      RunWith(SmallContentiousWorkload(GetParam()), config);
+  // The basic policy always checkpoints; the only kills are device-capacity
+  // fallbacks (NVM is small, so they can legitimately occur).
+  EXPECT_EQ(result.kills, result.capacity_fallback_kills);
+  if (result.capacity_fallback_kills == 0) {
+    EXPECT_DOUBLE_EQ(result.lost_work_core_hours, 0.0);
+  }
+}
+
+TEST_P(SeedSweep, KillWastesAtLeastAsMuchLostWorkAsAdaptive) {
+  const Workload workload = SmallContentiousWorkload(GetParam());
+  SchedulerConfig kill;
+  kill.policy = PreemptionPolicy::kKill;
+  kill.medium = StorageMedium::Nvm();
+  SchedulerConfig adaptive = kill;
+  adaptive.policy = PreemptionPolicy::kAdaptive;
+  const SimulationResult kill_result = RunWith(workload, kill);
+  const SimulationResult adaptive_result = RunWith(workload, adaptive);
+  // On NVM, adaptive converts kills into cheap checkpoints: its re-executed
+  // (lost) work cannot exceed kill's.
+  EXPECT_LE(adaptive_result.lost_work_core_hours,
+            kill_result.lost_work_core_hours + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(SchedulerEdge, EmptyWorkloadTerminates) {
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(2, Resources{4.0, GiB(8)}, StorageMedium::Ssd());
+  ClusterScheduler scheduler(&sim, &cluster, SchedulerConfig{});
+  scheduler.Submit(Workload{});
+  const SimulationResult result = scheduler.Run();
+  EXPECT_EQ(result.tasks_completed, 0);
+  EXPECT_EQ(result.makespan, 0);
+}
+
+TEST(SchedulerEdge, TaskLargerThanAnyNodeStallsOthersComplete) {
+  // A task that can never fit is a workload bug; the scheduler must not
+  // wedge the rest of the workload behind it when it is low priority.
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(2, Resources{4.0, GiB(8)}, StorageMedium::Ssd());
+  Workload w;
+  JobSpec giant;
+  giant.id = JobId(0);
+  giant.priority = 0;
+  TaskSpec task;
+  task.id = TaskId(0);
+  task.job = giant.id;
+  task.duration = Seconds(10);
+  task.demand = Resources{64.0, GiB(1)};  // unschedulable
+  task.priority = 0;
+  giant.tasks.push_back(task);
+  w.jobs.push_back(giant);
+
+  JobSpec normal;
+  normal.id = JobId(1);
+  normal.priority = 5;
+  normal.submit_time = Seconds(1);
+  TaskSpec small = task;
+  small.id = TaskId(1);
+  small.job = normal.id;
+  small.demand = Resources{2.0, GiB(2)};
+  small.priority = 5;
+  normal.tasks.push_back(small);
+  w.jobs.push_back(normal);
+
+  ClusterScheduler scheduler(&sim, &cluster, SchedulerConfig{});
+  scheduler.Submit(w);
+  const SimulationResult result = scheduler.Run();
+  EXPECT_EQ(result.tasks_completed, 1);  // the normal task
+  EXPECT_EQ(result.jobs_completed, 1);
+}
+
+TEST(SchedulerEdge, SimultaneousArrivalsResolveByPriority) {
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(1, Resources{4.0, GiB(8)}, StorageMedium::Nvm());
+  Workload w;
+  for (int j = 0; j < 3; ++j) {
+    JobSpec job;
+    job.id = JobId(j);
+    job.submit_time = 0;
+    job.priority = j * 5;  // 0 (free), 5 (middle), 10 (production)
+    TaskSpec task;
+    task.id = TaskId(j);
+    task.job = job.id;
+    task.duration = Seconds(30);
+    task.demand = Resources{4.0, GiB(4)};
+    task.priority = job.priority;
+    job.tasks.push_back(task);
+    w.jobs.push_back(job);
+  }
+  SchedulerConfig config;
+  config.policy = PreemptionPolicy::kWait;
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  scheduler.Submit(w);
+  const SimulationResult result = scheduler.Run();
+  // Priority 8 runs first (response 30s), then 4 (60s), then 0 (90s).
+  EXPECT_NEAR(result.job_response_by_band[2].Mean(), 30.0, 1.0);
+  EXPECT_NEAR(result.job_response_by_band[1].Mean(), 60.0, 1.0);
+  EXPECT_NEAR(result.job_response_by_band[0].Mean(), 90.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,95 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/report.h"
+
+namespace ckpt {
+namespace {
+
+TEST(SummaryStats, BasicMoments) {
+  SummaryStats stats;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 5);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 5.0);
+  EXPECT_NEAR(stats.Stddev(), 1.5811, 1e-3);
+}
+
+TEST(SummaryStats, QuantilesInterpolate) {
+  SummaryStats stats;
+  for (int i = 0; i <= 100; ++i) stats.Add(i);
+  EXPECT_DOUBLE_EQ(stats.Median(), 50.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.25), 25.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 0.0);
+}
+
+TEST(SummaryStats, EmptyIsSafe) {
+  SummaryStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 0.0);
+}
+
+TEST(SummaryStats, AddAfterQuantileStillCorrect) {
+  SummaryStats stats;
+  stats.Add(10);
+  EXPECT_DOUBLE_EQ(stats.Median(), 10.0);
+  stats.Add(20);
+  stats.Add(30);
+  EXPECT_DOUBLE_EQ(stats.Median(), 20.0);
+}
+
+TEST(Cdf, AtStepsThroughSamples) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.At(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.At(100.0), 1.0);
+}
+
+TEST(Cdf, QuantileInvertsAt) {
+  Cdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 50.0);
+}
+
+TEST(Cdf, SeriesSpansRangeAndIsMonotone) {
+  Cdf cdf({1.0, 5.0, 9.0, 2.0, 7.0});
+  const auto series = cdf.Series(10);
+  ASSERT_EQ(series.size(), 10u);
+  EXPECT_DOUBLE_EQ(series.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(series.back().first, 9.0);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Report, TableAlignsColumns) {
+  const std::string table = RenderTable({{"policy", "hours"},
+                                         {"Kill", "3400"},
+                                         {"Chk-NVM", "850"}});
+  EXPECT_NE(table.find("policy"), std::string::npos);
+  EXPECT_NE(table.find("Chk-NVM"), std::string::npos);
+  EXPECT_NE(table.find("---"), std::string::npos);
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(3.14159, 0), "3");
+}
+
+TEST(Report, SeriesRendersPairs) {
+  const std::string out =
+      RenderSeries("Fig X", "x", "y", {{1.0, 0.5}, {2.0, 1.0}});
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ckpt

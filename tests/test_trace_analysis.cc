@@ -1,0 +1,123 @@
+#include "trace/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace ckpt {
+namespace {
+
+// One shared trace: generation + analysis of 200k tasks takes ~a second, so
+// build it once.
+const TraceAnalysis& Analysis() {
+  static const TraceAnalysis analysis = [] {
+    GoogleTraceConfig config;
+    config.trace_tasks = 120'000;
+    EventTrace trace = GoogleTraceGenerator(config).GenerateEventTrace();
+    return AnalyzeTrace(trace);
+  }();
+  return analysis;
+}
+
+TEST(TraceAnalysis, OverallPreemptionRateMatchesPaper) {
+  // S2: "an average of 12.4% of scheduled tasks were evicted".
+  EXPECT_NEAR(Analysis().overall_preemption_rate, 0.124, 0.02);
+}
+
+TEST(TraceAnalysis, Table1BandRates) {
+  const auto& free = Analysis().by_band[static_cast<size_t>(PriorityBand::kFree)];
+  const auto& middle =
+      Analysis().by_band[static_cast<size_t>(PriorityBand::kMiddle)];
+  const auto& production =
+      Analysis().by_band[static_cast<size_t>(PriorityBand::kProduction)];
+  EXPECT_NEAR(free.PercentPreempted(), 20.26, 2.0);
+  EXPECT_NEAR(middle.PercentPreempted(), 0.55, 0.3);
+  EXPECT_NEAR(production.PercentPreempted(), 1.02, 0.6);
+  // Band mix ~ 59.9 / 36.5 / 3.6.
+  const double total =
+      static_cast<double>(free.tasks + middle.tasks + production.tasks);
+  EXPECT_NEAR(free.tasks / total, 0.599, 0.05);
+  EXPECT_NEAR(middle.tasks / total, 0.365, 0.05);
+  EXPECT_NEAR(production.tasks / total, 0.036, 0.02);
+}
+
+TEST(TraceAnalysis, Table2LatencyClassRates) {
+  // Table 2: 11.76 / 18.87 / 8.14 / 14.80 % preempted per class.
+  const double expected[] = {11.76, 18.87, 8.14, 14.80};
+  for (int cls = 0; cls < kNumLatencyClasses; ++cls) {
+    const auto& stats = Analysis().by_latency[static_cast<size_t>(cls)];
+    EXPECT_GT(stats.tasks, 0) << "class " << cls;
+    EXPECT_NEAR(stats.PercentPreempted(), expected[cls],
+                expected[cls] * 0.35 + 1.0)
+        << "class " << cls;
+  }
+  // Class mix: class 0 dominates (~79%).
+  const double total = static_cast<double>(
+      Analysis().by_latency[0].tasks + Analysis().by_latency[1].tasks +
+      Analysis().by_latency[2].tasks + Analysis().by_latency[3].tasks);
+  EXPECT_NEAR(Analysis().by_latency[0].tasks / total, 0.79, 0.05);
+}
+
+TEST(TraceAnalysis, Fig1bLowPriorityDominatesPreemptions) {
+  // "preemption of low priority tasks (0-1 priorities) accounts for over
+  // 90% of the total preemptions".
+  const double low_share = Analysis().preemption_share_by_priority[0] +
+                           Analysis().preemption_share_by_priority[1];
+  EXPECT_GT(low_share, 90.0);
+}
+
+TEST(TraceAnalysis, Fig1cRepeatPreemptionTail) {
+  const auto& hist = Analysis().preemption_count_hist;
+  std::int64_t preempted = 0;
+  for (std::int64_t count : hist) preempted += count;
+  ASSERT_GT(preempted, 0);
+  // 43.5% preempted more than once; 17% ten times or more.
+  const double multi =
+      1.0 - static_cast<double>(hist[0]) / static_cast<double>(preempted);
+  const double chronic =
+      static_cast<double>(hist[9]) / static_cast<double>(preempted);
+  EXPECT_NEAR(multi, 0.435, 0.05);
+  EXPECT_NEAR(chronic, 0.17, 0.04);
+}
+
+TEST(TraceAnalysis, WastedCpuShareApproaches35Percent) {
+  // "130k CPU-hours (up to 35% of total usage) could have been wasted".
+  EXPECT_GT(Analysis().WastedFraction(), 0.22);
+  EXPECT_LT(Analysis().WastedFraction(), 0.45);
+}
+
+TEST(TraceAnalysis, DailyRatesCoverAllDays) {
+  ASSERT_EQ(Analysis().daily.size(), 29u);
+  int active_days = 0;
+  for (const auto& day : Analysis().daily) {
+    const double low =
+        day.rate_by_band[static_cast<size_t>(PriorityBand::kFree)];
+    if (low > 0) ++active_days;
+    // Low priority evictions per scheduled task each day sit in a sane band.
+    EXPECT_LT(low, 1.5);
+  }
+  EXPECT_GE(active_days, 28);
+}
+
+TEST(TraceAnalysis, EventsAreTimeOrdered) {
+  GoogleTraceConfig config;
+  config.trace_tasks = 5000;
+  const EventTrace trace = GoogleTraceGenerator(config).GenerateEventTrace();
+  for (size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].time, trace.events[i].time);
+  }
+}
+
+TEST(TraceAnalysis, EverySubmittedTaskEventuallyFinishes) {
+  GoogleTraceConfig config;
+  config.trace_tasks = 5000;
+  const EventTrace trace = GoogleTraceGenerator(config).GenerateEventTrace();
+  std::int64_t submits = 0, finishes = 0;
+  for (const TraceEvent& event : trace.events) {
+    if (event.type == TraceEventType::kSubmit) ++submits;
+    if (event.type == TraceEventType::kFinish) ++finishes;
+  }
+  EXPECT_EQ(submits, 5000);
+  EXPECT_EQ(finishes, 5000);
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,140 @@
+// Distribution-level checks of the Google-trace generator's samplers
+// (exposed for tests on GoogleTraceGenerator).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trace/google_trace.h"
+
+namespace ckpt {
+namespace {
+
+class Samplers : public ::testing::Test {
+ protected:
+  GoogleTraceGenerator generator_{GoogleTraceConfig{}};
+  Rng rng_{12345};
+};
+
+TEST_F(Samplers, PriorityMarginalsMatchTable1) {
+  int free = 0, middle = 0, production = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    switch (BandOf(generator_.SamplePriority(rng_))) {
+      case PriorityBand::kFree: ++free; break;
+      case PriorityBand::kMiddle: ++middle; break;
+      case PriorityBand::kProduction: ++production; break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(free) / n, 0.599, 0.02);
+  EXPECT_NEAR(static_cast<double>(middle) / n, 0.365, 0.02);
+  EXPECT_NEAR(static_cast<double>(production) / n, 0.036, 0.01);
+}
+
+TEST_F(Samplers, LatencyClassMarginalsMatchTable2) {
+  int counts[kNumLatencyClasses] = {};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    counts[generator_.SampleLatencyClass(rng_)]++;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.79, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.125, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.078, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.007, 0.005);
+}
+
+TEST_F(Samplers, PreemptionCountMatchesBandRates) {
+  const struct {
+    int priority;
+    double expected;
+  } cases[] = {{0, 0.2026}, {5, 0.0055}, {10, 0.0102}};
+  for (const auto& c : cases) {
+    int preempted = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+      if (generator_.SamplePreemptionCount(rng_, c.priority) > 0) ++preempted;
+    }
+    EXPECT_NEAR(static_cast<double>(preempted) / n, c.expected,
+                c.expected * 0.2 + 0.003)
+        << "priority " << c.priority;
+  }
+}
+
+TEST_F(Samplers, PreemptionCountTailMatchesFig1c) {
+  int once = 0, multi = 0, chronic = 0;
+  int preempted = 0;
+  for (int i = 0; i < 200000; ++i) {
+    const int count = generator_.SamplePreemptionCount(rng_, 0);
+    if (count == 0) continue;
+    ++preempted;
+    if (count == 1) ++once;
+    if (count >= 2) ++multi;
+    if (count >= 10) ++chronic;
+  }
+  ASSERT_GT(preempted, 1000);
+  EXPECT_NEAR(static_cast<double>(multi) / preempted, 0.435, 0.03);
+  EXPECT_NEAR(static_cast<double>(chronic) / preempted, 0.17, 0.03);
+  EXPECT_EQ(once + multi, preempted);
+}
+
+TEST_F(Samplers, DurationsRespectCaps) {
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(generator_.SampleDuration(rng_, 0), Hours(10));
+    EXPECT_LE(generator_.SampleDuration(rng_, 10), Hours(16));
+    EXPECT_GT(generator_.SampleDuration(rng_, 0), 0);
+  }
+}
+
+TEST_F(Samplers, ProductionTasksRunLonger) {
+  double free_sum = 0, production_sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    free_sum += ToSeconds(generator_.SampleDuration(rng_, 0));
+    production_sum += ToSeconds(generator_.SampleDuration(rng_, 10));
+  }
+  EXPECT_GT(production_sum / n, 1.5 * (free_sum / n));
+}
+
+TEST_F(Samplers, DemandsWithinSchedulableBounds) {
+  for (int i = 0; i < 5000; ++i) {
+    const Resources demand = generator_.SampleDemand(rng_, i % 12);
+    EXPECT_GE(demand.cpus, 0.25);
+    EXPECT_LE(demand.cpus, 2.0);
+    EXPECT_GT(demand.memory, 0);
+    EXPECT_LE(demand.memory, GiB(8));
+  }
+}
+
+TEST(TraceScaling, TraceTaskCountIsExact) {
+  GoogleTraceConfig config;
+  config.trace_tasks = 1234;
+  const EventTrace trace = GoogleTraceGenerator(config).GenerateEventTrace();
+  std::int64_t submits = 0;
+  for (const TraceEvent& ev : trace.events) {
+    if (ev.type == TraceEventType::kSubmit) ++submits;
+  }
+  EXPECT_EQ(submits, 1234);
+}
+
+TEST(TraceScaling, SampleTaskScaleGrowsJobs) {
+  GoogleTraceConfig small;
+  small.sample_jobs = 300;
+  small.sample_task_scale = 1.0;
+  GoogleTraceConfig big = small;
+  big.sample_task_scale = 2.0;
+  const auto a = GoogleTraceGenerator(small).GenerateWorkloadSample();
+  const auto b = GoogleTraceGenerator(big).GenerateWorkloadSample();
+  EXPECT_GT(b.TotalTasks(), a.TotalTasks());
+}
+
+TEST(TraceScaling, DifferentSeedsDifferentWorkloads) {
+  GoogleTraceConfig a_config;
+  a_config.sample_jobs = 100;
+  a_config.seed = 1;
+  GoogleTraceConfig b_config = a_config;
+  b_config.seed = 2;
+  const auto a = GoogleTraceGenerator(a_config).GenerateWorkloadSample();
+  const auto b = GoogleTraceGenerator(b_config).GenerateWorkloadSample();
+  EXPECT_NE(a.TotalTasks(), b.TotalTasks());
+}
+
+}  // namespace
+}  // namespace ckpt

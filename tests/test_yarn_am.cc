@@ -1,0 +1,230 @@
+#include "yarn/app_master.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "yarn/yarn_cluster.h"
+
+namespace ckpt {
+namespace {
+
+// AM-level behaviour, driven through a small YarnCluster so the RM, NMs,
+// engine and DFS are all real.
+class YarnAmTest : public ::testing::Test {
+ protected:
+  YarnConfig Config(PreemptionPolicy policy, MediaKind media) {
+    YarnConfig config;
+    config.num_nodes = 2;
+    config.containers_per_node = 4;
+    config.policy = policy;
+    config.medium = MediumFor(media);
+    return config;
+  }
+
+  static JobSpec MakeJob(JobId id, int priority, int tasks, SimTime submit,
+                         SimDuration duration = Seconds(60)) {
+    JobSpec job;
+    job.id = id;
+    job.submit_time = submit;
+    job.priority = priority;
+    for (int i = 0; i < tasks; ++i) {
+      TaskSpec task;
+      task.id = TaskId(id.value() * 1000 + i);
+      task.job = id;
+      task.duration = duration;
+      task.demand = Resources{1.0, MiB(1800)};
+      task.priority = priority;
+      task.memory_write_rate = 0.02;
+      job.tasks.push_back(task);
+    }
+    return job;
+  }
+};
+
+TEST_F(YarnAmTest, ZeroTaskJobCompletesImmediately) {
+  YarnCluster yarn(Config(PreemptionPolicy::kKill, MediaKind::kNvm));
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 0, 0));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_EQ(result.jobs_completed, 1);
+  EXPECT_EQ(result.tasks_completed, 0);
+}
+
+TEST_F(YarnAmTest, SingleJobRunsInWaves) {
+  // 12 tasks on 8 containers: two waves, ~2 minutes.
+  YarnCluster yarn(Config(PreemptionPolicy::kKill, MediaKind::kNvm));
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 12, 0));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_EQ(result.tasks_completed, 12);
+  EXPECT_EQ(result.preempt_events, 0);
+  EXPECT_NEAR(ToSeconds(result.makespan), 120.0, 10.0);
+}
+
+TEST_F(YarnAmTest, PreemptedTaskResumesFromImage) {
+  YarnCluster yarn(Config(PreemptionPolicy::kCheckpoint, MediaKind::kNvm));
+  Workload w;
+  // Low fills the cluster with 300 s tasks; high needs all slots at t=60.
+  w.jobs.push_back(MakeJob(JobId(0), 1, 8, 0, Seconds(300)));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 8, Seconds(60), Seconds(30)));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_EQ(result.jobs_completed, 2);
+  EXPECT_GT(result.checkpoints, 0);
+  EXPECT_EQ(result.restores, result.checkpoints);
+  // No work is re-executed under checkpointing: the low job's makespan is
+  // bounded by its work plus the high job's occupation plus dump/restores.
+  EXPECT_DOUBLE_EQ(result.lost_work_core_hours, 0.0);
+}
+
+TEST_F(YarnAmTest, KillPolicyReexecutesLostWork) {
+  YarnCluster yarn(Config(PreemptionPolicy::kKill, MediaKind::kNvm));
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 8, 0, Seconds(300)));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 8, Seconds(60), Seconds(30)));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_EQ(result.jobs_completed, 2);
+  EXPECT_GT(result.kills, 0);
+  // ~8 tasks each lose ~60s: at least 0.1 core-hours.
+  EXPECT_GT(result.lost_work_core_hours, 0.08);
+}
+
+TEST_F(YarnAmTest, CheckpointedWorkloadFinishesFasterThanKillForVictims) {
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 8, 0, Seconds(300)));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 8, Seconds(60), Seconds(30)));
+
+  YarnCluster kill_yarn(Config(PreemptionPolicy::kKill, MediaKind::kNvm));
+  const YarnResult kill = kill_yarn.RunWorkload(w);
+  YarnCluster chk_yarn(Config(PreemptionPolicy::kCheckpoint, MediaKind::kNvm));
+  const YarnResult chk = chk_yarn.RunWorkload(w);
+  EXPECT_LT(chk.low_priority_job_responses.Mean(),
+            kill.low_priority_job_responses.Mean());
+}
+
+TEST_F(YarnAmTest, SecondBurstDumpsIncrementally) {
+  YarnCluster yarn(Config(PreemptionPolicy::kCheckpoint, MediaKind::kNvm));
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 8, 0, Seconds(600)));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 8, Seconds(60), Seconds(20)));
+  w.jobs.push_back(MakeJob(JobId(2), 9, 8, Seconds(240), Seconds(20)));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_EQ(result.jobs_completed, 3);
+  EXPECT_GT(result.incremental_checkpoints, 0);
+}
+
+TEST_F(YarnAmTest, IncrementalDisabledNeverLayersDumps) {
+  YarnConfig config = Config(PreemptionPolicy::kCheckpoint, MediaKind::kNvm);
+  config.incremental_checkpoints = false;
+  YarnCluster yarn(config);
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 8, 0, Seconds(600)));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 8, Seconds(60), Seconds(20)));
+  w.jobs.push_back(MakeJob(JobId(2), 9, 8, Seconds(240), Seconds(20)));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_GT(result.checkpoints, 0);
+  EXPECT_EQ(result.incremental_checkpoints, 0);
+}
+
+TEST_F(YarnAmTest, AdaptiveThresholdForcesKill) {
+  YarnConfig config = Config(PreemptionPolicy::kAdaptive, MediaKind::kNvm);
+  config.adaptive_threshold = 1000.0;  // overhead never justified
+  YarnCluster yarn(config);
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 8, 0, Seconds(300)));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 8, Seconds(60), Seconds(30)));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_GT(result.kills, 0);
+  EXPECT_EQ(result.checkpoints, 0);
+}
+
+TEST_F(YarnAmTest, StorageFootprintReleasedAfterCompletion) {
+  YarnConfig config = Config(PreemptionPolicy::kCheckpoint, MediaKind::kNvm);
+  YarnCluster yarn(config);
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 8, 0, Seconds(300)));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 8, Seconds(60), Seconds(30)));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_GT(result.storage_used_fraction, 0.0);  // peak was nonzero
+  // All images discarded at completion.
+  EXPECT_EQ(yarn.dfs().total_stored(), 0);
+}
+
+TEST_F(YarnAmTest, TaskResponsesCoverEveryTask) {
+  YarnCluster yarn(Config(PreemptionPolicy::kAdaptive, MediaKind::kSsd));
+  Workload w;
+  w.jobs.push_back(MakeJob(JobId(0), 1, 10, 0));
+  w.jobs.push_back(MakeJob(JobId(1), 9, 6, Seconds(30)));
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_EQ(static_cast<std::int64_t>(result.all_task_responses.size()),
+            result.tasks_completed);
+  for (double response : result.all_task_responses) {
+    EXPECT_GT(response, 0.0);
+  }
+}
+
+// Parameterized sweep: every policy x medium combination must complete the
+// same workload with consistent bookkeeping.
+class YarnPolicyMediaTest
+    : public ::testing::TestWithParam<std::tuple<PreemptionPolicy, MediaKind>> {
+};
+
+TEST_P(YarnPolicyMediaTest, ConservationAndConsistency) {
+  const auto [policy, media] = GetParam();
+  YarnConfig config;
+  config.num_nodes = 2;
+  config.containers_per_node = 4;
+  config.policy = policy;
+  config.medium = MediumFor(media);
+  YarnCluster yarn(config);
+
+  Workload w;
+  for (int j = 0; j < 3; ++j) {
+    JobSpec job;
+    job.id = JobId(j);
+    job.submit_time = Seconds(40 * j);
+    job.priority = j == 1 ? 9 : 1;
+    for (int i = 0; i < 6; ++i) {
+      TaskSpec task;
+      task.id = TaskId(j * 100 + i);
+      task.job = job.id;
+      task.duration = Seconds(90);
+      task.demand = Resources{1.0, MiB(1800)};
+      task.priority = job.priority;
+      task.memory_write_rate = 0.02;
+      job.tasks.push_back(task);
+    }
+    w.jobs.push_back(job);
+  }
+
+  const YarnResult result = yarn.RunWorkload(w);
+  EXPECT_EQ(result.jobs_completed, 3);
+  EXPECT_EQ(result.tasks_completed, 18);
+  EXPECT_GE(result.wasted_core_hours, 0.0);
+  EXPECT_GT(result.energy_kwh, 0.0);
+  EXPECT_GE(result.makespan, Seconds(90));
+  if (policy == PreemptionPolicy::kWait) {
+    EXPECT_EQ(result.preempt_events, 0);
+  }
+  if (policy == PreemptionPolicy::kKill) {
+    EXPECT_EQ(result.checkpoints, 0);
+    EXPECT_EQ(result.restores, 0);
+  }
+  if (policy == PreemptionPolicy::kCheckpoint) {
+    EXPECT_EQ(result.kills, 0);
+  }
+  // Restores never exceed checkpoints plus re-restores after aborts.
+  EXPECT_GE(result.restores, result.checkpoints == 0 ? 0 : 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, YarnPolicyMediaTest,
+    ::testing::Combine(::testing::Values(PreemptionPolicy::kWait,
+                                         PreemptionPolicy::kKill,
+                                         PreemptionPolicy::kCheckpoint,
+                                         PreemptionPolicy::kAdaptive),
+                       ::testing::Values(MediaKind::kHdd, MediaKind::kSsd,
+                                         MediaKind::kNvm)));
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,237 @@
+// ckpt_sim — command-line driver for the trace-driven cluster simulator.
+//
+// Runs one simulation with every knob exposed as a flag and prints a
+// machine-friendly key=value report, so parameter sweeps can be scripted
+// without writing C++.
+//
+//   $ ckpt_sim --policy=adaptive --medium=nvm --jobs=2000 --util=0.9
+//   $ ckpt_sim --policy=checkpoint --medium=hdd --no-incremental
+//              --restore=always-local --seed=42
+//   $ ckpt_sim --help
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "scheduler/cluster_scheduler.h"
+#include "sim/simulator.h"
+#include "trace/google_trace.h"
+
+using namespace ckpt;
+
+namespace {
+
+struct Flags {
+  std::string policy = "adaptive";
+  std::string medium = "ssd";
+  std::string restore = "adaptive";
+  std::string victims = "cost-aware";
+  int jobs = 1000;
+  double util = 0.9;
+  double threshold = 1.0;
+  bool incremental = true;
+  bool dfs = true;
+  bool shadow = false;
+  bool lazy = false;
+  double resubmit_sec = 15.0;
+  std::uint64_t seed = 2011;
+  int fail_node = -1;
+  double fail_at_min = -1;
+  double fail_down_min = 5;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --policy=wait|kill|checkpoint|adaptive   preemption policy\n"
+      "  --medium=hdd|ssd|nvm|nvram               checkpoint storage\n"
+      "  --restore=adaptive|local|remote          resumption policy\n"
+      "  --victims=cost-aware|lowest-priority|random\n"
+      "  --jobs=N          workload size (Google-like day)\n"
+      "  --util=F          average demand vs capacity (cluster sizing)\n"
+      "  --threshold=K     Algorithm 1 scaling knob\n"
+      "  --no-incremental  full dumps only\n"
+      "  --no-dfs          local-only images (stock CRIU)\n"
+      "  --shadow          NVRAM shadow buffering\n"
+      "  --lazy            NVRAM lazy restore\n"
+      "  --resubmit=SECS   preempted-task backoff (default 15)\n"
+      "  --seed=N          workload seed\n"
+      "  --fail-node=I --fail-at=MIN [--fail-down=MIN]  inject a crash\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool Parse(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "--policy", &flags->policy) ||
+        ParseFlag(arg, "--medium", &flags->medium) ||
+        ParseFlag(arg, "--restore", &flags->restore) ||
+        ParseFlag(arg, "--victims", &flags->victims)) {
+      continue;
+    }
+    if (ParseFlag(arg, "--jobs", &value)) {
+      flags->jobs = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--util", &value)) {
+      flags->util = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--threshold", &value)) {
+      flags->threshold = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--resubmit", &value)) {
+      flags->resubmit_sec = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--fail-node", &value)) {
+      flags->fail_node = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--fail-at", &value)) {
+      flags->fail_at_min = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fail-down", &value)) {
+      flags->fail_down_min = std::atof(value.c_str());
+    } else if (std::strcmp(arg, "--no-incremental") == 0) {
+      flags->incremental = false;
+    } else if (std::strcmp(arg, "--no-dfs") == 0) {
+      flags->dfs = false;
+    } else if (std::strcmp(arg, "--shadow") == 0) {
+      flags->shadow = true;
+    } else if (std::strcmp(arg, "--lazy") == 0) {
+      flags->lazy = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ToPolicy(const std::string& name, PreemptionPolicy* out) {
+  if (name == "wait") *out = PreemptionPolicy::kWait;
+  else if (name == "kill") *out = PreemptionPolicy::kKill;
+  else if (name == "checkpoint") *out = PreemptionPolicy::kCheckpoint;
+  else if (name == "adaptive") *out = PreemptionPolicy::kAdaptive;
+  else return false;
+  return true;
+}
+
+bool ToMedium(const std::string& name, StorageMedium* out) {
+  if (name == "hdd") *out = StorageMedium::Hdd();
+  else if (name == "ssd") *out = StorageMedium::Ssd();
+  else if (name == "nvm") *out = StorageMedium::Nvm();
+  else if (name == "nvram") *out = StorageMedium::NvramMemory();
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!Parse(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  SchedulerConfig config;
+  if (!ToPolicy(flags.policy, &config.policy) ||
+      !ToMedium(flags.medium, &config.medium)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (flags.restore == "local") {
+    config.restore_policy = RestorePolicy::kAlwaysLocal;
+  } else if (flags.restore == "remote") {
+    config.restore_policy = RestorePolicy::kAlwaysRemote;
+  } else if (flags.restore != "adaptive") {
+    Usage(argv[0]);
+    return 2;
+  }
+  if (flags.victims == "lowest-priority") {
+    config.victim_order = VictimOrder::kLowestPriority;
+  } else if (flags.victims == "random") {
+    config.victim_order = VictimOrder::kRandom;
+  } else if (flags.victims != "cost-aware") {
+    Usage(argv[0]);
+    return 2;
+  }
+  config.incremental_checkpoints = flags.incremental;
+  config.checkpoint_to_dfs = flags.dfs;
+  config.adaptive_threshold = flags.threshold;
+  config.shadow_buffering = flags.shadow;
+  config.lazy_restore = flags.lazy;
+  config.resubmit_delay = Seconds(flags.resubmit_sec);
+
+  GoogleTraceConfig trace_config;
+  trace_config.sample_jobs = flags.jobs;
+  trace_config.seed = flags.seed;
+  const Workload workload =
+      GoogleTraceGenerator(trace_config).GenerateWorkloadSample();
+
+  double core_seconds = 0;
+  for (const JobSpec& job : workload.jobs) {
+    for (const TaskSpec& task : job.tasks) {
+      core_seconds += ToSeconds(task.duration) * task.demand.cpus;
+    }
+  }
+  const double cores_per_node = 16.0;
+  const int nodes = std::max(
+      1, static_cast<int>(core_seconds / ToSeconds(kDay) /
+                          (flags.util * cores_per_node) + 0.999));
+
+  Simulator sim;
+  Cluster cluster(&sim);
+  cluster.AddNodes(nodes, Resources{cores_per_node, GiB(64)}, config.medium);
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  scheduler.Submit(workload);
+  if (flags.fail_node >= 0 && flags.fail_at_min >= 0 &&
+      flags.fail_node < cluster.size()) {
+    scheduler.InjectNodeFailure(
+        NodeId(flags.fail_node), Minutes(flags.fail_at_min),
+        flags.fail_down_min < 0 ? -1 : Minutes(flags.fail_down_min));
+  }
+  const SimulationResult result = scheduler.Run();
+
+  std::printf("policy=%s medium=%s jobs=%zu tasks=%lld nodes=%d seed=%llu\n",
+              flags.policy.c_str(), flags.medium.c_str(),
+              workload.jobs.size(),
+              static_cast<long long>(workload.TotalTasks()), nodes,
+              static_cast<unsigned long long>(flags.seed));
+  std::printf(
+      "wasted_core_hours=%.2f wasted_fraction=%.4f lost_work_core_hours=%.2f "
+      "overhead_core_hours=%.2f\n",
+      result.wasted_core_hours, result.WastedFraction(),
+      result.lost_work_core_hours, result.overhead_core_hours);
+  std::printf("energy_kwh=%.2f makespan_h=%.2f\n", result.energy_kwh,
+              ToHours(result.makespan));
+  std::printf(
+      "rt_low_s=%.0f rt_medium_s=%.0f rt_high_s=%.0f\n",
+      result.job_response_by_band[0].Mean(),
+      result.job_response_by_band[1].Mean(),
+      result.job_response_by_band[2].Mean());
+  std::printf(
+      "preemptions=%lld kills=%lld checkpoints=%lld incremental=%lld "
+      "restores_local=%lld restores_remote=%lld\n",
+      static_cast<long long>(result.preemptions),
+      static_cast<long long>(result.kills),
+      static_cast<long long>(result.checkpoints),
+      static_cast<long long>(result.incremental_checkpoints),
+      static_cast<long long>(result.local_restores),
+      static_cast<long long>(result.remote_restores));
+  std::printf(
+      "failures=%lld interrupted=%lld images_lost=%lld images_survived=%lld\n",
+      static_cast<long long>(result.node_failures),
+      static_cast<long long>(result.tasks_interrupted_by_failure),
+      static_cast<long long>(result.images_lost_to_failure),
+      static_cast<long long>(result.images_survived_failure));
+  return 0;
+}

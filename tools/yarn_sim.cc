@@ -1,0 +1,144 @@
+// yarn-sim — command-line driver for the YARN-layer experiments.
+//
+//   $ yarn-sim --policy=adaptive --medium=nvm --tasks=7000
+//   $ yarn-sim --policy=checkpoint --medium=hdd --scheduling=capacity
+//              --guarantee=0.4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "trace/facebook_workload.h"
+#include "yarn/yarn_cluster.h"
+
+using namespace ckpt;
+
+namespace {
+
+struct Flags {
+  std::string policy = "adaptive";
+  std::string medium = "nvm";
+  std::string scheduling = "priority";
+  int jobs = 40;
+  int tasks = 7000;
+  int nodes = 8;
+  int containers = 24;
+  double guarantee = 0.5;
+  double threshold = 1.0;
+  bool incremental = true;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [flags]\n"
+      "  --policy=wait|kill|checkpoint|adaptive\n"
+      "  --medium=hdd|ssd|nvm|nvram\n"
+      "  --scheduling=priority|capacity   RM discipline\n"
+      "  --guarantee=F                    production queue share (capacity)\n"
+      "  --jobs=N --tasks=N               Facebook-derived workload size\n"
+      "  --nodes=N --containers=N         cluster shape\n"
+      "  --threshold=K                    Algorithm 1 knob\n"
+      "  --no-incremental                 full dumps only\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "--policy", &flags.policy) ||
+        ParseFlag(arg, "--medium", &flags.medium) ||
+        ParseFlag(arg, "--scheduling", &flags.scheduling)) {
+      continue;
+    }
+    if (ParseFlag(arg, "--jobs", &value)) {
+      flags.jobs = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--tasks", &value)) {
+      flags.tasks = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--nodes", &value)) {
+      flags.nodes = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--containers", &value)) {
+      flags.containers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--guarantee", &value)) {
+      flags.guarantee = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--threshold", &value)) {
+      flags.threshold = std::atof(value.c_str());
+    } else if (std::strcmp(arg, "--no-incremental") == 0) {
+      flags.incremental = false;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  YarnConfig config;
+  if (flags.policy == "wait") config.policy = PreemptionPolicy::kWait;
+  else if (flags.policy == "kill") config.policy = PreemptionPolicy::kKill;
+  else if (flags.policy == "checkpoint") config.policy = PreemptionPolicy::kCheckpoint;
+  else if (flags.policy == "adaptive") config.policy = PreemptionPolicy::kAdaptive;
+  else { Usage(argv[0]); return 2; }
+
+  if (flags.medium == "hdd") config.medium = StorageMedium::Hdd();
+  else if (flags.medium == "ssd") config.medium = StorageMedium::Ssd();
+  else if (flags.medium == "nvm") config.medium = StorageMedium::Nvm();
+  else if (flags.medium == "nvram") config.medium = StorageMedium::NvramMemory();
+  else { Usage(argv[0]); return 2; }
+
+  if (flags.scheduling == "capacity") {
+    config.scheduling_mode = SchedulingMode::kCapacity;
+  } else if (flags.scheduling != "priority") {
+    Usage(argv[0]);
+    return 2;
+  }
+  config.production_guarantee = flags.guarantee;
+  config.num_nodes = flags.nodes;
+  config.containers_per_node = flags.containers;
+  config.adaptive_threshold = flags.threshold;
+  config.incremental_checkpoints = flags.incremental;
+
+  FacebookWorkloadConfig fb;
+  fb.total_jobs = flags.jobs;
+  fb.total_tasks = flags.tasks;
+  fb.cluster_containers = flags.nodes * flags.containers;
+  const Workload workload = GenerateFacebookWorkload(fb);
+
+  YarnCluster yarn(config);
+  const YarnResult result = yarn.RunWorkload(workload);
+
+  std::printf("policy=%s medium=%s scheduling=%s jobs=%zu tasks=%lld\n",
+              flags.policy.c_str(), flags.medium.c_str(),
+              flags.scheduling.c_str(), workload.jobs.size(),
+              static_cast<long long>(workload.TotalTasks()));
+  std::printf("wasted_core_hours=%.2f energy_kwh=%.2f makespan_h=%.2f\n",
+              result.wasted_core_hours, result.energy_kwh,
+              ToHours(result.makespan));
+  std::printf("rt_low_min=%.1f rt_high_min=%.1f\n",
+              result.low_priority_job_responses.Mean() / 60.0,
+              result.high_priority_job_responses.Mean() / 60.0);
+  std::printf(
+      "preempt_events=%lld kills=%lld checkpoints=%lld incremental=%lld "
+      "restores=%lld remote=%lld\n",
+      static_cast<long long>(result.preempt_events),
+      static_cast<long long>(result.kills),
+      static_cast<long long>(result.checkpoints),
+      static_cast<long long>(result.incremental_checkpoints),
+      static_cast<long long>(result.restores),
+      static_cast<long long>(result.remote_restores));
+  std::printf("cpu_overhead=%.4f io_overhead=%.4f storage_peak=%.4f\n",
+              result.checkpoint_cpu_overhead, result.io_overhead,
+              result.storage_used_fraction);
+  return 0;
+}
