@@ -8,17 +8,35 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "metrics/report.h"
+#include "obs/observability.h"
 #include "scheduler/cluster_scheduler.h"
 #include "sim/simulator.h"
 #include "trace/google_trace.h"
 #include "trace/workload.h"
 
 namespace ckpt::bench {
+
+// Observability export is opt-in via CKPT_OBS=1 so default runs stay
+// byte-identical on stdout and pay no recording cost. CKPT_OBS_DIR selects
+// the output directory (default: current directory).
+inline bool ObsEnabled() {
+  const char* v = std::getenv("CKPT_OBS");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+inline std::string ObsPath(const std::string& filename) {
+  const char* dir = std::getenv("CKPT_OBS_DIR");
+  if (dir == nullptr || *dir == '\0') return filename;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + filename;
+}
 
 // Scaled stand-in for the paper's one-day Google slice. The paper simulates
 // ~15k jobs / 600k tasks needing >22k cores; the default here is a 1/4-scale

@@ -8,6 +8,7 @@
 // response drops 18/53/61% while high-priority is worse on HDD/SSD and
 // comparable on NVM.
 #include <cstdio>
+#include <fstream>
 
 #include "bench_yarn_common.h"
 
@@ -27,19 +28,46 @@ int main(int argc, char** argv) {
     YarnResult result;
   };
   std::vector<Row> rows;
+  // With CKPT_OBS=1 each policy row gets its own Observability (the rows are
+  // independent sim timelines, so they get separate trace files); metric
+  // snapshots are combined into one bench_fig8_yarn.metrics.json.
+  const bool obs_enabled = ObsEnabled();
+  std::string metrics_json = "{\"runs\":[";
+  auto run_row = [&](const std::string& name, YarnBenchOptions options) {
+    Observability obs;
+    if (obs_enabled) options.obs = &obs;
+    rows.push_back({name, RunYarn(workload, options)});
+    if (obs_enabled) {
+      const std::string path =
+          ObsPath("bench_fig8_yarn." + name + ".trace.json");
+      if (!obs.WriteChromeTrace(path)) {
+        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+      }
+      if (rows.size() > 1) metrics_json += ",";
+      metrics_json +=
+          "{\"name\":\"" + name + "\",\"metrics\":" + obs.metrics().ToJson() +
+          "}";
+    }
+  };
   {
     YarnBenchOptions kill;
     kill.policy = PreemptionPolicy::kKill;
     kill.victim_order = VictimOrder::kRandom;  // stock YARN victim choice
     kill.media = MediaKind::kHdd;
-    rows.push_back({"Kill", RunYarn(workload, kill)});
+    run_row("Kill", kill);
   }
   for (MediaKind kind : {MediaKind::kHdd, MediaKind::kSsd, MediaKind::kNvm}) {
     YarnBenchOptions chk;
     chk.policy = PreemptionPolicy::kCheckpoint;
     chk.media = kind;
-    rows.push_back({std::string("Chk-") + MediaName(kind),
-                    RunYarn(workload, chk)});
+    run_row(std::string("Chk-") + MediaName(kind), chk);
+  }
+  if (obs_enabled) {
+    metrics_json += "]}\n";
+    const std::string path = ObsPath("bench_fig8_yarn.metrics.json");
+    std::ofstream out(path);
+    out << metrics_json;
+    if (!out) std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
   }
 
   const YarnResult& kill = rows.front().result;

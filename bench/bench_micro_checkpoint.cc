@@ -4,16 +4,26 @@
 // cluster/day the simulators can replay per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "checkpoint/checkpoint_engine.h"
 #include "common/rng.h"
 #include "dfs/dfs.h"
+#include "obs/observability.h"
 #include "sim/simulator.h"
 
 namespace ckpt {
 namespace {
+
+// Set from main() when CKPT_OBS=1: fixtures record into this sink and the
+// aggregate snapshot is exported after the benchmarks run. The trace ring is
+// kept small — benchmark iterations would otherwise generate millions of
+// events; drop-oldest keeps the last iterations' worth.
+Observability* g_obs = nullptr;
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -83,6 +93,7 @@ struct EngineFixture {
     DfsConfig config;
     config.replication = 2;
     dfs = std::make_unique<DfsCluster>(&sim, &net, config);
+    dfs->set_observability(g_obs);
     for (int i = 0; i < 4; ++i) {
       net.AddNode(NodeId(i));
       devices.push_back(std::make_unique<StorageDevice>(
@@ -90,7 +101,8 @@ struct EngineFixture {
       dfs->AddDataNode(NodeId(i), devices.back().get());
     }
     store = std::make_unique<DfsStore>(dfs.get());
-    engine = std::make_unique<CheckpointEngine>(&sim, store.get());
+    store->set_observability(g_obs);
+    engine = std::make_unique<CheckpointEngine>(&sim, store.get(), g_obs);
   }
 };
 
@@ -129,4 +141,44 @@ BENCHMARK(BM_DfsWrite)->Arg(64)->Arg(512);
 }  // namespace
 }  // namespace ckpt
 
-BENCHMARK_MAIN();
+namespace {
+
+std::string ObsOutputPath(const std::string& filename) {
+  const char* dir = std::getenv("CKPT_OBS_DIR");
+  if (dir == nullptr || *dir == '\0') return filename;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + filename;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* obs_env = std::getenv("CKPT_OBS");
+  const bool obs_enabled =
+      obs_env != nullptr && *obs_env != '\0' && std::string(obs_env) != "0";
+  std::unique_ptr<ckpt::Observability> obs;
+  if (obs_enabled) {
+    obs = std::make_unique<ckpt::Observability>(/*trace_capacity=*/1 << 16);
+    ckpt::g_obs = obs.get();
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (obs != nullptr) {
+    const std::string metrics_path =
+        ObsOutputPath("bench_micro_checkpoint.metrics.json");
+    const std::string trace_path =
+        ObsOutputPath("bench_micro_checkpoint.trace.json");
+    if (!obs->WriteMetricsJson(metrics_path)) {
+      std::fprintf(stderr, "obs: cannot write %s\n", metrics_path.c_str());
+    }
+    if (!obs->WriteChromeTrace(trace_path)) {
+      std::fprintf(stderr, "obs: cannot write %s\n", trace_path.c_str());
+    }
+  }
+  return 0;
+}

@@ -24,6 +24,8 @@ struct YarnBenchOptions {
   bool incremental = true;
   VictimOrder victim_order = VictimOrder::kCostAware;
   double adaptive_threshold = 1.0;
+  // Optional metrics/trace sink for this run; not owned.
+  Observability* obs = nullptr;
 };
 
 inline YarnResult RunYarn(const Workload& workload,
@@ -36,6 +38,7 @@ inline YarnResult RunYarn(const Workload& workload,
   config.incremental_checkpoints = options.incremental;
   config.victim_order = options.victim_order;
   config.adaptive_threshold = options.adaptive_threshold;
+  config.obs = options.obs;
   YarnCluster yarn(config);
   return yarn.RunWorkload(workload);
 }

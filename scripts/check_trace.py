@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by the obs Tracer.
+
+Checks:
+  * the file parses as JSON and has a `traceEvents` array;
+  * every event carries the required fields for its phase
+    ('X' complete events need ts+dur, 'i' instants need ts+s, 'M' metadata
+    needs args.name);
+  * timestamps and durations are non-negative integers and, per (pid, tid)
+    track, 'X'/'i' event start times are monotonically non-decreasing in
+    file order (the exporter sorts by sim time);
+  * optionally (--require NAME[:MINCOUNT]), that at least MINCOUNT events
+    with that name are present.
+
+Exit code 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "s", "pid", "tid"),
+    "M": ("name", "pid", "tid", "args"),
+}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: cannot parse: {e}")
+    if isinstance(doc, list):  # bare-array variant of the format
+        return doc
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not an array")
+    return events
+
+
+def check_events(path, events):
+    last_ts = collections.defaultdict(lambda: -1)
+    counts = collections.Counter()
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        phase = ev.get("ph")
+        if phase not in REQUIRED_BY_PHASE:
+            fail(f"{where}: unknown phase {phase!r}")
+        for field in REQUIRED_BY_PHASE[phase]:
+            if field not in ev:
+                fail(f"{where}: phase {phase!r} missing field {field!r}")
+        if phase == "M":
+            if ev.get("name") != "thread_name":
+                fail(f"{where}: unexpected metadata record {ev.get('name')!r}")
+            continue
+        ts = ev["ts"]
+        if not isinstance(ts, int) or ts < 0:
+            fail(f"{where}: ts must be a non-negative integer, got {ts!r}")
+        if phase == "X":
+            dur = ev["dur"]
+            if not isinstance(dur, int) or dur < 0:
+                fail(f"{where}: dur must be a non-negative integer, got {dur!r}")
+        track = (ev["pid"], ev["tid"])
+        if ts < last_ts[track]:
+            fail(f"{where}: ts {ts} goes backwards on track {track} "
+                 f"(previous {last_ts[track]})")
+        last_ts[track] = ts
+        counts[ev["name"]] += 1
+    return counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="+", help="trace JSON file(s)")
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="NAME[:MINCOUNT]",
+        help="require at least MINCOUNT (default 1) events named NAME")
+    args = parser.parse_args()
+
+    requirements = []
+    for spec in args.require:
+        name, _, count = spec.partition(":")
+        requirements.append((name, int(count) if count else 1))
+
+    for path in args.trace:
+        events = load_events(path)
+        counts = check_events(path, events)
+        for name, min_count in requirements:
+            if counts[name] < min_count:
+                fail(f"{path}: expected >= {min_count} {name!r} events, "
+                     f"found {counts[name]}")
+        spans = sum(1 for e in events if e.get("ph") == "X")
+        instants = sum(1 for e in events if e.get("ph") == "i")
+        print(f"check_trace: OK: {path}: {len(events)} events "
+              f"({spans} spans, {instants} instants)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Build, run the test suite, and validate observability output end to end:
+# a short fig8 bench run with CKPT_OBS=1 must produce Chrome traces that
+# scripts/check_trace.py accepts, including ckpt.dump spans and
+# policy.decision instants (the Algorithm-1 cost terms).
+#
+# Usage: scripts/ci.sh [build-dir]
+# Env:   CKPT_SANITIZE=address|undefined forwards to CMake.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake_args=(-B "$build_dir" -S "$repo_root")
+if [[ -n "${CKPT_SANITIZE:-}" ]]; then
+  cmake_args+=("-DCKPT_SANITIZE=${CKPT_SANITIZE}")
+fi
+
+cmake "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$(nproc)"
+
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Observability smoke test: a small fig8 run with tracing on.
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$build_dir/bench/bench_fig8_yarn" 600 \
+  > "$obs_dir/stdout.txt"
+
+# Every policy row must carry Algorithm-1 decision instants; the checkpoint
+# rows must additionally contain dump spans (the Kill row never dumps).
+python3 "$repo_root/scripts/check_trace.py" \
+  --require policy.decision \
+  "$obs_dir"/bench_fig8_yarn.*.trace.json
+python3 "$repo_root/scripts/check_trace.py" \
+  --require ckpt.dump --require ckpt.restore \
+  "$obs_dir"/bench_fig8_yarn.Chk-*.trace.json
+
+test -s "$obs_dir/bench_fig8_yarn.metrics.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+  "$obs_dir/bench_fig8_yarn.metrics.json"
+
+echo "ci.sh: all checks passed"

@@ -3,11 +3,19 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace ckpt {
 
-CheckpointEngine::CheckpointEngine(Simulator* sim, CheckpointStore* store)
-    : sim_(sim), store_(store) {
+namespace {
+// Dump/restore latencies span ~ms (NVM) to minutes (loaded HDD).
+const std::vector<double> kIoSecondsBounds{0.01, 0.1, 0.5, 1,  5,  10,
+                                           30,   60,  120, 300, 600};
+}  // namespace
+
+CheckpointEngine::CheckpointEngine(Simulator* sim, CheckpointStore* store,
+                                   Observability* obs)
+    : sim_(sim), store_(store), obs_(obs) {
   CKPT_CHECK(sim != nullptr);
   CKPT_CHECK(store != nullptr);
 }
@@ -69,13 +77,39 @@ void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
   const Bytes bytes = DumpBytes(proc, can_increment);
   const SimTime started = sim_->Now();
 
-  auto finish = [this, &proc, node, can_increment, bytes, started,
+  Tracer::SpanId span = Tracer::kInvalidSpan;
+  if (obs_ != nullptr) {
+    span = obs_->tracer().BeginSpan(
+        "ckpt.dump", "ckpt", Observability::NodeTrack(node), started,
+        {TraceArg::Num("task", static_cast<double>(proc.task.value())),
+         TraceArg::Num("bytes", static_cast<double>(bytes)),
+         TraceArg::Num("incremental", can_increment ? 1 : 0)});
+  }
+
+  auto finish = [this, &proc, node, can_increment, bytes, started, span,
                  done = std::move(done)](bool ok) {
     DumpResult result;
     result.ok = ok;
     result.was_incremental = can_increment;
     result.bytes_written = ok ? bytes : 0;
     result.duration = sim_->Now() - started;
+    if (obs_ != nullptr) {
+      obs_->tracer().EndSpan(span, sim_->Now(),
+                             {TraceArg::Num("ok", ok ? 1 : 0)});
+      const std::string node_label = Observability::NodeLabel(node);
+      obs_->metrics()
+          .GetCounter("ckpt.dump.count",
+                      {{"node", node_label},
+                       {"mode", can_increment ? "incremental" : "full"}})
+          ->Inc();
+      obs_->metrics()
+          .GetHistogram("ckpt.dump.seconds", {{"node", node_label}},
+                        kIoSecondsBounds)
+          ->Observe(ToSeconds(result.duration));
+      obs_->metrics()
+          .GetCounter("ckpt.dump.bytes", {{"node", node_label}})
+          ->Inc(result.bytes_written);
+    }
     if (ok) {
       ++dumps_;
       if (can_increment) ++incremental_dumps_;
@@ -122,14 +156,41 @@ void CheckpointEngine::Restore(ProcessState& proc, NodeId node,
   const SimTime started = sim_->Now();
   const bool remote = !store_->IsLocalTo(proc.image_path, node);
   const Bytes bytes = store_->StoredSize(proc.image_path);
+  Tracer::SpanId span = Tracer::kInvalidSpan;
+  if (obs_ != nullptr) {
+    span = obs_->tracer().BeginSpan(
+        "ckpt.restore", "ckpt", Observability::NodeTrack(node), started,
+        {TraceArg::Num("task", static_cast<double>(proc.task.value())),
+         TraceArg::Num("bytes", static_cast<double>(bytes)),
+         TraceArg::Num("remote", remote ? 1 : 0)});
+  }
   store_->Load(proc.image_path, node,
-               [this, &proc, node, remote, bytes, started,
+               [this, &proc, node, remote, bytes, started, span,
                 done = std::move(done)](bool ok) {
                  RestoreResult result;
                  result.ok = ok;
                  result.was_remote = remote;
                  result.bytes_read = ok ? bytes : 0;
                  result.duration = sim_->Now() - started;
+                 if (obs_ != nullptr) {
+                   obs_->tracer().EndSpan(
+                       span, sim_->Now(),
+                       {TraceArg::Num("ok", ok ? 1 : 0)});
+                   const std::string node_label =
+                       Observability::NodeLabel(node);
+                   obs_->metrics()
+                       .GetCounter("ckpt.restore.count",
+                                   {{"node", node_label},
+                                    {"locality", remote ? "remote" : "local"}})
+                       ->Inc();
+                   obs_->metrics()
+                       .GetHistogram("ckpt.restore.seconds",
+                                     {{"node", node_label}}, kIoSecondsBounds)
+                       ->Observe(ToSeconds(result.duration));
+                   obs_->metrics()
+                       .GetCounter("ckpt.restore.bytes", {{"node", node_label}})
+                       ->Inc(result.bytes_read);
+                 }
                  if (ok) {
                    ++restores_;
                    restore_bytes_ += bytes;

@@ -20,6 +20,8 @@
 
 namespace ckpt {
 
+class Observability;
+
 // The checkpointable view of one running task's process tree.
 struct ProcessState {
   TaskId task;
@@ -61,7 +63,8 @@ struct RestoreResult {
 
 class CheckpointEngine {
  public:
-  CheckpointEngine(Simulator* sim, CheckpointStore* store);
+  CheckpointEngine(Simulator* sim, CheckpointStore* store,
+                   Observability* obs = nullptr);
 
   CheckpointEngine(const CheckpointEngine&) = delete;
   CheckpointEngine& operator=(const CheckpointEngine&) = delete;
@@ -111,6 +114,7 @@ class CheckpointEngine {
 
   Simulator* sim_;
   CheckpointStore* store_;
+  Observability* obs_;
   std::int64_t next_image_ = 0;
   std::int64_t dumps_ = 0;
   std::int64_t incremental_dumps_ = 0;

@@ -3,8 +3,17 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace ckpt {
+
+void CheckpointStore::RecordStoreOp(const char* op, const char* backend,
+                                    Bytes bytes) {
+  if (obs_ == nullptr) return;
+  MetricLabels labels{{"backend", backend}, {"op", op}};
+  obs_->metrics().GetCounter("store.ops", labels)->Inc();
+  obs_->metrics().GetCounter("store.bytes", std::move(labels))->Inc(bytes);
+}
 
 // --- LocalStore -----------------------------------------------------------
 
@@ -26,6 +35,7 @@ void LocalStore::Save(const std::string& path, Bytes size, NodeId node,
     return;
   }
   files_[path] = Entry{node, size};
+  RecordStoreOp("save", "local", size);
   device->SubmitWrite(size, [done = std::move(done)] { done(true); });
 }
 
@@ -39,6 +49,7 @@ void LocalStore::Append(const std::string& path, Bytes size, NodeId node,
     return;
   }
   it->second.size += size;
+  RecordStoreOp("append", "local", size);
   device->SubmitWrite(size, [done = std::move(done)] { done(true); });
 }
 
@@ -53,6 +64,7 @@ void LocalStore::Load(const std::string& path, NodeId node,
   }
   StorageDevice* device = DeviceFor(node);
   CKPT_CHECK(device != nullptr);
+  RecordStoreOp("load", "local", it->second.size);
   device->SubmitRead(it->second.size, [done = std::move(done)] { done(true); });
 }
 
@@ -119,6 +131,7 @@ DfsStore::DfsStore(DfsCluster* dfs) : dfs_(dfs) { CKPT_CHECK(dfs != nullptr); }
 
 void DfsStore::Save(const std::string& path, Bytes size, NodeId node,
                     std::function<void(bool)> done) {
+  RecordStoreOp("save", "dfs", size);
   dfs_->Write(path, size, node, std::move(done));
 }
 
@@ -131,6 +144,7 @@ void DfsStore::Append(const std::string& path, Bytes size, NodeId node,
   // HDFS files are immutable; incremental layers are side files that Load
   // and StoredSize fold back into the logical image.
   const int layer = layers_[path]++;
+  RecordStoreOp("append", "dfs", size);
   dfs_->Write(path + ".layer" + std::to_string(layer), size, node,
               std::move(done));
 }
@@ -162,6 +176,7 @@ struct DfsStore::LoadOp : std::enable_shared_from_this<DfsStore::LoadOp> {
 
 void DfsStore::Load(const std::string& path, NodeId node,
                     std::function<void(bool)> done) {
+  RecordStoreOp("load", "dfs", StoredSize(path));
   auto op = std::make_shared<LoadOp>();
   op->dfs = dfs_;
   op->path = path;

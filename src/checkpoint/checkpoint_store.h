@@ -18,9 +18,14 @@
 
 namespace ckpt {
 
+class Observability;
+
 class CheckpointStore {
  public:
   virtual ~CheckpointStore() = default;
+
+  // Optional metrics sink; null (the default) disables store accounting.
+  void set_observability(Observability* obs) { obs_ = obs; }
 
   // Persist `size` bytes dumped on `node` under `path`.
   virtual void Save(const std::string& path, Bytes size, NodeId node,
@@ -55,6 +60,11 @@ class CheckpointStore {
   // Service time only (no queue backlog).
   virtual SimDuration EstimateLoadBytesService(Bytes size, NodeId node,
                                                bool local) const = 0;
+
+ protected:
+  void RecordStoreOp(const char* op, const char* backend, Bytes bytes);
+
+  Observability* obs_ = nullptr;
 };
 
 // Per-node local filesystem store.

@@ -1,11 +1,14 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstring>
 
 namespace ckpt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::function<std::int64_t()> g_clock;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -17,16 +20,73 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool NameEquals(const char* value, const char* name) {
+  for (; *value != '\0' && *name != '\0'; ++value, ++name) {
+    if (std::tolower(static_cast<unsigned char>(*value)) != *name) return false;
+  }
+  return *value == '\0' && *name == '\0';
+}
+
+bool ParseLogLevel(const char* value, LogLevel* out) {
+  if (value == nullptr || *value == '\0') return false;
+  if (NameEquals(value, "debug")) { *out = LogLevel::kDebug; return true; }
+  if (NameEquals(value, "info")) { *out = LogLevel::kInfo; return true; }
+  if (NameEquals(value, "warn") || NameEquals(value, "warning")) {
+    *out = LogLevel::kWarn;
+    return true;
+  }
+  if (NameEquals(value, "error")) { *out = LogLevel::kError; return true; }
+  if (NameEquals(value, "off") || NameEquals(value, "none")) {
+    *out = LogLevel::kOff;
+    return true;
+  }
+  if (value[0] >= '0' && value[0] <= '4' && value[1] == '\0') {
+    *out = static_cast<LogLevel>(value[0] - '0');
+    return true;
+  }
+  return false;
+}
+
+// Applies CKPT_LOG_LEVEL exactly once, the first time the level is consulted
+// or explicitly set (so SetLogLevel overrides the environment, not the other
+// way around).
+void EnsureEnvApplied() {
+  static const bool applied = [] {
+    LogLevel level;
+    if (ParseLogLevel(std::getenv("CKPT_LOG_LEVEL"), &level)) {
+      g_level.store(level, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)applied;
+}
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+LogLevel GetLogLevel() {
+  EnsureEnvApplied();
+  return g_level.load(std::memory_order_relaxed);
+}
 void SetLogLevel(LogLevel level) {
+  EnsureEnvApplied();
   g_level.store(level, std::memory_order_relaxed);
 }
+
+void SetLogClock(std::function<std::int64_t()> now_usec) {
+  g_clock = std::move(now_usec);
+}
+void ClearLogClock() { g_clock = nullptr; }
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg) {
   if (level < GetLogLevel()) return;
+  if (g_clock) {
+    const std::int64_t usec = g_clock();
+    std::fprintf(stderr, "[%10.6fs] [%s] %s:%d: %s\n",
+                 static_cast<double>(usec) / 1e6, LevelName(level), file, line,
+                 msg.c_str());
+    return;
+  }
   std::fprintf(stderr, "[%s] %s:%d: %s\n", LevelName(level), file, line,
                msg.c_str());
 }

@@ -4,8 +4,10 @@
 // recoverable conditions are reported through return values, never logs.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,9 +16,19 @@ namespace ckpt {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 // Global log threshold; messages below it are dropped. Defaults to kWarn so
-// tests and benches stay quiet unless a caller opts in.
+// tests and benches stay quiet unless a caller opts in. The CKPT_LOG_LEVEL
+// environment variable (debug|info|warn|error|off, or the numeric value)
+// overrides the default the first time the level is consulted; explicit
+// SetLogLevel calls always win over the environment.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Optional simulated-time source. When registered, log lines are prefixed
+// with the clock's current value in seconds ("[  12.345678s]") so messages
+// can be correlated with trace events. Owners must ClearLogClock before the
+// clock's backing object is destroyed.
+void SetLogClock(std::function<std::int64_t()> now_usec);
+void ClearLogClock();
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& msg);

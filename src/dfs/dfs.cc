@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace ckpt {
 
@@ -38,6 +39,28 @@ Bytes DfsCluster::Inflated(Bytes size) const {
   return static_cast<Bytes>(static_cast<double>(size) * config_.io_inflation);
 }
 
+// Open a span covering the whole file operation and fold completion
+// accounting into the caller's callback.
+std::function<void(bool)> DfsCluster::WrapWithSpan(
+    const char* name, Bytes bytes, NodeId requester,
+    std::function<void(bool)> done) {
+  if (obs_ == nullptr) return done;
+  const SimTime started = sim_->Now();
+  const Tracer::SpanId span = obs_->tracer().BeginSpan(
+      name, "dfs", "dfs", started,
+      {TraceArg::Num("bytes", static_cast<double>(bytes)),
+       TraceArg::Num("node", static_cast<double>(requester.value()))});
+  return [this, name, bytes, span, done = std::move(done)](bool ok) {
+    obs_->tracer().EndSpan(span, sim_->Now(),
+                           {TraceArg::Num("ok", ok ? 1 : 0)});
+    obs_->metrics()
+        .GetCounter("dfs.ops", {{"op", name}, {"result", ok ? "ok" : "fail"}})
+        ->Inc();
+    if (ok) obs_->metrics().GetCounter("dfs.bytes", {{"op", name}})->Inc(bytes);
+    done(ok);
+  };
+}
+
 StorageDevice* DfsCluster::DeviceFor(NodeId node) const {
   auto it = datanodes_.find(node);
   return it == datanodes_.end() ? nullptr : it->second;
@@ -64,6 +87,7 @@ std::vector<NodeId> DfsCluster::PlaceReplicas(NodeId writer) {
 void DfsCluster::Write(const std::string& path, Bytes size, NodeId writer,
                        std::function<void(bool)> done) {
   CKPT_CHECK_GE(size, 0);
+  done = WrapWithSpan("dfs.write", size, writer, std::move(done));
   if (files_.count(path) > 0 || datanode_ids_.empty()) {
     sim_->ScheduleAfter(0, [done = std::move(done)] { done(false); });
     return;
@@ -135,6 +159,8 @@ void DfsCluster::WriteNextBlock(std::shared_ptr<PendingOp> op) {
 void DfsCluster::Read(const std::string& path, NodeId reader,
                       std::function<void(bool)> done) {
   auto it = files_.find(path);
+  done = WrapWithSpan("dfs.read", it == files_.end() ? 0 : it->second.size,
+                      reader, std::move(done));
   if (it == files_.end()) {
     sim_->ScheduleAfter(0, [done = std::move(done)] { done(false); });
     return;

@@ -24,6 +24,8 @@
 
 namespace ckpt {
 
+class Observability;
+
 struct DfsConfig {
   Bytes block_size = 128 * kMiB;
   int replication = 2;
@@ -55,6 +57,9 @@ class DfsCluster {
 
   DfsCluster(const DfsCluster&) = delete;
   DfsCluster& operator=(const DfsCluster&) = delete;
+
+  // Optional metrics/trace sink; null (the default) disables instrumentation.
+  void set_observability(Observability* obs) { obs_ = obs; }
 
   // Register `device` as the datanode storage on `node`. The node must
   // already exist in the network model.
@@ -116,8 +121,13 @@ class DfsCluster {
   void WriteNextBlock(std::shared_ptr<PendingOp> op);
   void ReadNextBlock(std::shared_ptr<PendingOp> op);
 
+  std::function<void(bool)> WrapWithSpan(const char* name, Bytes bytes,
+                                         NodeId requester,
+                                         std::function<void(bool)> done);
+
   Simulator* sim_;
   NetworkModel* net_;
+  Observability* obs_ = nullptr;
   DfsConfig config_;
   Rng placement_rng_;
   std::vector<NodeId> datanode_ids_;

@@ -1,0 +1,195 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+#include "metrics/report.h"
+
+namespace ckpt {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  // Shortest round-trippable form keeps snapshots byte-deterministic.
+  std::ostringstream out;
+  out.precision(15);
+  out << v;
+  return out.str();
+}
+
+std::string LabelString(const MetricLabels& labels) {
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=" + labels[i].second;
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CKPT_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<size_t>(it - bounds_.begin())]++;
+  stats_.Add(x);
+}
+
+std::string MetricsRegistry::SeriesKey(const std::string& name,
+                                       const MetricLabels& labels) {
+  return name + "{" + LabelString(labels) + "}";
+}
+
+MetricsRegistry::Series& MetricsRegistry::FindOrCreate(const std::string& name,
+                                                       MetricLabels labels,
+                                                       Kind kind) {
+  const std::string key = SeriesKey(name, labels);
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    CKPT_CHECK(it->second.kind == kind)
+        << "metric " << key << " re-registered as a different kind";
+    return it->second;
+  }
+  Series series;
+  series.name = name;
+  series.labels = std::move(labels);
+  series.kind = kind;
+  return series_.emplace(key, std::move(series)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     MetricLabels labels) {
+  Series& series = FindOrCreate(name, std::move(labels), Kind::kCounter);
+  if (series.counter == nullptr) series.counter = std::make_unique<Counter>();
+  return series.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, MetricLabels labels) {
+  Series& series = FindOrCreate(name, std::move(labels), Kind::kGauge);
+  if (series.gauge == nullptr) series.gauge = std::make_unique<Gauge>();
+  return series.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         MetricLabels labels,
+                                         std::vector<double> bounds) {
+  Series& series = FindOrCreate(name, std::move(labels), Kind::kHistogram);
+  if (series.histogram == nullptr) {
+    series.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return series.histogram.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, series] : series_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(series.name) << "\",\"labels\":{";
+    for (size_t i = 0; i < series.labels.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "\"" << JsonEscape(series.labels[i].first) << "\":\""
+          << JsonEscape(series.labels[i].second) << "\"";
+    }
+    out << "},";
+    switch (series.kind) {
+      case Kind::kCounter:
+        out << "\"type\":\"counter\",\"value\":" << series.counter->value();
+        break;
+      case Kind::kGauge:
+        out << "\"type\":\"gauge\",\"value\":"
+            << JsonNumber(series.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *series.histogram;
+        out << "\"type\":\"histogram\",\"count\":" << h.count()
+            << ",\"sum\":" << JsonNumber(h.sum())
+            << ",\"min\":" << JsonNumber(h.stats().Min())
+            << ",\"max\":" << JsonNumber(h.stats().Max())
+            << ",\"mean\":" << JsonNumber(h.stats().Mean())
+            << ",\"p50\":" << JsonNumber(h.stats().Quantile(0.5))
+            << ",\"p99\":" << JsonNumber(h.stats().Quantile(0.99))
+            << ",\"bounds\":[";
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          if (i > 0) out << ",";
+          out << JsonNumber(h.bounds()[i]);
+        }
+        out << "],\"bucket_counts\":[";
+        for (size_t i = 0; i < h.counts().size(); ++i) {
+          if (i > 0) out << ",";
+          out << h.counts()[i];
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::vector<std::vector<std::string>> MetricsRegistry::ToTableRows() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "labels", "type", "value", "count", "mean", "p99"});
+  for (const auto& [key, series] : series_) {
+    std::vector<std::string> row{series.name, LabelString(series.labels)};
+    switch (series.kind) {
+      case Kind::kCounter:
+        row.insert(row.end(),
+                   {"counter", std::to_string(series.counter->value()), "", "",
+                    ""});
+        break;
+      case Kind::kGauge:
+        row.insert(row.end(),
+                   {"gauge", Fmt(series.gauge->value(), 3), "", "", ""});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *series.histogram;
+        row.insert(row.end(),
+                   {"histogram", Fmt(h.sum(), 3), std::to_string(h.count()),
+                    Fmt(h.stats().Mean(), 4), Fmt(h.stats().Quantile(0.99), 4)});
+        break;
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace ckpt

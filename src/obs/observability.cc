@@ -1,0 +1,28 @@
+#include "obs/observability.h"
+
+#include <fstream>
+
+namespace ckpt {
+
+namespace {
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+}  // namespace
+
+bool Observability::WriteMetricsJson(const std::string& path) const {
+  return WriteFile(path, metrics_.ToJson() + "\n");
+}
+
+bool Observability::WriteChromeTrace(const std::string& path) const {
+  return WriteFile(path, tracer_.ToChromeJson() + "\n");
+}
+
+bool Observability::WriteTraceJsonl(const std::string& path) const {
+  return WriteFile(path, tracer_.ToJsonl());
+}
+
+}  // namespace ckpt

@@ -1,0 +1,49 @@
+// Single observability context threaded through YarnCluster / Simulator
+// construction: a MetricsRegistry plus a Tracer, with file-export helpers.
+//
+// Components hold an `Observability*` that may be null; null means
+// observability is off and every hot path reduces to one pointer test, so
+// benches pay nothing unless they opt in. No global state: tests and
+// benches construct their own context and pass it through the config.
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
+
+namespace ckpt {
+
+class Observability {
+ public:
+  explicit Observability(std::size_t trace_capacity = 1 << 18)
+      : tracer_(trace_capacity) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // Canonical track/label spelling for per-node series ("node/3").
+  static std::string NodeTrack(NodeId node) {
+    return "node/" + std::to_string(node.value());
+  }
+  static std::string NodeLabel(NodeId node) {
+    return std::to_string(node.value());
+  }
+
+  // Export helpers; false when the file cannot be written.
+  bool WriteMetricsJson(const std::string& path) const;
+  bool WriteChromeTrace(const std::string& path) const;
+  bool WriteTraceJsonl(const std::string& path) const;
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace ckpt

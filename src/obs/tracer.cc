@@ -1,0 +1,172 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendArgs(std::ostringstream& out, const TraceArgs& args) {
+  out << "{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(args[i].key) << "\":";
+    if (args[i].is_string) {
+      out << "\"" << JsonEscape(args[i].str) << "\"";
+    } else {
+      std::ostringstream num;
+      num.precision(15);
+      num << args[i].num;
+      out << num.str();
+    }
+  }
+  out << "}";
+}
+
+void AppendEvent(std::ostringstream& out, const TraceRecord& event,
+                 int tid) {
+  out << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+      << JsonEscape(event.category) << "\",\"ph\":\"" << event.phase
+      << "\",\"ts\":" << event.start;
+  if (event.phase == 'X') out << ",\"dur\":" << event.duration;
+  if (event.phase == 'i') out << ",\"s\":\"t\"";
+  out << ",\"pid\":1,\"tid\":" << tid << ",\"args\":";
+  AppendArgs(out, event.args);
+  out << "}";
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  CKPT_CHECK_GT(capacity, 0u);
+}
+
+void Tracer::Push(TraceRecord event) {
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(event));
+}
+
+Tracer::SpanId Tracer::BeginSpan(std::string name, std::string category,
+                                 std::string track, SimTime now,
+                                 TraceArgs args) {
+  const SpanId id = next_span_++;
+  TraceRecord event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = std::move(track);
+  event.phase = 'X';
+  event.start = now;
+  event.seq = next_seq_++;
+  event.args = std::move(args);
+  open_.emplace(id, std::move(event));
+  return id;
+}
+
+void Tracer::EndSpan(SpanId id, SimTime now, TraceArgs extra_args) {
+  auto it = open_.find(id);
+  CKPT_CHECK(it != open_.end()) << "EndSpan on unknown span " << id;
+  TraceRecord event = std::move(it->second);
+  open_.erase(it);
+  CKPT_CHECK_GE(now, event.start);
+  event.duration = now - event.start;
+  for (TraceArg& arg : extra_args) event.args.push_back(std::move(arg));
+  Push(std::move(event));
+}
+
+void Tracer::Instant(std::string name, std::string category, std::string track,
+                     SimTime now, TraceArgs args) {
+  TraceRecord event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = std::move(track);
+  event.phase = 'i';
+  event.start = now;
+  event.seq = next_seq_++;
+  event.args = std::move(args);
+  Push(std::move(event));
+}
+
+std::vector<TraceRecord> Tracer::SortedEvents() const {
+  std::vector<TraceRecord> events(ring_.begin(), ring_.end());
+  std::sort(events.begin(), events.end(),
+            [](const TraceRecord& a, const TraceRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceRecord> events = SortedEvents();
+  // Stable track -> tid mapping, alphabetical.
+  std::map<std::string, int> tids;
+  for (const TraceRecord& event : events) tids.emplace(event.track, 0);
+  int next_tid = 1;
+  for (auto& [track, tid] : tids) tid = next_tid++;
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, tid] : tids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << JsonEscape(track) << "\"}}";
+  }
+  for (const TraceRecord& event : events) {
+    if (!first) out << ",";
+    first = false;
+    AppendEvent(out, event, tids.at(event.track));
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string Tracer::ToJsonl() const {
+  const std::vector<TraceRecord> events = SortedEvents();
+  std::map<std::string, int> tids;
+  for (const TraceRecord& event : events) tids.emplace(event.track, 0);
+  int next_tid = 1;
+  for (auto& [track, tid] : tids) tid = next_tid++;
+
+  std::ostringstream out;
+  for (const TraceRecord& event : events) {
+    std::ostringstream line;
+    AppendEvent(line, event, tids.at(event.track));
+    out << line.str() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ckpt

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace ckpt {
 
@@ -447,6 +448,33 @@ PreemptAction ClusterScheduler::DecideVictimAction(RtTask* victim) const {
   return PreemptAction::kKill;
 }
 
+void ClusterScheduler::RecordVictimDecision(const RtTask* victim,
+                                            PreemptAction action) const {
+  Observability* obs = config_.obs;
+  if (obs == nullptr) return;
+  const char* name = action == PreemptAction::kKill
+                         ? "kill"
+                         : action == PreemptAction::kCheckpointIncremental
+                               ? "checkpoint_incremental"
+                               : "checkpoint_full";
+  const SimDuration queue =
+      cluster_->node(victim->node).storage().QueueDelay();
+  obs->tracer().Instant(
+      "policy.decision", "policy", Observability::NodeTrack(victim->node),
+      sim_->Now(),
+      {TraceArg::Num("task", static_cast<double>(victim->spec->id.value())),
+       TraceArg::Num("unsaved_progress_s", ToSeconds(UnsavedProgress(victim))),
+       TraceArg::Num("dump_queue_s", ToSeconds(queue)),
+       TraceArg::Num("overhead_s",
+                     ToSeconds(VictimCheckpointOverhead(victim))),
+       TraceArg::Num("threshold", config_.adaptive_threshold),
+       TraceArg::Str("action", name)});
+  obs->metrics()
+      .GetCounter("policy.decisions",
+                  {{"policy", PolicyName(config_.policy)}, {"action", name}})
+      ->Inc();
+}
+
 bool ClusterScheduler::TryPreemptFor(RtTask* task) {
   const Resources& demand = task->spec->demand;
   const int priority = task->spec->priority;
@@ -514,6 +542,7 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
     if (demand.FitsIn(freed)) break;
     freed += victim->spec->demand;
     PreemptAction action = DecideVictimAction(victim);
+    RecordVictimDecision(victim, action);
     PreemptVictim(victim, action);
     if (victim->state == RtTask::State::kDumping) {
       // Remember whom this dump is for; until it completes the beneficiary

@@ -27,6 +27,8 @@
 
 namespace ckpt {
 
+class Observability;
+
 struct SchedulerConfig {
   PreemptionPolicy policy = PreemptionPolicy::kKill;
   StorageMedium medium = StorageMedium::Hdd();
@@ -74,6 +76,9 @@ struct SchedulerConfig {
   int max_backfill_scan = 64;
 
   std::uint64_t seed = 7;
+
+  // Optional metrics/trace sink; not owned, null disables all recording.
+  Observability* obs = nullptr;
 };
 
 struct SimulationResult {
@@ -173,6 +178,7 @@ class ClusterScheduler {
   void DetachFromNode(RtTask* task);
   void ReleaseImage(RtTask* task);
   PreemptAction DecideVictimAction(RtTask* victim) const;
+  void RecordVictimDecision(const RtTask* victim, PreemptAction action) const;
   bool CanIncrement(const RtTask* victim) const;
   SimDuration VictimCheckpointOverhead(const RtTask* victim) const;
   Bytes DumpBytes(const RtTask* victim, bool incremental) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace ckpt {
 
@@ -184,6 +185,39 @@ SimDuration DistributedShellAm::UnsavedProgress(const TaskRt* task) const {
   return progress;
 }
 
+void DistributedShellAm::RecordPolicyDecision(TaskRt* task, bool can_increment,
+                                              const char* action) {
+  Observability* obs = config_.obs;
+  if (obs == nullptr) return;
+  // Algorithm 1's cost terms, recomputed from the same live estimates the
+  // adaptive policy consults; for kill/checkpoint policies this records what
+  // the adaptive decision would have weighed.
+  const NodeId node = task->container.node;
+  const SimDuration queue = rm_->DumpQueueDelay(node);
+  const SimDuration dump_service =
+      engine_->EstimateDumpService(*task->proc, node, can_increment);
+  const SimDuration restore =
+      engine_->EstimateRestore(*task->proc, node, /*local=*/true);
+  const SimDuration unsaved = UnsavedProgress(task);
+  obs->tracer().Instant(
+      "policy.decision", "policy", Observability::NodeTrack(node), sim_->Now(),
+      {TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
+       TraceArg::Num("container",
+                     static_cast<double>(task->container.id.value())),
+       TraceArg::Num("unsaved_progress_s", ToSeconds(unsaved)),
+       TraceArg::Num("dump_queue_s", ToSeconds(queue)),
+       TraceArg::Num("dump_service_s", ToSeconds(dump_service)),
+       TraceArg::Num("restore_s", ToSeconds(restore)),
+       TraceArg::Num("overhead_s", ToSeconds(queue + dump_service + restore)),
+       TraceArg::Num("threshold", config_.adaptive_threshold),
+       TraceArg::Num("incremental_available", can_increment ? 1 : 0),
+       TraceArg::Str("action", action)});
+  obs->metrics()
+      .GetCounter("policy.decisions", {{"policy", PolicyName(config_.policy)},
+                                       {"action", action}})
+      ->Inc();
+}
+
 void DistributedShellAm::HandlePreempt(TaskRt* task) {
   const bool can_increment =
       config_.incremental_checkpoints && task->proc->has_image;
@@ -192,9 +226,13 @@ void DistributedShellAm::HandlePreempt(TaskRt* task) {
       CKPT_CHECK(false) << "wait policy never sends preempt events";
       return;
     case PreemptionPolicy::kKill:
+      RecordPolicyDecision(task, can_increment, "kill");
       KillTask(task);
       return;
     case PreemptionPolicy::kCheckpoint:
+      RecordPolicyDecision(task, can_increment,
+                           can_increment ? "checkpoint_incremental"
+                                         : "checkpoint_full");
       CheckpointTask(task, can_increment);
       return;
     case PreemptionPolicy::kAdaptive: {
@@ -209,6 +247,12 @@ void DistributedShellAm::HandlePreempt(TaskRt* task) {
       const PreemptAction action =
           DecidePreemption(UnsavedProgress(task), overhead, can_increment,
                            config_.adaptive_threshold);
+      RecordPolicyDecision(task, can_increment,
+                           action == PreemptAction::kKill
+                               ? "kill"
+                               : action == PreemptAction::kCheckpointIncremental
+                                     ? "checkpoint_incremental"
+                                     : "checkpoint_full");
       if (action == PreemptAction::kKill) {
         KillTask(task);
       } else {

@@ -77,6 +77,10 @@ class DistributedShellAm final : public AppClient {
   void RequeueTask(TaskRt* task);
   SimDuration UnsavedProgress(const TaskRt* task) const;
   void TouchDirtyPages(TaskRt* task);
+  // Emit the policy.decision instant + counter: the Algorithm-1 cost terms
+  // this AM computed (or would compute) for `task`, and the chosen action.
+  void RecordPolicyDecision(TaskRt* task, bool can_increment,
+                            const char* action);
 
   Simulator* sim_;
   ResourceManager* rm_;

@@ -8,6 +8,7 @@
 
 #include "cluster/node.h"
 #include "common/logging.h"
+#include "obs/observability.h"
 #include "yarn/container.h"
 
 namespace ckpt {
@@ -21,6 +22,23 @@ class NodeManager {
   NodeManager(const NodeManager&) = delete;
   NodeManager& operator=(const NodeManager&) = delete;
 
+  // Optional metrics sink. Handles are resolved once here so the container
+  // ledger records through raw pointers on the hot path.
+  void set_observability(Observability* obs) {
+    if (obs == nullptr) {
+      launched_ = stopped_ = suspended_ctr_ = resumed_ = nullptr;
+      live_gauge_ = nullptr;
+      return;
+    }
+    const MetricLabels labels{{"node", Observability::NodeLabel(id())}};
+    launched_ = obs->metrics().GetCounter("nm.containers.launched", labels);
+    stopped_ = obs->metrics().GetCounter("nm.containers.stopped", labels);
+    suspended_ctr_ = obs->metrics().GetCounter("nm.containers.suspended",
+                                               labels);
+    resumed_ = obs->metrics().GetCounter("nm.containers.resumed", labels);
+    live_gauge_ = obs->metrics().GetGauge("nm.containers.live_peak", labels);
+  }
+
   NodeId id() const { return node_->id(); }
   Node& node() { return *node_; }
 
@@ -28,6 +46,10 @@ class NodeManager {
   bool LaunchContainer(const Container& container) {
     if (!node_->Allocate(container.size)) return false;
     CKPT_CHECK(live_.emplace(container.id, container).second);
+    if (launched_ != nullptr) {
+      launched_->Inc();
+      live_gauge_->Max(static_cast<double>(live_.size()));
+    }
     return true;
   }
 
@@ -42,6 +64,7 @@ class NodeManager {
       node_->Release(it->second.size);
     }
     live_.erase(it);
+    if (stopped_ != nullptr) stopped_->Inc();
   }
 
   // Freeze/unfreeze the container's process (CRIU dump wait or restore
@@ -49,12 +72,18 @@ class NodeManager {
   void SuspendContainer(ContainerId id) {
     auto it = live_.find(id);
     CKPT_CHECK(it != live_.end());
-    if (suspended_.insert(id).second) node_->Suspend(it->second.size);
+    if (suspended_.insert(id).second) {
+      node_->Suspend(it->second.size);
+      if (suspended_ctr_ != nullptr) suspended_ctr_->Inc();
+    }
   }
   void ResumeContainer(ContainerId id) {
     auto it = live_.find(id);
     CKPT_CHECK(it != live_.end());
-    if (suspended_.erase(id) > 0) node_->Resume(it->second.size);
+    if (suspended_.erase(id) > 0) {
+      node_->Resume(it->second.size);
+      if (resumed_ != nullptr) resumed_->Inc();
+    }
   }
 
   bool IsLive(ContainerId id) const { return live_.count(id) > 0; }
@@ -65,6 +94,12 @@ class NodeManager {
   Node* node_;
   std::unordered_map<ContainerId, Container> live_;
   std::unordered_set<ContainerId> suspended_;
+
+  Counter* launched_ = nullptr;
+  Counter* stopped_ = nullptr;
+  Counter* suspended_ctr_ = nullptr;
+  Counter* resumed_ = nullptr;
+  Gauge* live_gauge_ = nullptr;
 };
 
 }  // namespace ckpt

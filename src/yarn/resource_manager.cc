@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace ckpt {
 
@@ -120,6 +121,18 @@ NodeManager* ResourceManager::PickNode(NodeId preferred) {
 }
 
 void ResourceManager::ScheduleLoop() {
+  Observability* obs = config_.obs;
+  Tracer::SpanId span = Tracer::kInvalidSpan;
+  // Idle wakeups (no outstanding asks) are not worth a trace event; they
+  // would dominate the ring without explaining any scheduling decision.
+  const bool traced = obs != nullptr && !asks_.empty();
+  if (traced) {
+    span = obs->tracer().BeginSpan(
+        "rm.schedule_loop", "rm", "rm", sim_->Now(),
+        {TraceArg::Num("pending_asks", static_cast<double>(asks_.size())),
+         TraceArg::Num("live_containers", static_cast<double>(live_.size()))});
+  }
+  const std::int64_t allocated_before = next_container_;
   if (config_.scheduling_mode == SchedulingMode::kCapacity) {
     CapacityAllocate();
   } else {
@@ -131,6 +144,19 @@ void ResourceManager::ScheduleLoop() {
     } else {
       RunPreemptionMonitor();
     }
+  }
+  if (obs != nullptr) {
+    obs->metrics().GetCounter("rm.schedule_loops")->Inc();
+    obs->metrics()
+        .GetCounter("rm.allocations")
+        ->Inc(next_container_ - allocated_before);
+  }
+  if (traced) {
+    obs->tracer().EndSpan(
+        span, sim_->Now(),
+        {TraceArg::Num("allocated",
+                       static_cast<double>(next_container_ - allocated_before)),
+         TraceArg::Num("unplaced_asks", static_cast<double>(asks_.size()))});
   }
 }
 
@@ -251,6 +277,25 @@ void ResourceManager::DispatchPreempts(std::vector<const Container*> victims,
     vacating[victim->node]++;
     ++preempt_events_;
     --count;
+    if (Observability* obs = config_.obs) {
+      const SimDuration queue_delay = DumpQueueDelay(victim->node);
+      obs->tracer().Instant(
+          "rm.preempt_event", "rm", Observability::NodeTrack(victim->node),
+          sim_->Now(),
+          {TraceArg::Num("container", static_cast<double>(victim->id.value())),
+           TraceArg::Num("app", static_cast<double>(victim->app.value())),
+           TraceArg::Num("priority", victim->priority),
+           TraceArg::Num("victim_cost_s", ToSeconds(VictimCost(*victim))),
+           TraceArg::Num("dump_queue_s", ToSeconds(queue_delay))});
+      obs->metrics()
+          .GetCounter("rm.preempt_events",
+                      {{"node", Observability::NodeLabel(victim->node)}})
+          ->Inc();
+      obs->metrics()
+          .GetHistogram("rm.dump_queue_delay_seconds", {},
+                        {0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300})
+          ->Observe(ToSeconds(queue_delay));
+    }
     AppClient* client = app_it->second.client;
     const ContainerId cid = victim->id;
     sim_->ScheduleAfter(config_.rpc_latency,

@@ -3,11 +3,15 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/observability.h"
 
 namespace ckpt {
 
 YarnCluster::YarnCluster(YarnConfig config) : config_(config) {
   sim_ = std::make_unique<Simulator>();
+  if (config_.obs != nullptr) {
+    SetLogClock([sim = sim_.get()] { return sim->Now(); });
+  }
   cluster_ = std::make_unique<Cluster>(sim_.get());
   const Resources per_node{
       config_.container_size.cpus * config_.containers_per_node,
@@ -17,15 +21,19 @@ YarnCluster::YarnCluster(YarnConfig config) : config_(config) {
 
   network_ = std::make_unique<NetworkModel>(sim_.get(), config_.network);
   dfs_ = std::make_unique<DfsCluster>(sim_.get(), network_.get(), config_.dfs);
+  dfs_->set_observability(config_.obs);
   for (Node* node : cluster_->nodes()) {
     network_->AddNode(node->id());
     // The datanode shares the node's checkpoint device, as in the paper
     // (HDFS data directories mounted on the HDD/SSD/PMFS under test).
     dfs_->AddDataNode(node->id(), &node->storage());
     node_managers_.push_back(std::make_unique<NodeManager>(node));
+    node_managers_.back()->set_observability(config_.obs);
   }
   store_ = std::make_unique<DfsStore>(dfs_.get());
-  engine_ = std::make_unique<CheckpointEngine>(sim_.get(), store_.get());
+  store_->set_observability(config_.obs);
+  engine_ =
+      std::make_unique<CheckpointEngine>(sim_.get(), store_.get(), config_.obs);
 
   std::vector<NodeManager*> nms;
   nms.reserve(node_managers_.size());
@@ -33,7 +41,9 @@ YarnCluster::YarnCluster(YarnConfig config) : config_(config) {
   rm_ = std::make_unique<ResourceManager>(sim_.get(), std::move(nms), config_);
 }
 
-YarnCluster::~YarnCluster() = default;
+YarnCluster::~YarnCluster() {
+  if (config_.obs != nullptr) ClearLogClock();
+}
 
 YarnResult YarnCluster::RunWorkload(const Workload& workload) {
   YarnResult result;

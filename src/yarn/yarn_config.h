@@ -13,6 +13,8 @@
 
 namespace ckpt {
 
+class Observability;
+
 // Scheduling discipline of the ResourceManager (paper S3.1: "multiple
 // scheduling policies — such as priority, fair-sharing and capacity
 // scheduling — can be employed").
@@ -54,6 +56,10 @@ struct YarnConfig {
   // containers per node may be vacating (dumping) at a time; the remaining
   // candidates keep running until the monitor's next round reaches them.
   int max_vacating_per_node = 2;
+
+  // Optional metrics/trace context shared by every component of the
+  // cluster; null (the default) disables observability entirely.
+  Observability* obs = nullptr;
 
   // Plumbing.
   SimDuration rpc_latency = Millis(1);

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "obs/observability.h"
 #include "trace/google_trace.h"
 
 namespace ckpt {
@@ -20,7 +21,8 @@ struct TwoJobResult {
 
 TwoJobResult RunTwoJobScenario(PreemptionPolicy policy,
                                StorageMedium medium,
-                               double threshold = 1.0) {
+                               double threshold = 1.0,
+                               Observability* obs = nullptr) {
   Simulator sim;
   Cluster cluster(&sim);
   cluster.AddNodes(1, Resources{4.0, GiB(16)}, medium);
@@ -29,6 +31,7 @@ TwoJobResult RunTwoJobScenario(PreemptionPolicy policy,
   config.policy = policy;
   config.medium = medium;
   config.adaptive_threshold = threshold;
+  config.obs = obs;
 
   Workload workload;
   {
@@ -168,6 +171,48 @@ TEST(TwoJobScenario, EnergyOrderingMatchesFig4c) {
       RunTwoJobScenario(PreemptionPolicy::kKill, StorageMedium::Nvm());
   // Wait wastes no cycles; kill repeats 30 s of work.
   EXPECT_LT(wait.sim.energy_kwh, kill.sim.energy_kwh);
+}
+
+TEST(TwoJobScenario, ObservabilityRecordsVictimDecision) {
+  Observability obs;
+  const TwoJobResult r = RunTwoJobScenario(PreemptionPolicy::kAdaptive,
+                                           StorageMedium::Nvm(), 1.0, &obs);
+  ASSERT_GE(r.sim.preemptions, 1);
+  // Every victim decision produced a counter tick and a trace instant with
+  // Algorithm 1's terms.
+  std::int64_t decisions = 0;
+  for (const char* action :
+       {"kill", "checkpoint_full", "checkpoint_incremental"}) {
+    decisions += obs.metrics()
+                     .GetCounter("policy.decisions",
+                                 {{"policy", "Adaptive"}, {"action", action}})
+                     ->value();
+  }
+  EXPECT_EQ(decisions, r.sim.preemptions);
+  std::int64_t instants = 0;
+  bool has_terms = false;
+  for (const TraceRecord& event : obs.tracer().SortedEvents()) {
+    if (event.name != "policy.decision") continue;
+    instants++;
+    for (const TraceArg& arg : event.args) {
+      if (arg.key == "unsaved_progress_s") has_terms = true;
+    }
+  }
+  EXPECT_EQ(instants, r.sim.preemptions);
+  EXPECT_TRUE(has_terms);
+}
+
+TEST(TwoJobScenario, ObservabilityDoesNotPerturbResults) {
+  Observability obs;
+  const TwoJobResult with_obs = RunTwoJobScenario(
+      PreemptionPolicy::kCheckpoint, StorageMedium::Ssd(), 1.0, &obs);
+  const TwoJobResult without = RunTwoJobScenario(PreemptionPolicy::kCheckpoint,
+                                                 StorageMedium::Ssd());
+  EXPECT_EQ(with_obs.sim.preemptions, without.sim.preemptions);
+  EXPECT_EQ(with_obs.sim.checkpoints, without.sim.checkpoints);
+  EXPECT_DOUBLE_EQ(with_obs.high_response, without.high_response);
+  EXPECT_DOUBLE_EQ(with_obs.low_response, without.low_response);
+  EXPECT_DOUBLE_EQ(with_obs.sim.wasted_core_hours, without.sim.wasted_core_hours);
 }
 
 TEST(TwoJobScenario, DeterministicAcrossRuns) {

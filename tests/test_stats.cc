@@ -58,6 +58,24 @@ TEST(Cdf, QuantileInvertsAt) {
   EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 50.0);
 }
 
+TEST(Cdf, ShuffledInputSortsBeforeQuerying) {
+  // At/Quantile binary-search the sample vector, so construction must sort
+  // regardless of input order: a shuffled and a sorted copy of the same
+  // samples have to answer identically.
+  const std::vector<double> shuffled{7.0, 1.0, 9.0, 3.0, 5.0};
+  const std::vector<double> sorted{1.0, 3.0, 5.0, 7.0, 9.0};
+  Cdf a(shuffled);
+  Cdf b(sorted);
+  for (double x : {0.0, 1.0, 2.0, 4.9, 5.0, 8.0, 9.0, 10.0}) {
+    EXPECT_DOUBLE_EQ(a.At(x), b.At(x)) << "x=" << x;
+  }
+  for (double q : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(a.At(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(a.Quantile(1.0), 9.0);
+}
+
 TEST(Cdf, SeriesSpansRangeAndIsMonotone) {
   Cdf cdf({1.0, 5.0, 9.0, 2.0, 7.0});
   const auto series = cdf.Series(10);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/observability.h"
 #include "trace/facebook_workload.h"
 
 namespace ckpt {
@@ -63,6 +64,74 @@ TEST(YarnIntegration, AllJobsCompleteUnderEveryPolicy) {
     EXPECT_EQ(result.jobs_completed, 2) << PolicyName(policy);
     EXPECT_EQ(result.tasks_completed, 16) << PolicyName(policy);
   }
+}
+
+TEST(YarnIntegration, ObservabilityMatchesResultCounters) {
+  Observability obs;
+  YarnConfig config = SmallConfig(PreemptionPolicy::kCheckpoint,
+                                  StorageMedium::Nvm());
+  config.obs = &obs;
+  YarnCluster yarn(config);
+  const YarnResult result = yarn.RunWorkload(TwoJobYarnWorkload(8, 8));
+  ASSERT_GT(result.checkpoints, 0);
+
+  // Metric totals must agree with the AM-side statistics.
+  std::int64_t dump_count = 0;
+  std::int64_t decision_count = 0;
+  std::int64_t preempt_count = 0;
+  std::int64_t dump_spans = 0;
+  for (int n = 0; n < config.num_nodes; ++n) {
+    const MetricLabels node_labels{{"node", std::to_string(n)}};
+    for (const char* mode : {"full", "incremental"}) {
+      dump_count += obs.metrics()
+                        .GetCounter("ckpt.dump.count",
+                                    {{"node", std::to_string(n)},
+                                     {"mode", mode}})
+                        ->value();
+    }
+    preempt_count +=
+        obs.metrics().GetCounter("rm.preempt_events", node_labels)->value();
+  }
+  for (const char* action :
+       {"kill", "checkpoint_full", "checkpoint_incremental"}) {
+    decision_count += obs.metrics()
+                          .GetCounter("policy.decisions",
+                                      {{"policy", "Checkpoint"},
+                                       {"action", action}})
+                          ->value();
+  }
+  EXPECT_EQ(dump_count, result.checkpoints);
+  // A decision is made for each preempt notice that still found its task
+  // running; under this policy every decision starts a dump.
+  EXPECT_EQ(decision_count, result.checkpoints);
+  // The RM counts dispatched notices; the AM may see fewer (tasks that
+  // completed or changed state before the RPC landed decide nothing).
+  EXPECT_GE(preempt_count, result.preempt_events);
+
+  // Each completed checkpoint shows up as one ckpt.dump span.
+  for (const TraceRecord& event : obs.tracer().SortedEvents()) {
+    if (event.name == "ckpt.dump") dump_spans++;
+  }
+  EXPECT_EQ(dump_spans, result.checkpoints);
+  EXPECT_EQ(obs.tracer().open_spans(), 0u);  // no leaked spans at drain
+}
+
+TEST(YarnIntegration, ObservabilityDoesNotPerturbSimulation) {
+  YarnConfig config = SmallConfig(PreemptionPolicy::kAdaptive,
+                                  StorageMedium::Ssd());
+  YarnCluster plain(config);
+  const YarnResult without = plain.RunWorkload(TwoJobYarnWorkload(8, 8));
+
+  Observability obs;
+  config.obs = &obs;
+  YarnCluster traced(config);
+  const YarnResult with_obs = traced.RunWorkload(TwoJobYarnWorkload(8, 8));
+
+  EXPECT_EQ(with_obs.preempt_events, without.preempt_events);
+  EXPECT_EQ(with_obs.checkpoints, without.checkpoints);
+  EXPECT_EQ(with_obs.kills, without.kills);
+  EXPECT_EQ(with_obs.makespan, without.makespan);
+  EXPECT_DOUBLE_EQ(with_obs.wasted_core_hours, without.wasted_core_hours);
 }
 
 TEST(YarnIntegration, KillPolicyKillsAndNeverCheckpoints) {
