@@ -38,6 +38,7 @@ void Report(const char* name, const SimulationResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int workers = ExtractJobsFlag(&argc, argv);
   const int jobs = argc > 1 ? std::atoi(argv[1]) : 1000;
   const Workload workload = GoogleDayWorkload(jobs);
   std::printf("Ablations | %zu jobs, %lld tasks, SSD unless noted\n",
@@ -48,61 +49,99 @@ int main(int argc, char** argv) {
   base.policy = PreemptionPolicy::kAdaptive;
   base.medium = StorageMedium::Ssd();
 
-  PrintHeader("Ablation 1: victim selection order (adaptive policy)");
-  for (auto [name, order] :
-       {std::pair{"cost-aware", VictimOrder::kCostAware},
-        std::pair{"lowest-priority", VictimOrder::kLowestPriority},
-        std::pair{"random", VictimOrder::kRandom}}) {
-    TraceSimOptions options = base;
-    options.victim_order = order;
-    Report(name, RunTraceSim(workload, options));
+  // Flatten every ablation into one cell list so --jobs N spreads all 18
+  // simulations across workers; sections print afterwards in order.
+  struct Section {
+    std::string header;
+    std::vector<std::pair<std::string, TraceSimOptions>> rows;
+  };
+  std::vector<Section> sections;
+
+  {
+    Section s{"Ablation 1: victim selection order (adaptive policy)", {}};
+    for (auto [name, order] :
+         {std::pair{"cost-aware", VictimOrder::kCostAware},
+          std::pair{"lowest-priority", VictimOrder::kLowestPriority},
+          std::pair{"random", VictimOrder::kRandom}}) {
+      TraceSimOptions options = base;
+      options.victim_order = order;
+      s.rows.emplace_back(name, options);
+    }
+    sections.push_back(std::move(s));
+  }
+  {
+    Section s{"Ablation 2: adaptive threshold k (progress > k*overhead)", {}};
+    for (double k : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      TraceSimOptions options = base;
+      options.adaptive_threshold = k;
+      char name[32];
+      std::snprintf(name, sizeof(name), "k=%.2f", k);
+      s.rows.emplace_back(name, options);
+    }
+    sections.push_back(std::move(s));
+  }
+  {
+    Section s{"Ablation 3: resumption policy (Algorithm 2 vs fixed)", {}};
+    for (auto [name, policy] :
+         {std::pair{"adaptive", RestorePolicy::kAdaptive},
+          std::pair{"always-local", RestorePolicy::kAlwaysLocal},
+          std::pair{"always-remote", RestorePolicy::kAlwaysRemote}}) {
+      TraceSimOptions options = base;
+      options.restore_policy = policy;
+      s.rows.emplace_back(name, options);
+    }
+    sections.push_back(std::move(s));
+  }
+  {
+    Section s{"Ablation 4: incremental checkpointing", {}};
+    for (auto [name, incremental] :
+         {std::pair{"incremental", true}, std::pair{"full-dumps", false}}) {
+      TraceSimOptions options = base;
+      options.incremental = incremental;
+      s.rows.emplace_back(name, options);
+    }
+    sections.push_back(std::move(s));
+  }
+  {
+    Section s{"Ablation 5: checkpoint destination (DFS vs local-only)", {}};
+    for (auto [name, dfs] :
+         {std::pair{"dfs (paper)", true}, std::pair{"local-only", false}}) {
+      TraceSimOptions options = base;
+      options.checkpoint_to_dfs = dfs;
+      s.rows.emplace_back(name, options);
+    }
+    sections.push_back(std::move(s));
+  }
+  {
+    Section s{
+        "Ablation 6: QoS guard (latency-sensitive tasks excluded from "
+        "victim sets; cf. Table 2's 14.8% class-3 preemption rate)",
+        {}};
+    for (auto [name, threshold] :
+         {std::pair{"no guard (trace)", kNumLatencyClasses},
+          std::pair{"protect class 3", 3},
+          std::pair{"protect class 2+", 2}}) {
+      TraceSimOptions options = base;
+      options.protect_latency_class_at_least = threshold;
+      s.rows.emplace_back(name, options);
+    }
+    sections.push_back(std::move(s));
   }
 
-  PrintHeader("Ablation 2: adaptive threshold k (progress > k*overhead)");
-  for (double k : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    TraceSimOptions options = base;
-    options.adaptive_threshold = k;
-    char name[32];
-    std::snprintf(name, sizeof(name), "k=%.2f", k);
-    Report(name, RunTraceSim(workload, options));
+  std::vector<const TraceSimOptions*> cells;
+  for (const Section& s : sections) {
+    for (const auto& row : s.rows) cells.push_back(&row.second);
   }
+  const std::vector<SimulationResult> results = RunSweep<SimulationResult>(
+      workers, static_cast<int>(cells.size()),
+      [&](int i) { return RunTraceSim(workload, *cells[i]); });
 
-  PrintHeader("Ablation 3: resumption policy (Algorithm 2 vs fixed)");
-  for (auto [name, policy] :
-       {std::pair{"adaptive", RestorePolicy::kAdaptive},
-        std::pair{"always-local", RestorePolicy::kAlwaysLocal},
-        std::pair{"always-remote", RestorePolicy::kAlwaysRemote}}) {
-    TraceSimOptions options = base;
-    options.restore_policy = policy;
-    Report(name, RunTraceSim(workload, options));
-  }
-
-  PrintHeader("Ablation 4: incremental checkpointing");
-  for (auto [name, incremental] :
-       {std::pair{"incremental", true}, std::pair{"full-dumps", false}}) {
-    TraceSimOptions options = base;
-    options.incremental = incremental;
-    Report(name, RunTraceSim(workload, options));
-  }
-
-  PrintHeader("Ablation 5: checkpoint destination (DFS vs local-only)");
-  for (auto [name, dfs] :
-       {std::pair{"dfs (paper)", true}, std::pair{"local-only", false}}) {
-    TraceSimOptions options = base;
-    options.checkpoint_to_dfs = dfs;
-    Report(name, RunTraceSim(workload, options));
-  }
-
-  PrintHeader(
-      "Ablation 6: QoS guard (latency-sensitive tasks excluded from "
-      "victim sets; cf. Table 2's 14.8% class-3 preemption rate)");
-  for (auto [name, threshold] :
-       {std::pair{"no guard (trace)", kNumLatencyClasses},
-        std::pair{"protect class 3", 3},
-        std::pair{"protect class 2+", 2}}) {
-    TraceSimOptions options = base;
-    options.protect_latency_class_at_least = threshold;
-    Report(name, RunTraceSim(workload, options));
+  size_t cell = 0;
+  for (const Section& s : sections) {
+    PrintHeader(s.header);
+    for (const auto& row : s.rows) {
+      Report(row.first.c_str(), results[cell++]);
+    }
   }
 
   return 0;

@@ -9,10 +9,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/thread_pool.h"
 #include "metrics/report.h"
 #include "obs/observability.h"
 #include "scheduler/cluster_scheduler.h"
@@ -84,6 +86,10 @@ struct TraceSimOptions {
   // Average demand vs capacity: >=1.0 reproduces the paper's congested
   // cluster, where peaks routinely exceed capacity and force preemption.
   double target_util = 0.9;
+
+  // Optional metrics/trace sink for this run; not owned, null disables all
+  // recording. Parallel sweeps must give each cell its own instance.
+  Observability* obs = nullptr;
 };
 
 inline SimulationResult RunTraceSim(const Workload& workload,
@@ -105,6 +111,7 @@ inline SimulationResult RunTraceSim(const Workload& workload,
   config.checkpoint_to_dfs = options.checkpoint_to_dfs;
   config.resubmit_delay = options.resubmit_delay;
   config.protect_latency_class_at_least = options.protect_latency_class_at_least;
+  config.obs = options.obs;
   ClusterScheduler scheduler(&sim, &cluster, config);
   scheduler.Submit(workload);
   return scheduler.Run();
@@ -121,6 +128,45 @@ inline const char* BandLabel(PriorityBand band) {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// Strip "--jobs=N" / "--jobs N" from argv (so positional arguments keep
+// their meaning) and return the worker count, defaulting to 1. Benches use
+// it to run independent sweep cells concurrently; N=1 runs every cell
+// inline, which is the reference execution the determinism tests compare
+// against.
+inline int ExtractJobsFlag(int* argc, char** argv) {
+  int workers = 1;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      workers = std::atoi(arg.c_str() + 7);
+      continue;
+    }
+    if (arg == "--jobs" && i + 1 < *argc) {
+      workers = std::atoi(argv[++i]);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  return workers < 1 ? 1 : workers;
+}
+
+// Run `cells` independent sweep cells on up to `workers` threads and return
+// the results indexed by cell. Each cell must be self-contained (private
+// Simulator/Cluster/scheduler, no shared RNG); the caller formats output
+// from the returned vector in cell order, so stdout is byte-identical for
+// any worker count.
+template <typename T>
+std::vector<T> RunSweep(int workers, int cells,
+                        const std::function<T(int)>& cell_fn) {
+  std::vector<T> out(static_cast<size_t>(cells));
+  ParallelForIndexed(workers, cells, [&](std::int64_t i) {
+    out[static_cast<size_t>(i)] = cell_fn(static_cast<int>(i));
+  });
+  return out;
 }
 
 }  // namespace ckpt::bench

@@ -9,6 +9,7 @@
 // (NVM: -74%/-23%) while high priority suffers on slow media.
 #include <array>
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.h"
 
@@ -16,32 +17,77 @@ using namespace ckpt;
 using namespace ckpt::bench;
 
 int main(int argc, char** argv) {
+  const int workers = ExtractJobsFlag(&argc, argv);
   const int jobs = argc > 1 ? std::atoi(argv[1]) : 2000;
   const Workload workload = GoogleDayWorkload(jobs);
   std::printf("Fig 3 | one-day Google-like trace: %zu jobs, %lld tasks\n",
               workload.jobs.size(),
               static_cast<long long>(workload.TotalTasks()));
 
-  struct Row {
+  // One cell per policy row; cells run on private simulators (the workload
+  // is shared read-only), so --jobs N changes wall time, never output.
+  struct Cell {
     std::string name;
-    SimulationResult result;
+    TraceSimOptions options;
   };
-  std::vector<Row> rows;
-
+  std::vector<Cell> cells;
   {
     TraceSimOptions kill;
     kill.policy = PreemptionPolicy::kKill;
     // The stock scheduler does not pick victims by checkpoint cost; it
     // kills whatever occupies the slots the high-priority task wants.
     kill.victim_order = VictimOrder::kRandom;
-    rows.push_back({"Kill", RunTraceSim(workload, kill)});
+    cells.push_back({"Kill", kill});
   }
   for (MediaKind kind : {MediaKind::kHdd, MediaKind::kSsd, MediaKind::kNvm}) {
     TraceSimOptions chk;
     chk.policy = PreemptionPolicy::kCheckpoint;
     chk.medium = MediumFor(kind);
-    rows.push_back({std::string("Chk-") + MediaName(kind),
-                    RunTraceSim(workload, chk)});
+    cells.push_back({std::string("Chk-") + MediaName(kind), chk});
+  }
+
+  // With CKPT_OBS=1 each cell records into a private Observability and the
+  // metric snapshots are combined in cell order (identical for any --jobs),
+  // mirroring bench_fig8_yarn. scripts/bench_perf.sh reads the
+  // sim.events_processed gauges from this file.
+  const bool obs_enabled = ObsEnabled();
+  struct CellOutput {
+    SimulationResult result;
+    std::string metrics_entry;
+  };
+  const std::vector<CellOutput> outputs = RunSweep<CellOutput>(
+      workers, static_cast<int>(cells.size()), [&](int i) {
+        CellOutput out;
+        Observability obs;
+        TraceSimOptions options = cells[i].options;
+        if (obs_enabled) options.obs = &obs;
+        out.result = RunTraceSim(workload, options);
+        if (obs_enabled) {
+          out.metrics_entry = "{\"name\":\"" + cells[i].name +
+                              "\",\"metrics\":" + obs.metrics().ToJson() + "}";
+        }
+        return out;
+      });
+
+  struct Row {
+    std::string name;
+    SimulationResult result;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    rows.push_back({cells[i].name, outputs[i].result});
+  }
+  if (obs_enabled) {
+    std::string metrics_json = "{\"runs\":[";
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (i > 0) metrics_json += ",";
+      metrics_json += outputs[i].metrics_entry;
+    }
+    metrics_json += "]}\n";
+    const std::string path = ObsPath("bench_fig3_trace_sim.metrics.json");
+    std::ofstream out(path);
+    out << metrics_json;
+    if (!out) std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
   }
 
   PrintHeader("Fig 3a: Resource wastage");

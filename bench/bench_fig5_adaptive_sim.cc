@@ -13,26 +13,41 @@ using namespace ckpt;
 using namespace ckpt::bench;
 
 int main(int argc, char** argv) {
+  const int workers = ExtractJobsFlag(&argc, argv);
   const int jobs = argc > 1 ? std::atoi(argv[1]) : 1500;
   const Workload workload = GoogleDayWorkload(jobs);
   std::printf("Fig 5 | one-day trace: %zu jobs, %lld tasks\n",
               workload.jobs.size(),
               static_cast<long long>(workload.TotalTasks()));
 
-  for (MediaKind kind : {MediaKind::kHdd, MediaKind::kSsd, MediaKind::kNvm}) {
+  // Two cells (basic, adaptive) per medium; run all six concurrently and
+  // print per-medium sections afterwards in fixed order.
+  const std::vector<MediaKind> media{MediaKind::kHdd, MediaKind::kSsd,
+                                     MediaKind::kNvm};
+  std::vector<TraceSimOptions> cells;
+  for (MediaKind kind : media) {
     TraceSimOptions basic;
     basic.policy = PreemptionPolicy::kCheckpoint;
     basic.medium = MediumFor(kind);
     // "Basic" is the naive integration: no cost-aware eviction, full dumps.
     basic.victim_order = VictimOrder::kRandom;
     basic.incremental = false;
-    const SimulationResult basic_result = RunTraceSim(workload, basic);
+    cells.push_back(basic);
 
     TraceSimOptions adaptive = basic;
     adaptive.policy = PreemptionPolicy::kAdaptive;
     adaptive.victim_order = VictimOrder::kCostAware;
     adaptive.incremental = true;
-    const SimulationResult adaptive_result = RunTraceSim(workload, adaptive);
+    cells.push_back(adaptive);
+  }
+  const std::vector<SimulationResult> results = RunSweep<SimulationResult>(
+      workers, static_cast<int>(cells.size()),
+      [&](int i) { return RunTraceSim(workload, cells[i]); });
+
+  for (size_t m = 0; m < media.size(); ++m) {
+    const MediaKind kind = media[m];
+    const SimulationResult& basic_result = results[2 * m];
+    const SimulationResult& adaptive_result = results[2 * m + 1];
 
     PrintHeader(std::string("Fig 5 (") + MediaName(kind) +
                 "): response normalized to Basic");

@@ -16,6 +16,7 @@ using namespace ckpt;
 using namespace ckpt::bench;
 
 int main(int argc, char** argv) {
+  const int workers = ExtractJobsFlag(&argc, argv);
   const int tasks = argc > 1 ? std::atoi(argv[1]) : 7000;
   const Workload workload = FacebookYarnWorkload(40, tasks);
   std::printf("Fig 8 | Facebook-derived workload: %zu jobs, %lld tasks, "
@@ -23,46 +24,69 @@ int main(int argc, char** argv) {
               workload.jobs.size(),
               static_cast<long long>(workload.TotalTasks()));
 
-  struct Row {
-    std::string name;
-    YarnResult result;
-  };
-  std::vector<Row> rows;
   // With CKPT_OBS=1 each policy row gets its own Observability (the rows are
   // independent sim timelines, so they get separate trace files); metric
-  // snapshots are combined into one bench_fig8_yarn.metrics.json.
+  // snapshots are combined into one bench_fig8_yarn.metrics.json. Rows are
+  // independent cells: each run holds a private Observability and its own
+  // trace file, and per-row metrics JSON is assembled after the sweep so
+  // the file is identical for any --jobs value.
   const bool obs_enabled = ObsEnabled();
-  std::string metrics_json = "{\"runs\":[";
-  auto run_row = [&](const std::string& name, YarnBenchOptions options) {
-    Observability obs;
-    if (obs_enabled) options.obs = &obs;
-    rows.push_back({name, RunYarn(workload, options)});
-    if (obs_enabled) {
-      const std::string path =
-          ObsPath("bench_fig8_yarn." + name + ".trace.json");
-      if (!obs.WriteChromeTrace(path)) {
-        std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
-      }
-      if (rows.size() > 1) metrics_json += ",";
-      metrics_json +=
-          "{\"name\":\"" + name + "\",\"metrics\":" + obs.metrics().ToJson() +
-          "}";
-    }
+  struct Cell {
+    std::string name;
+    YarnBenchOptions options;
   };
+  std::vector<Cell> cells;
   {
     YarnBenchOptions kill;
     kill.policy = PreemptionPolicy::kKill;
     kill.victim_order = VictimOrder::kRandom;  // stock YARN victim choice
     kill.media = MediaKind::kHdd;
-    run_row("Kill", kill);
+    cells.push_back({"Kill", kill});
   }
   for (MediaKind kind : {MediaKind::kHdd, MediaKind::kSsd, MediaKind::kNvm}) {
     YarnBenchOptions chk;
     chk.policy = PreemptionPolicy::kCheckpoint;
     chk.media = kind;
-    run_row(std::string("Chk-") + MediaName(kind), chk);
+    cells.push_back({std::string("Chk-") + MediaName(kind), chk});
+  }
+
+  struct CellOutput {
+    YarnResult result;
+    std::string metrics_entry;
+  };
+  const std::vector<CellOutput> outputs = RunSweep<CellOutput>(
+      workers, static_cast<int>(cells.size()), [&](int i) {
+        CellOutput out;
+        Observability obs;
+        YarnBenchOptions options = cells[i].options;
+        if (obs_enabled) options.obs = &obs;
+        out.result = RunYarn(workload, options);
+        if (obs_enabled) {
+          const std::string path =
+              ObsPath("bench_fig8_yarn." + cells[i].name + ".trace.json");
+          if (!obs.WriteChromeTrace(path)) {
+            std::fprintf(stderr, "obs: cannot write %s\n", path.c_str());
+          }
+          out.metrics_entry = "{\"name\":\"" + cells[i].name +
+                              "\",\"metrics\":" + obs.metrics().ToJson() + "}";
+        }
+        return out;
+      });
+
+  struct Row {
+    std::string name;
+    YarnResult result;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    rows.push_back({cells[i].name, outputs[i].result});
   }
   if (obs_enabled) {
+    std::string metrics_json = "{\"runs\":[";
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (i > 0) metrics_json += ",";
+      metrics_json += outputs[i].metrics_entry;
+    }
     metrics_json += "]}\n";
     const std::string path = ObsPath("bench_fig8_yarn.metrics.json");
     std::ofstream out(path);

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Performance snapshot for the event core and sweep runner: times the two
+# heaviest figure benches and the simulator micro-benchmark, computes
+# events/sec from the sim.events_processed gauges (CKPT_OBS=1), and writes
+# everything to BENCH_PERF.json in the repo root.
+#
+# Usage: scripts/bench_perf.sh [build-dir] [out-file]
+# Env:   BENCH_PERF_JOBS  worker counts to time the sweeps at (default "1 4")
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_file="${2:-$repo_root/BENCH_PERF.json}"
+jobs_list="${BENCH_PERF_JOBS:-1 4}"
+
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+
+# Wall-clock a command, print seconds to stdout (bash SECONDS has 1s
+# granularity; use python for sub-second timing without extra deps).
+now() { python3 -c 'import time; print(repr(time.time()))'; }
+
+entries=()
+
+sum_events() {
+  python3 - "$1" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+total = 0
+for run in doc.get("runs", [doc]):
+    for metric in run["metrics"]["metrics"]:
+        if metric["name"] == "sim.events_processed":
+            total += int(metric["value"])
+print(total)
+EOF
+}
+
+run_sweep_bench() {
+  local name="$1" binary="$2" metrics_file="$3"
+  shift 3
+  for jobs in $jobs_list; do
+    local t0 t1 seconds events
+    t0="$(now)"
+    CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$binary" --jobs "$jobs" "$@" \
+      > "$obs_dir/$name.j$jobs.stdout.txt"
+    t1="$(now)"
+    seconds="$(python3 -c "print(f'{$t1 - $t0:.3f}')")"
+    events="$(sum_events "$obs_dir/$metrics_file")"
+    local eps
+    eps="$(python3 -c "print(f'{$events / $seconds:.0f}')")"
+    echo "bench_perf: $name jobs=$jobs seconds=$seconds events=$events" \
+         "events_per_sec=$eps"
+    entries+=("{\"bench\":\"$name\",\"jobs\":$jobs,\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps}")
+  done
+}
+
+run_sweep_bench fig3 "$build_dir/bench/bench_fig3_trace_sim" \
+  bench_fig3_trace_sim.metrics.json
+run_sweep_bench fig8 "$build_dir/bench/bench_fig8_yarn" \
+  bench_fig8_yarn.metrics.json
+
+# Micro-benchmark: the binary reports events/sec per scenario itself.
+micro_out="$obs_dir/micro.stdout.txt"
+t0="$(now)"
+"$build_dir/bench/bench_micro_sim" > "$micro_out"
+t1="$(now)"
+micro_seconds="$(python3 -c "print(f'{$t1 - $t0:.3f}')")"
+echo "bench_perf: micro_sim seconds=$micro_seconds"
+while read -r scenario impl events seconds eps; do
+  entries+=("{\"bench\":\"micro_sim\",\"scenario\":\"${scenario#scenario=}\",\"impl\":\"${impl#impl=}\",\"events\":${events#events=},\"seconds\":${seconds#seconds=},\"events_per_sec\":${eps#events_per_sec=}}")
+done < <(grep '^scenario=' "$micro_out")
+grep '^speedup' "$micro_out" | sed 's/^/bench_perf: micro_sim /'
+
+{
+  echo '{'
+  echo "  \"generated_by\": \"scripts/bench_perf.sh\","
+  echo "  \"jobs_timed\": \"$jobs_list\","
+  echo '  "results": ['
+  for i in "${!entries[@]}"; do
+    sep=','
+    [[ $i -eq $((${#entries[@]} - 1)) ]] && sep=''
+    echo "    ${entries[$i]}$sep"
+  done
+  echo '  ]'
+  echo '}'
+} > "$out_file"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out_file"
+echo "bench_perf: wrote $out_file"

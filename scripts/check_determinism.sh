@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Parallel sweeps must be byte-identical to their single-threaded reference
+# execution: cells run on private Simulators and merge in cell order, so any
+# divergence is a determinism bug (shared state, reordered output, a stray
+# RNG). Compares stdout of
+#   * bench_fig3_trace_sim  --jobs 1  vs  --jobs 8   (small workload)
+#   * ckpt-sim sweep        --parallel 1 vs --parallel 8
+#
+# Usage: scripts/check_determinism.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+work_dir="$(mktemp -d)"
+trap 'rm -rf "$work_dir"' EXIT
+
+fail=0
+
+compare() {
+  local name="$1" ref="$2" par="$3"
+  if cmp -s "$ref" "$par"; then
+    echo "check_determinism: $name identical"
+  else
+    echo "check_determinism: FAIL: $name differs between serial and parallel:"
+    diff "$ref" "$par" | head -20
+    fail=1
+  fi
+}
+
+"$build_dir/bench/bench_fig3_trace_sim" --jobs 1 150 \
+  > "$work_dir/fig3.serial.txt"
+"$build_dir/bench/bench_fig3_trace_sim" --jobs 8 150 \
+  > "$work_dir/fig3.parallel.txt"
+compare "bench_fig3_trace_sim" \
+  "$work_dir/fig3.serial.txt" "$work_dir/fig3.parallel.txt"
+
+sweep_args=(--jobs=40 --sweep-policies=kill,checkpoint,adaptive
+  --sweep-media=hdd,ssd --sweep-seeds=1,2)
+"$build_dir/tools/ckpt-sim" "${sweep_args[@]}" --parallel=1 \
+  > "$work_dir/sweep.serial.txt"
+"$build_dir/tools/ckpt-sim" "${sweep_args[@]}" --parallel=8 \
+  > "$work_dir/sweep.parallel.txt"
+compare "ckpt-sim sweep" \
+  "$work_dir/sweep.serial.txt" "$work_dir/sweep.parallel.txt"
+
+exit "$fail"

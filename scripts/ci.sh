@@ -4,8 +4,13 @@
 # scripts/check_trace.py accepts, including ckpt.dump spans and
 # policy.decision instants (the Algorithm-1 cost terms).
 #
+# A second lane rebuilds the threaded pieces under ThreadSanitizer and runs
+# the thread-pool tests plus the parallel-sweep determinism check
+# (scripts/check_determinism.sh) with TSan watching the workers.
+#
 # Usage: scripts/ci.sh [build-dir]
-# Env:   CKPT_SANITIZE=address|undefined forwards to CMake.
+# Env:   CKPT_SANITIZE=address|undefined|thread forwards to CMake.
+#        CKPT_CI_TSAN=0 skips the ThreadSanitizer lane.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -39,5 +44,19 @@ python3 "$repo_root/scripts/check_trace.py" \
 test -s "$obs_dir/bench_fig8_yarn.metrics.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   "$obs_dir/bench_fig8_yarn.metrics.json"
+
+# ThreadSanitizer lane: the simulator is single-threaded, so the only code
+# that may race is the sweep runner (thread pool + per-cell merge). Build
+# just those targets under TSan and run the threaded tests and the
+# serial-vs-parallel determinism diff.
+if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
+  tsan_dir="$build_dir-tsan"
+  cmake -B "$tsan_dir" -S "$repo_root" -DCKPT_SANITIZE=thread
+  cmake --build "$tsan_dir" -j "$(nproc)" \
+    --target test_thread_pool bench_fig3_trace_sim ckpt_sim_cli
+  "$tsan_dir/tests/test_thread_pool"
+  "$repo_root/scripts/check_determinism.sh" "$tsan_dir"
+  echo "ci.sh: TSan lane passed"
+fi
 
 echo "ci.sh: all checks passed"

@@ -8,7 +8,9 @@ namespace ckpt {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::function<std::int64_t()> g_clock;
+// Thread-local: parallel sweeps run one Simulator per worker thread, and
+// each registers its own clock without synchronization.
+thread_local std::function<std::int64_t()> g_clock;
 
 const char* LevelName(LogLevel level) {
   switch (level) {

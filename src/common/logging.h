@@ -26,7 +26,8 @@ void SetLogLevel(LogLevel level);
 // Optional simulated-time source. When registered, log lines are prefixed
 // with the clock's current value in seconds ("[  12.345678s]") so messages
 // can be correlated with trace events. Owners must ClearLogClock before the
-// clock's backing object is destroyed.
+// clock's backing object is destroyed. The clock is thread-local: each
+// sweep worker thread registers the clock of its own private Simulator.
 void SetLogClock(std::function<std::int64_t()> now_usec);
 void ClearLogClock();
 

@@ -1,0 +1,76 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(workers, 1);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  CKPT_CHECK(fn != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CKPT_CHECK(!stop_) << "Submit after destruction began";
+    queue_.push_back(std::move(fn));
+    ++inflight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--inflight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelForIndexed(int workers, std::int64_t n,
+                        const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (workers <= 1 || n == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(static_cast<int>(
+      std::min<std::int64_t>(workers, n)));
+  for (std::int64_t i = 0; i < n; ++i) {
+    pool.Submit([&fn, i] { fn(i); });
+  }
+  pool.Wait();
+}
+
+}  // namespace ckpt

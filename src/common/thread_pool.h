@@ -1,0 +1,59 @@
+// Fixed-size worker pool for embarrassingly parallel sweeps.
+//
+// The simulator itself is single-threaded by design; parallelism lives one
+// level up, where benches and tools run independent (policy, medium, seed)
+// cells on private Simulator instances. ParallelForIndexed is the only
+// pattern they need: run fn(0..n-1) with each invocation writing its own
+// result slot, so the merged output is in deterministic cell order no
+// matter how the cells interleave. See docs/PERFORMANCE.md.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ckpt {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (at least 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();  // drains the queue, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Enqueue a task. Tasks must not throw (the codebase reports programming
+  // errors via CKPT_CHECK/abort) and must not Submit to the same pool from
+  // within a task while another thread is in Wait().
+  void Submit(std::function<void()> fn);
+
+  // Block until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signaled on Submit / stop
+  std::condition_variable idle_cv_;  // signaled when in-flight hits zero
+  std::deque<std::function<void()>> queue_;
+  std::int64_t inflight_ = 0;  // queued plus currently running
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Run fn(i) for every i in [0, n). With workers <= 1 (or a single item) the
+// calls run inline on the calling thread in index order — the zero-thread
+// path parallel sweeps fall back to for determinism tests and CI. Each
+// index must touch only its own output slot; `fn` is shared across threads.
+void ParallelForIndexed(int workers, std::int64_t n,
+                        const std::function<void(std::int64_t)>& fn);
+
+}  // namespace ckpt

@@ -19,6 +19,9 @@ struct ClusterScheduler::RtJob {
 struct ClusterScheduler::RtTask {
   const TaskSpec* spec = nullptr;
   RtJob* job = nullptr;
+  // Position in tasks_ creation order; failure-handling indexes iterate by
+  // it so they visit tasks in the same order as a linear scan of tasks_.
+  std::int64_t create_idx = 0;
 
   enum class State { kPending, kRunning, kDumping, kRestoring, kFinished };
   State state = State::kPending;
@@ -48,7 +51,20 @@ struct ClusterScheduler::RtTask {
   int releases_in_flight = 0;
   // Resubmission backoff: not schedulable before this instant.
   SimTime eligible_at = 0;
+
+  // VictimCheckpointOverhead memo, valid while (now, attempt, epoch) all
+  // match; the epoch covers inputs the attempt counter does not (device
+  // backlogs, image state of other tasks).
+  mutable SimTime ovh_time = -1;
+  mutable int ovh_attempt = -1;
+  mutable std::uint64_t ovh_epoch = 0;
+  mutable SimDuration ovh_value = 0;
 };
+
+bool ClusterScheduler::ByTaskIndex::operator()(const RtTask* a,
+                                               const RtTask* b) const {
+  return a->create_idx < b->create_idx;
+}
 
 bool ClusterScheduler::PendingLess::operator()(const RtTask* a,
                                                const RtTask* b) const {
@@ -67,9 +83,9 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
   CKPT_CHECK(cluster != nullptr);
   CKPT_CHECK_GT(cluster->size(), 0);
   network_ = std::make_unique<NetworkModel>(sim_, config_.network);
+  running_.resize(static_cast<size_t>(cluster->size()));
   for (Node* node : cluster_->nodes()) {
     network_->AddNode(node->id());
-    running_[node->id()];  // materialize the bucket
   }
 }
 
@@ -99,6 +115,11 @@ SimulationResult ClusterScheduler::Run() {
         static_cast<double>(device_busy) /
         (static_cast<double>(result_.makespan) * cluster_->size());
   }
+  if (config_.obs != nullptr) {
+    config_.obs->metrics()
+        .GetGauge("sim.events_processed")
+        ->Set(static_cast<double>(sim_->EventsProcessed()));
+  }
   return result_;
 }
 
@@ -109,6 +130,7 @@ void ClusterScheduler::OnJobArrival(RtJob* job) {
     auto task = std::make_unique<RtTask>();
     task->spec = &spec;
     task->job = job;
+    task->create_idx = static_cast<std::int64_t>(tasks_.size());
     task->submit_time = sim_->Now();
     AddPending(task.get());
     tasks_.push_back(std::move(task));
@@ -130,35 +152,40 @@ void ClusterScheduler::TrySchedule() {
   if (schedule_scheduled_) return;
   schedule_scheduled_ = true;
   // Coalesce: many completions can land at one instant; schedule once.
-  sim_->ScheduleAfter(0, [this] {
-    schedule_scheduled_ = false;
-    int scanned = 0;
-    auto it = pending_.begin();
-    while (it != pending_.end() && scanned < config_.max_backfill_scan) {
-      RtTask* task = *it;
-      ++scanned;
-      if (TryPlace(task)) {
-        // Placement erased `task` from pending_; restart the scan (the new
-        // head may now fit or be entitled to preempt).
+  sim_->ScheduleAfter(0, [this] { RunSchedulePass(); });
+}
+
+void ClusterScheduler::RunSchedulePass() {
+  schedule_scheduled_ = false;
+  // The preemption failure cache is scoped to one pass: between passes,
+  // completions and dump finishes can grow some node's releasable set.
+  preempt_fail_valid_ = false;
+  int scanned = 0;
+  auto it = pending_.begin();
+  while (it != pending_.end() && scanned < config_.max_backfill_scan) {
+    RtTask* task = *it;
+    ++scanned;
+    if (TryPlace(task)) {
+      // Placement erased `task` from pending_; restart the scan (the new
+      // head may now fit or be entitled to preempt).
+      it = pending_.begin();
+      continue;
+    }
+    // The whole top-priority class may trigger preemption (the RM asks
+    // victims to vacate for every unsatisfied top-priority container, not
+    // just one); lower classes only backfill.
+    const bool top_class =
+        task->spec->priority == (*pending_.begin())->spec->priority;
+    if (top_class && config_.policy != PreemptionPolicy::kWait &&
+        task->eligible_at <= sim_->Now() &&
+        task->releases_in_flight == 0 && TryPreemptFor(task)) {
+      if (TryPlace(task)) {  // kill-released resources are free already
         it = pending_.begin();
         continue;
       }
-      // The whole top-priority class may trigger preemption (the RM asks
-      // victims to vacate for every unsatisfied top-priority container, not
-      // just one); lower classes only backfill.
-      const bool top_class =
-          task->spec->priority == (*pending_.begin())->spec->priority;
-      if (top_class && config_.policy != PreemptionPolicy::kWait &&
-          task->eligible_at <= sim_->Now() &&
-          task->releases_in_flight == 0 && TryPreemptFor(task)) {
-        if (TryPlace(task)) {  // kill-released resources are free already
-          it = pending_.begin();
-          continue;
-        }
-      }
-      ++it;
     }
-  });
+    ++it;
+  }
 }
 
 namespace {
@@ -177,13 +204,35 @@ Node* ProbeFit(Cluster& cluster, const Resources& demand, size_t& cursor) {
 }
 }  // namespace
 
+bool ClusterScheduler::MightFitAnywhere(const Resources& demand) {
+  if (!avail_summary_valid_) {
+    Resources summary{};
+    for (Node* node : cluster_->nodes()) {
+      const Resources avail = node->Available();
+      summary.cpus = std::max(summary.cpus, avail.cpus);
+      summary.memory = std::max(summary.memory, avail.memory);
+    }
+    avail_summary_ = summary;
+    avail_summary_valid_ = true;
+  }
+  // Conservative: the summary is a componentwise upper bound on every
+  // node's Available(), so a demand that does not fit it fits nowhere.
+  return demand.FitsIn(avail_summary_);
+}
+
+Node* ClusterScheduler::ProbeFitCached(const Resources& demand) {
+  // A failed ProbeFit leaves the cursor untouched, so skipping the scan
+  // outright is behaviorally identical.
+  if (!MightFitAnywhere(demand)) return nullptr;
+  return ProbeFit(*cluster_, demand, place_cursor_);
+}
+
 bool ClusterScheduler::TryPlace(RtTask* task) {
   if (task->eligible_at > sim_->Now()) return false;  // backoff pending
-  size_t& cursor = place_cursor_;
   const Resources& demand = task->spec->demand;
 
   if (!task->has_image) {
-    Node* node = ProbeFit(*cluster_, demand, cursor);
+    Node* node = ProbeFitCached(demand);
     if (node == nullptr) return false;
     StartTask(task, node);
     return true;
@@ -216,7 +265,7 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
       BeginRestore(task, image_node, false);
       return true;
     case RestorePolicy::kAlwaysRemote: {
-      Node* node = ProbeFit(*cluster_, demand, cursor);
+      Node* node = ProbeFitCached(demand);
       if (node == nullptr) return false;
       BeginRestore(task, node, node->id() != task->image_node);
       return true;
@@ -230,7 +279,7 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
       }
       // Local loses (or cannot fit right now): any node with room; if that
       // happens to be the image node the restore is local after all.
-      Node* node = ProbeFit(*cluster_, demand, cursor);
+      Node* node = ProbeFitCached(demand);
       if (node == nullptr) return false;
       BeginRestore(task, node, node->id() != task->image_node);
       return true;
@@ -241,12 +290,13 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
 
 void ClusterScheduler::StartTask(RtTask* task, Node* node) {
   CKPT_CHECK(node->Allocate(task->spec->demand));
+  InvalidateAvailSummary();
   RemovePending(task);
   task->state = RtTask::State::kRunning;
   task->node = node->id();
   task->run_start = sim_->Now();
   task->attempt++;
-  running_[node->id()].push_back(task);
+  RunningOn(node->id()).push_back(task);
 
   SimDuration remaining = task->spec->duration - task->work_done;
   if (remaining < 1) remaining = 1;
@@ -258,11 +308,12 @@ void ClusterScheduler::StartTask(RtTask* task, Node* node) {
 void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
   CKPT_CHECK(task->has_image);
   CKPT_CHECK(node->Allocate(task->spec->demand));
+  InvalidateAvailSummary();
   RemovePending(task);
   task->state = RtTask::State::kRestoring;
   task->node = node->id();
   task->attempt++;
-  running_[node->id()].push_back(task);
+  RunningOn(node->id()).push_back(task);
   // The container is held but the process is not yet executing: restore is
   // I/O, so the CPUs stay suspended until it completes.
   node->Suspend(task->spec->demand);
@@ -304,6 +355,7 @@ void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
   } else {
     src.SubmitRead(bytes, std::move(finish));
   }
+  BumpOverheadEpoch();  // the read grew the image node's device backlog
 }
 
 void ClusterScheduler::OnRestoreDone(RtTask* task, int attempt) {
@@ -332,7 +384,8 @@ void ClusterScheduler::StopRunning(RtTask* task) {
 
 void ClusterScheduler::DetachFromNode(RtTask* task) {
   cluster_->node(task->node).Release(task->spec->demand);
-  auto& bucket = running_[task->node];
+  InvalidateAvailSummary();
+  auto& bucket = RunningOn(task->node);
   bucket.erase(std::find(bucket.begin(), bucket.end(), task));
 }
 
@@ -417,6 +470,14 @@ bool ClusterScheduler::CanIncrement(const RtTask* victim) const {
 
 SimDuration ClusterScheduler::VictimCheckpointOverhead(
     const RtTask* victim) const {
+  // Pure in (now, the victim's attempt, the overhead epoch): the cost-aware
+  // victim sort and the adaptive policy evaluate the same victim repeatedly
+  // at one instant, so memoize per task.
+  const SimTime now = sim_->Now();
+  if (victim->ovh_time == now && victim->ovh_attempt == victim->attempt &&
+      victim->ovh_epoch == overhead_epoch_) {
+    return victim->ovh_value;
+  }
   const bool incremental = CanIncrement(victim);
   CheckpointCost cost;
   cost.dump_bytes = DumpBytes(victim, incremental);
@@ -426,7 +487,12 @@ SimDuration ClusterScheduler::VictimCheckpointOverhead(
   // Queue term: the node's device backlog (dumps are submitted at freeze
   // time, so the backlog is the sequential checkpoint queue).
   cost.dump_queue_time = cluster_->node(victim->node).storage().QueueDelay();
-  return EstimateCheckpointOverhead(cost);
+  const SimDuration overhead = EstimateCheckpointOverhead(cost);
+  victim->ovh_time = now;
+  victim->ovh_attempt = victim->attempt;
+  victim->ovh_epoch = overhead_epoch_;
+  victim->ovh_value = overhead;
+  return overhead;
 }
 
 PreemptAction ClusterScheduler::DecideVictimAction(RtTask* victim) const {
@@ -486,6 +552,18 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       task->has_image && (!config_.checkpoint_to_dfs ||
                           config_.restore_policy == RestorePolicy::kAlwaysLocal);
 
+  // Failure dominance: a failed search has no side effects (the cursor and
+  // RNG only move on success), and within one scheduling pass a node's
+  // releasable set at a fixed priority never grows (placements allocate; a
+  // newly placed lower-priority task adds back at most what it consumed).
+  // So once a demand has failed, any demand that dominates it at the same
+  // priority must fail too — skip the O(nodes x running) scan.
+  if (preempt_fail_valid_ && priority == preempt_fail_priority_ &&
+      demand.cpus >= preempt_fail_demand_.cpus &&
+      demand.memory >= preempt_fail_demand_.memory) {
+    return false;
+  }
+
   // Find a node whose free resources plus lower-priority running work cover
   // the demand. The scan rotates so preemption pressure spreads across the
   // cluster instead of repeatedly recycling the same nodes' fresh tasks.
@@ -498,7 +576,7 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
     if (image_bound && node->id() != task->image_node) continue;
     Resources releasable = node->Available();
     std::vector<RtTask*> local;
-    for (RtTask* running : running_[node->id()]) {
+    for (RtTask* running : RunningOn(node->id())) {
       if (running->state == RtTask::State::kRunning &&
           running->spec->priority < priority &&
           running->spec->latency_class <
@@ -514,7 +592,16 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       break;
     }
   }
-  if (chosen == nullptr) return false;
+  if (chosen == nullptr) {
+    // Record only full-cluster failures: an image-bound task scans one
+    // node, so its failure proves nothing about dominating demands.
+    if (!image_bound) {
+      preempt_fail_valid_ = true;
+      preempt_fail_demand_ = demand;
+      preempt_fail_priority_ = priority;
+    }
+    return false;
+  }
 
   switch (config_.victim_order) {
     case VictimOrder::kCostAware:
@@ -551,6 +638,8 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       dump_beneficiary_[victim] = task;
     }
   }
+  // Kills freed resources: earlier failures no longer bound releasable.
+  preempt_fail_valid_ = false;
   return true;
 }
 
@@ -621,6 +710,7 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   victim->pending_dump_bytes = dump_bytes;
   victim->pending_dump_node =
       incremental ? victim->image_node : victim->node;
+  IndexPendingDump(victim);
   result_.checkpoints++;
   if (incremental) result_.incremental_checkpoints++;
   result_.total_checkpoint_bytes_written += dump_bytes;
@@ -653,6 +743,7 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   } else {
     device.SubmitWrite(dump_bytes, std::move(finish));
   }
+  BumpOverheadEpoch();  // the dump grew the node's device backlog
 }
 
 void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
@@ -662,19 +753,23 @@ void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
       victim->state != RtTask::State::kDumping) {
     return;
   }
+  UnindexPendingDump(victim);
   victim->saved_work = victim->work_done;
   victim->unsynced_run = 0;
   victim->has_image = true;
   victim->pending_dump_bytes = 0;
   if (!incremental) victim->image_node = victim->node;
   victim->stored_bytes += dump_bytes;
+  IndexImage(victim);
   current_checkpoint_bytes_ += dump_bytes;
   result_.peak_checkpoint_bytes =
       std::max(result_.peak_checkpoint_bytes, current_checkpoint_bytes_);
 
   victim->attempt++;
+  BumpOverheadEpoch();
   cluster_->node(victim->node).ReleaseSuspended(victim->spec->demand);
-  auto& bucket = running_[victim->node];
+  InvalidateAvailSummary();
+  auto& bucket = RunningOn(victim->node);
   bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
   ApplyResubmitBackoff(victim);
   AddPending(victim);
@@ -703,10 +798,12 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
   if (!node.online()) return;
   result_.node_failures++;
   node.SetOnline(false);
+  InvalidateAvailSummary();
+  BumpOverheadEpoch();
 
   // Interrupt every task holding resources on the node. Copy the bucket:
   // the handlers below mutate it.
-  const std::vector<RtTask*> victims = running_[node_id];
+  const std::vector<RtTask*> victims = RunningOn(node_id);
   for (RtTask* task : victims) {
     result_.tasks_interrupted_by_failure++;
     switch (task->state) {
@@ -727,7 +824,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
         // Abort the restore; the image is untouched.
         task->attempt++;
         node.ReleaseSuspended(task->spec->demand);
-        auto& bucket = running_[node_id];
+        auto& bucket = RunningOn(node_id);
         bucket.erase(std::find(bucket.begin(), bucket.end(), task));
         AddPending(task);
         break;
@@ -736,6 +833,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
         // The in-flight dump dies with the node: unwind its reservation and
         // fall back to kill semantics (progress since the last image dies).
         task->attempt++;
+        UnindexPendingDump(task);
         if (config_.enforce_checkpoint_capacity &&
             task->pending_dump_bytes > 0) {
           cluster_->node(task->pending_dump_node)
@@ -750,7 +848,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
         task->work_done = task->saved_work;
         task->unsynced_run = 0;
         node.ReleaseSuspended(task->spec->demand);
-        auto& bucket = running_[node_id];
+        auto& bucket = RunningOn(node_id);
         bucket.erase(std::find(bucket.begin(), bucket.end(), task));
         AddPending(task);
         auto it = dump_beneficiary_.find(task);
@@ -767,14 +865,16 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
 
   // Incremental dumps in flight from other nodes *to* the failed image
   // node: their reservation and their target are gone — unwind them like
-  // dumps on the failed node itself.
-  for (auto& task_ptr : tasks_) {
-    RtTask* task = task_ptr.get();
-    if (task->state != RtTask::State::kDumping || task->node == node_id ||
-        task->pending_dump_node != node_id) {
-      continue;
-    }
+  // dumps on the failed node itself. The first loop already unwound (and
+  // unindexed) dumps running *on* the failed node, so the index now holds
+  // exactly the remote ones; snapshot it (the unwind mutates the set) —
+  // creation order matches the seed's full scan of tasks_.
+  const std::vector<RtTask*> doomed_dumps(dumps_to_node_[node_id].begin(),
+                                          dumps_to_node_[node_id].end());
+  for (RtTask* task : doomed_dumps) {
+    CKPT_CHECK(task->state == RtTask::State::kDumping);
     task->attempt++;
+    UnindexPendingDump(task);
     if (config_.enforce_checkpoint_capacity && task->pending_dump_bytes > 0) {
       cluster_->node(node_id).storage().Release(task->pending_dump_bytes);
     }
@@ -785,7 +885,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
     task->work_done = task->saved_work;
     task->unsynced_run = 0;
     cluster_->node(task->node).ReleaseSuspended(task->spec->demand);
-    auto& bucket = running_[task->node];
+    auto& bucket = RunningOn(task->node);
     bucket.erase(std::find(bucket.begin(), bucket.end(), task));
     AddPending(task);
     auto it = dump_beneficiary_.find(task);
@@ -796,15 +896,16 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
   }
 
   // Checkpoint images whose accounting device was on the failed node.
-  for (auto& task : tasks_) {
-    if (task->has_image && task->image_node == node_id) {
-      EvacuateImage(task.get(), node_id);
-    }
+  const std::vector<RtTask*> doomed_images(images_on_node_[node_id].begin(),
+                                           images_on_node_[node_id].end());
+  for (RtTask* task : doomed_images) {
+    EvacuateImage(task, node_id);
   }
 
   if (down_for >= 0) {
     sim_->ScheduleAfter(down_for, [this, node_id] {
       cluster_->node(node_id).SetOnline(true);
+      InvalidateAvailSummary();
       TrySchedule();
     });
   }
@@ -822,7 +923,10 @@ void ClusterScheduler::EvacuateImage(RtTask* task, NodeId failed) {
         if (config_.enforce_checkpoint_capacity) {
           cluster_->node(failed).storage().Release(task->stored_bytes);
         }
+        UnindexImage(task);
         task->image_node = candidate->id();
+        IndexImage(task);
+        BumpOverheadEpoch();
         result_.images_survived_failure++;
         return;
       }
@@ -839,6 +943,7 @@ void ClusterScheduler::EvacuateImage(RtTask* task, NodeId failed) {
 
 void ClusterScheduler::ReleaseImage(RtTask* task) {
   if (!task->has_image) return;
+  UnindexImage(task);
   if (config_.enforce_checkpoint_capacity) {
     cluster_->node(task->image_node).storage().Release(task->stored_bytes);
   }
@@ -846,6 +951,23 @@ void ClusterScheduler::ReleaseImage(RtTask* task) {
   task->has_image = false;
   task->stored_bytes = 0;
   task->saved_work = 0;
+  BumpOverheadEpoch();  // CanIncrement and restore sizes changed
+}
+
+void ClusterScheduler::IndexImage(RtTask* task) {
+  images_on_node_[task->image_node].insert(task);
+}
+
+void ClusterScheduler::UnindexImage(RtTask* task) {
+  images_on_node_[task->image_node].erase(task);
+}
+
+void ClusterScheduler::IndexPendingDump(RtTask* task) {
+  dumps_to_node_[task->pending_dump_node].insert(task);
+}
+
+void ClusterScheduler::UnindexPendingDump(RtTask* task) {
+  dumps_to_node_[task->pending_dump_node].erase(task);
 }
 
 }  // namespace ckpt

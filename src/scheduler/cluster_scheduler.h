@@ -163,7 +163,18 @@ class ClusterScheduler {
 
   void OnJobArrival(RtJob* job);
   void TrySchedule();
+  void RunSchedulePass();
   bool TryPlace(RtTask* task);
+  // First-fit probe with the cached cluster-wide free-resource summary as a
+  // fast reject; advances place_cursor_ on success like the raw probe.
+  Node* ProbeFitCached(const Resources& demand);
+  // Conservative upper bound: false means no single node can fit `demand`.
+  bool MightFitAnywhere(const Resources& demand);
+  // Any change to some node's Available() invalidates the summary.
+  void InvalidateAvailSummary() { avail_summary_valid_ = false; }
+  // Any change that can affect VictimCheckpointOverhead's inputs (device
+  // backlogs, image state) bumps the epoch, invalidating memoized costs.
+  void BumpOverheadEpoch() { ++overhead_epoch_; }
   bool TryPreemptFor(RtTask* task);
   void StartTask(RtTask* task, Node* node);
   void BeginRestore(RtTask* task, Node* node, bool remote);
@@ -190,6 +201,16 @@ class ClusterScheduler {
   void OnNodeFailure(NodeId node, SimDuration down_for);
   void EvacuateImage(RtTask* task, NodeId failed);
 
+  std::vector<RtTask*>& RunningOn(NodeId node) {
+    return running_[static_cast<size_t>(node.value())];
+  }
+  // Failure-handling indexes (insertion keyed by task creation order so
+  // iteration matches the seed's linear scan over tasks_).
+  void IndexImage(RtTask* task);
+  void UnindexImage(RtTask* task);
+  void IndexPendingDump(RtTask* task);
+  void UnindexPendingDump(RtTask* task);
+
   Simulator* sim_;
   Cluster* cluster_;
   SchedulerConfig config_;
@@ -202,17 +223,44 @@ class ClusterScheduler {
   // Pending tasks ordered by (priority desc, submit asc, id asc).
   std::set<RtTask*, PendingLess> pending_;
 
-  // Running/dumping tasks per node for victim search.
-  std::unordered_map<NodeId, std::vector<RtTask*>> running_;
+  // Running/dumping tasks per node for victim search; node ids are dense,
+  // so a flat vector beats hashing on the hot path.
+  std::vector<std::vector<RtTask*>> running_;
 
   // For each in-flight victim dump, the pending task it makes room for.
   std::unordered_map<RtTask*, RtTask*> dump_beneficiary_;
+
+  // Failure-handling indexes, ordered by task creation index so failure
+  // handling walks tasks in the same order as the seed's full scans.
+  struct ByTaskIndex {
+    bool operator()(const RtTask* a, const RtTask* b) const;
+  };
+  using TaskIndexSet = std::set<RtTask*, ByTaskIndex>;
+  std::unordered_map<NodeId, TaskIndexSet> images_on_node_;
+  std::unordered_map<NodeId, TaskIndexSet> dumps_to_node_;
 
   SimulationResult result_;
   Bytes current_checkpoint_bytes_ = 0;
   bool schedule_scheduled_ = false;  // coalesce TrySchedule calls
   size_t place_cursor_ = 0;          // round-robin fit probe position
   size_t victim_cursor_ = 0;         // round-robin preemption-node position
+
+  // Cluster-wide free-resource summary (component-wise max of per-node
+  // Available()); lazily recomputed after any allocation change so probes
+  // for demands that cannot fit anywhere skip the node scan.
+  bool avail_summary_valid_ = false;
+  Resources avail_summary_{};
+
+  // Memoization epoch for VictimCheckpointOverhead (see BumpOverheadEpoch).
+  std::uint64_t overhead_epoch_ = 0;
+
+  // Within one scheduling pass, the smallest demand (with its priority) for
+  // which victim search failed. While no victim has been released, any
+  // demand dominating it at the same priority must fail too, so the O(nodes
+  // x running) scan can be skipped. Reset at pass start and on success.
+  bool preempt_fail_valid_ = false;
+  Resources preempt_fail_demand_{};
+  int preempt_fail_priority_ = 0;
 };
 
 }  // namespace ckpt

@@ -1,24 +1,18 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
 namespace ckpt {
-
-void Simulator::ScheduleAt(SimTime when, Callback cb) {
-  CKPT_CHECK_GE(when, now_) << "cannot schedule into the past";
-  queue_.push(Event{when, next_seq_++, std::move(cb)});
-}
 
 std::int64_t Simulator::Run(SimTime until) {
   std::int64_t processed = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
-    // Copy out before pop: the callback may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
+  while (!queue_.empty() && queue_.NextWhen() <= until) {
+    // Detach before invoking: the callback may schedule new events (growing
+    // the heap) or cancel pending ones; the detached node is unaffected.
+    EventNode* node = queue_.PopLive();
+    now_ = node->when;
     ++events_processed_;
     ++processed;
-    ev.cb();
+    node->cb();
+    queue_.Recycle(node);
   }
   // Advance the clock to the bound: remaining events (if any) are strictly
   // later, so simulated time `until` has elapsed without activity.
@@ -28,11 +22,11 @@ std::int64_t Simulator::Run(SimTime until) {
 
 bool Simulator::Step() {
   if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.when;
+  EventNode* node = queue_.PopLive();
+  now_ = node->when;
   ++events_processed_;
-  ev.cb();
+  node->cb();
+  queue_.Recycle(node);
   return true;
 }
 

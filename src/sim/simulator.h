@@ -4,21 +4,30 @@
 // run on one Simulator. Events scheduled for the same instant fire in
 // schedule order (a monotone sequence number breaks ties), which makes every
 // run reproducible regardless of container iteration order.
+//
+// The event core is the allocation-light queue in event_queue.h: pooled
+// event nodes, a small-buffer-optimized callback type, and a 4-ary implicit
+// heap over (when, seq) — the same strict total order the seed binary heap
+// used, so event order is bit-identical to it. ScheduleAt returns an
+// EventHandle that Cancel() can retire without waiting for the timer to
+// surface.
+//
+// A Simulator is single-threaded by design. Parallel sweeps (bench --jobs,
+// tools/ckpt-sim --parallel) run one private Simulator per cell; see
+// docs/PERFORMANCE.md.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "sim/event_queue.h"
 
 namespace ckpt {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SimCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -26,14 +35,23 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
-  // Schedule `cb` to run at absolute time `when` (>= Now()).
-  void ScheduleAt(SimTime when, Callback cb);
+  // Schedule `cb` to run at absolute time `when` (>= Now()). The returned
+  // handle may be ignored, or kept to Cancel() the event later.
+  EventHandle ScheduleAt(SimTime when, Callback cb) {
+    CKPT_CHECK_GE(when, now_) << "cannot schedule into the past";
+    return queue_.Push(when, std::move(cb));
+  }
 
   // Schedule `cb` to run `delay` after the current time.
-  void ScheduleAfter(SimDuration delay, Callback cb) {
+  EventHandle ScheduleAfter(SimDuration delay, Callback cb) {
     CKPT_CHECK_GE(delay, 0);
-    ScheduleAt(now_ + delay, std::move(cb));
+    return ScheduleAt(now_ + delay, std::move(cb));
   }
+
+  // Retire a pending event; its callback is destroyed without running.
+  // Returns false when the event already fired, was already canceled, or
+  // the handle is empty.
+  bool Cancel(const EventHandle& handle) { return queue_.Cancel(handle); }
 
   // Run until the event queue drains or `until` is reached (whichever is
   // first). Returns the number of events processed.
@@ -43,27 +61,15 @@ class Simulator {
   bool Step();
 
   bool Empty() const { return queue_.empty(); }
+  std::int64_t PendingEvents() const { return queue_.size(); }
   std::int64_t EventsProcessed() const { return events_processed_; }
 
   static constexpr SimTime kMaxTime = INT64_MAX / 4;
 
  private:
-  struct Event {
-    SimTime when;
-    std::int64_t seq;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0;
-  std::int64_t next_seq_ = 0;
   std::int64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
 };
 
 }  // namespace ckpt

@@ -120,6 +120,11 @@ YarnResult YarnCluster::RunWorkload(const Workload& workload) {
         static_cast<double>(dfs_->peak_stored()) /
         static_cast<double>(capacity);
   }
+  if (config_.obs != nullptr) {
+    config_.obs->metrics()
+        .GetGauge("sim.events_processed")
+        ->Set(static_cast<double>(sim_->EventsProcessed()));
+  }
   return result;
 }
 

@@ -1,0 +1,213 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ckpt {
+namespace {
+
+TEST(SimCallback, InvokesInlineCapture) {
+  int fired = 0;
+  SimCallback cb([&fired] { ++fired; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimCallback, MoveTransfersOwnership) {
+  int fired = 0;
+  SimCallback a([&fired] { ++fired; });
+  SimCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(fired, 1);
+}
+
+// One capture below the inline limit, one above: both must run and both must
+// destroy their captured state exactly once (shared_ptr use_count proves it).
+TEST(SimCallback, InlineAndHeapCapturesDestroyState) {
+  auto token = std::make_shared<int>(7);
+
+  struct SmallCapture {
+    std::shared_ptr<int> token;
+    void operator()() const { *token += 1; }
+  };
+  static_assert(sizeof(SmallCapture) <= SimCallback::kInlineSize);
+
+  struct BigCapture {
+    std::shared_ptr<int> token;
+    char pad[SimCallback::kInlineSize];
+    void operator()() const { *token += 10; }
+  };
+  static_assert(sizeof(BigCapture) > SimCallback::kInlineSize);
+
+  {
+    SimCallback small(SmallCapture{token});
+    SimCallback big(BigCapture{token, {}});
+    EXPECT_EQ(token.use_count(), 3);
+    small();
+    big();
+    EXPECT_EQ(*token, 18);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SimCallback, ResetDestroysWithoutInvoking) {
+  auto token = std::make_shared<int>(0);
+  SimCallback cb([token] { *token = 1; });
+  EXPECT_EQ(token.use_count(), 2);
+  cb.Reset();
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_EQ(token.use_count(), 1);
+  EXPECT_EQ(*token, 0);
+}
+
+TEST(EventQueue, PopsInWhenThenSeqOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(20, [&order] { order.push_back(2); });
+  queue.Push(10, [&order] { order.push_back(0); });
+  queue.Push(10, [&order] { order.push_back(1); });
+  while (EventNode* node = queue.PopLive()) {
+    node->cb();
+    queue.Recycle(node);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelRetiresPendingEventOnce) {
+  EventQueue queue;
+  int fired = 0;
+  EventHandle handle = queue.Push(5, [&fired] { ++fired; });
+  queue.Push(6, [&fired] { fired += 10; });
+  EXPECT_EQ(queue.size(), 2);
+  EXPECT_TRUE(queue.Cancel(handle));
+  EXPECT_FALSE(queue.Cancel(handle));  // second cancel is a no-op
+  EXPECT_EQ(queue.size(), 1);
+
+  EventNode* node = queue.PopLive();
+  ASSERT_NE(node, nullptr);
+  node->cb();
+  queue.Recycle(node);
+  EXPECT_EQ(queue.PopLive(), nullptr);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, CancelAfterFireIsRejected) {
+  EventQueue queue;
+  EventHandle handle = queue.Push(1, [] {});
+  EventNode* node = queue.PopLive();
+  ASSERT_NE(node, nullptr);
+  queue.Recycle(node);
+  EXPECT_FALSE(queue.Cancel(handle));
+}
+
+// A recycled node must not be cancelable through a stale handle to the
+// event that previously occupied it (seq doubles as the generation).
+TEST(EventQueue, StaleHandleCannotTouchRecycledNode) {
+  EventQueue queue;
+  EventHandle stale = queue.Push(1, [] {});
+  EventNode* node = queue.PopLive();
+  ASSERT_EQ(node, stale.node);
+  queue.Recycle(node);
+
+  int fired = 0;
+  queue.Push(2, [&fired] { ++fired; });  // reuses the pooled node
+  EXPECT_FALSE(queue.Cancel(stale));
+  EventNode* reused = queue.PopLive();
+  ASSERT_NE(reused, nullptr);
+  reused->cb();
+  queue.Recycle(reused);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelDestroysCallbackEagerly) {
+  auto token = std::make_shared<int>(0);
+  EventQueue queue;
+  EventHandle handle = queue.Push(1, [token] { *token = 1; });
+  EXPECT_EQ(token.use_count(), 2);
+  EXPECT_TRUE(queue.Cancel(handle));
+  EXPECT_EQ(token.use_count(), 1);  // destroyed before the entry surfaces
+}
+
+TEST(EventQueue, DestructorReleasesPendingCallbacks) {
+  auto token = std::make_shared<int>(0);
+  {
+    EventQueue queue;
+    for (int i = 0; i < 100; ++i) queue.Push(i, [token] {});
+    EXPECT_EQ(token.use_count(), 101);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// Property test: against a reference priority_queue with the seed's
+// (when, seq) comparator, a seeded random mix of pushes, cancels, and pops
+// must yield the exact same event order. 10k events crosses many slab
+// boundaries and exercises deep sift paths.
+TEST(EventQueue, MatchesReferenceHeapOnRandomWorkload) {
+  struct RefEvent {
+    SimTime when;
+    std::int64_t seq;
+    int id;
+  };
+  struct Later {
+    bool operator()(const RefEvent& a, const RefEvent& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Rng rng(20260805);
+  EventQueue queue;
+  std::priority_queue<RefEvent, std::vector<RefEvent>, Later> reference;
+  std::vector<char> canceled_ids;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  std::int64_t next_seq = 0;
+
+  const int kEvents = 10000;
+  for (int id = 0; id < kEvents; ++id) {
+    // Clustered timestamps force plenty of same-when ties.
+    const SimTime when = rng.UniformInt(0, 500);
+    fired.reserve(static_cast<size_t>(kEvents));
+    handles.push_back(queue.Push(when, [&fired, id] { fired.push_back(id); }));
+    reference.push(RefEvent{when, next_seq++, id});
+    canceled_ids.push_back(0);
+
+    // Occasionally cancel a random earlier event (possibly already
+    // canceled) or drain a couple of events mid-stream.
+    if (rng.UniformInt(0, 9) == 0) {
+      const int victim = static_cast<int>(rng.UniformInt(0, id));
+      const bool was_pending =
+          queue.Cancel(handles[static_cast<size_t>(victim)]);
+      if (was_pending) canceled_ids[static_cast<size_t>(victim)] = 1;
+    }
+  }
+
+  std::vector<int> expected;
+  while (!reference.empty()) {
+    const RefEvent event = reference.top();
+    reference.pop();
+    if (!canceled_ids[static_cast<size_t>(event.id)]) {
+      expected.push_back(event.id);
+    }
+  }
+
+  while (EventNode* node = queue.PopLive()) {
+    node->cb();
+    queue.Recycle(node);
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(fired, expected);
+}
+
+}  // namespace
+}  // namespace ckpt

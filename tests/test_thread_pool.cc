@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace ckpt {
+namespace {
+
+TEST(ThreadPool, SpawnsAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 1);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.workers(), 4);
+}
+
+TEST(ThreadPool, WaitBlocksUntilAllTasksFinish) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+
+  // The pool is reusable after a Wait.
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 72);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+// The sweep contract: every index writes only its own slot, so the merged
+// result is in index order regardless of scheduling. Run with
+// CKPT_SANITIZE=thread this doubles as the data-race check for the
+// bench/tool parallel sweeps.
+TEST(ThreadPool, ParallelForIndexedFillsDisjointSlots) {
+  const std::int64_t n = 500;
+  std::vector<std::int64_t> slots(static_cast<size_t>(n), -1);
+  ParallelForIndexed(8, n, [&slots](std::int64_t i) {
+    slots[static_cast<size_t>(i)] = i * i;
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(slots[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, ParallelForIndexedInlineWhenSingleWorker) {
+  // workers <= 1 must run inline in index order: this is the reference
+  // execution parallel sweeps are compared against for determinism.
+  std::vector<std::int64_t> order;
+  ParallelForIndexed(1, 16, [&order](std::int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPool, ParallelForIndexedHandlesZeroItems) {
+  int calls = 0;
+  ParallelForIndexed(4, 0, [&calls](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForIndexedMoreItemsThanWorkers) {
+  std::atomic<std::int64_t> sum{0};
+  ParallelForIndexed(3, 1000, [&sum](std::int64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -2,18 +2,26 @@
 //
 // Runs one simulation with every knob exposed as a flag and prints a
 // machine-friendly key=value report, so parameter sweeps can be scripted
-// without writing C++.
+// without writing C++. Sweep flags run the cartesian product of
+// policies x media x seeds as independent cells — optionally in parallel
+// (each cell owns a private Simulator) — and print the reports in cell
+// order, so output is byte-identical for any --parallel value.
 //
 //   $ ckpt_sim --policy=adaptive --medium=nvm --jobs=2000 --util=0.9
 //   $ ckpt_sim --policy=checkpoint --medium=hdd --no-incremental
 //              --restore=always-local --seed=42
+//   $ ckpt_sim --sweep-policies=kill,checkpoint --sweep-media=hdd,ssd,nvm
+//              --sweep-seeds=1,2 --parallel=4
 //   $ ckpt_sim --help
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "common/thread_pool.h"
 #include "scheduler/cluster_scheduler.h"
 #include "sim/simulator.h"
 #include "trace/google_trace.h"
@@ -39,6 +47,13 @@ struct Flags {
   int fail_node = -1;
   double fail_at_min = -1;
   double fail_down_min = 5;
+
+  // Sweep mode: cartesian product of the comma-separated lists (empty list
+  // means "just the single-run flag above").
+  std::string sweep_policies;
+  std::string sweep_media;
+  std::string sweep_seeds;
+  int parallel = 1;
 };
 
 void Usage(const char* argv0) {
@@ -58,7 +73,11 @@ void Usage(const char* argv0) {
       "  --lazy            NVRAM lazy restore\n"
       "  --resubmit=SECS   preempted-task backoff (default 15)\n"
       "  --seed=N          workload seed\n"
-      "  --fail-node=I --fail-at=MIN [--fail-down=MIN]  inject a crash\n",
+      "  --fail-node=I --fail-at=MIN [--fail-down=MIN]  inject a crash\n"
+      "  --sweep-policies=A,B,..  run every combination of the sweep lists\n"
+      "  --sweep-media=X,Y,..     (a missing list reuses the single-run\n"
+      "  --sweep-seeds=N,M,..      flag); reports print in cell order\n"
+      "  --parallel=N      worker threads for sweep cells (default 1)\n",
       argv0);
 }
 
@@ -78,7 +97,10 @@ bool Parse(int argc, char** argv, Flags* flags) {
     if (ParseFlag(arg, "--policy", &flags->policy) ||
         ParseFlag(arg, "--medium", &flags->medium) ||
         ParseFlag(arg, "--restore", &flags->restore) ||
-        ParseFlag(arg, "--victims", &flags->victims)) {
+        ParseFlag(arg, "--victims", &flags->victims) ||
+        ParseFlag(arg, "--sweep-policies", &flags->sweep_policies) ||
+        ParseFlag(arg, "--sweep-media", &flags->sweep_media) ||
+        ParseFlag(arg, "--sweep-seeds", &flags->sweep_seeds)) {
       continue;
     }
     if (ParseFlag(arg, "--jobs", &value)) {
@@ -91,6 +113,8 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->resubmit_sec = std::atof(value.c_str());
     } else if (ParseFlag(arg, "--seed", &value)) {
       flags->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--parallel", &value)) {
+      flags->parallel = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--fail-node", &value)) {
       flags->fail_node = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--fail-at", &value)) {
@@ -133,44 +157,48 @@ bool ToMedium(const std::string& name, StorageMedium* out) {
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Flags flags;
-  if (!Parse(argc, argv, &flags)) {
-    Usage(argv[0]);
-    return 2;
-  }
-
-  SchedulerConfig config;
-  if (!ToPolicy(flags.policy, &config.policy) ||
-      !ToMedium(flags.medium, &config.medium)) {
-    Usage(argv[0]);
-    return 2;
+// Translate the string flags into a SchedulerConfig; false on a bad value.
+bool BuildConfig(const Flags& flags, SchedulerConfig* config) {
+  if (!ToPolicy(flags.policy, &config->policy) ||
+      !ToMedium(flags.medium, &config->medium)) {
+    return false;
   }
   if (flags.restore == "local") {
-    config.restore_policy = RestorePolicy::kAlwaysLocal;
+    config->restore_policy = RestorePolicy::kAlwaysLocal;
   } else if (flags.restore == "remote") {
-    config.restore_policy = RestorePolicy::kAlwaysRemote;
+    config->restore_policy = RestorePolicy::kAlwaysRemote;
   } else if (flags.restore != "adaptive") {
-    Usage(argv[0]);
-    return 2;
+    return false;
   }
   if (flags.victims == "lowest-priority") {
-    config.victim_order = VictimOrder::kLowestPriority;
+    config->victim_order = VictimOrder::kLowestPriority;
   } else if (flags.victims == "random") {
-    config.victim_order = VictimOrder::kRandom;
+    config->victim_order = VictimOrder::kRandom;
   } else if (flags.victims != "cost-aware") {
-    Usage(argv[0]);
-    return 2;
+    return false;
   }
-  config.incremental_checkpoints = flags.incremental;
-  config.checkpoint_to_dfs = flags.dfs;
-  config.adaptive_threshold = flags.threshold;
-  config.shadow_buffering = flags.shadow;
-  config.lazy_restore = flags.lazy;
-  config.resubmit_delay = Seconds(flags.resubmit_sec);
+  config->incremental_checkpoints = flags.incremental;
+  config->checkpoint_to_dfs = flags.dfs;
+  config->adaptive_threshold = flags.threshold;
+  config->shadow_buffering = flags.shadow;
+  config->lazy_restore = flags.lazy;
+  config->resubmit_delay = Seconds(flags.resubmit_sec);
+  return true;
+}
 
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+// Run one fully-specified simulation cell and return its key=value report.
+// Self-contained (private Simulator/Cluster/workload), so cells may run on
+// worker threads.
+std::string RunCell(const Flags& flags, const SchedulerConfig& config) {
   GoogleTraceConfig trace_config;
   trace_config.sample_jobs = flags.jobs;
   trace_config.seed = flags.seed;
@@ -201,37 +229,120 @@ int main(int argc, char** argv) {
   }
   const SimulationResult result = scheduler.Run();
 
-  std::printf("policy=%s medium=%s jobs=%zu tasks=%lld nodes=%d seed=%llu\n",
-              flags.policy.c_str(), flags.medium.c_str(),
-              workload.jobs.size(),
-              static_cast<long long>(workload.TotalTasks()), nodes,
-              static_cast<unsigned long long>(flags.seed));
-  std::printf(
-      "wasted_core_hours=%.2f wasted_fraction=%.4f lost_work_core_hours=%.2f "
-      "overhead_core_hours=%.2f\n",
-      result.wasted_core_hours, result.WastedFraction(),
-      result.lost_work_core_hours, result.overhead_core_hours);
-  std::printf("energy_kwh=%.2f makespan_h=%.2f\n", result.energy_kwh,
-              ToHours(result.makespan));
-  std::printf(
-      "rt_low_s=%.0f rt_medium_s=%.0f rt_high_s=%.0f\n",
-      result.job_response_by_band[0].Mean(),
-      result.job_response_by_band[1].Mean(),
-      result.job_response_by_band[2].Mean());
-  std::printf(
-      "preemptions=%lld kills=%lld checkpoints=%lld incremental=%lld "
-      "restores_local=%lld restores_remote=%lld\n",
-      static_cast<long long>(result.preemptions),
-      static_cast<long long>(result.kills),
-      static_cast<long long>(result.checkpoints),
-      static_cast<long long>(result.incremental_checkpoints),
-      static_cast<long long>(result.local_restores),
-      static_cast<long long>(result.remote_restores));
-  std::printf(
-      "failures=%lld interrupted=%lld images_lost=%lld images_survived=%lld\n",
-      static_cast<long long>(result.node_failures),
-      static_cast<long long>(result.tasks_interrupted_by_failure),
-      static_cast<long long>(result.images_lost_to_failure),
-      static_cast<long long>(result.images_survived_failure));
+  std::string report;
+  Append(&report,
+         "policy=%s medium=%s jobs=%zu tasks=%lld nodes=%d seed=%llu\n",
+         flags.policy.c_str(), flags.medium.c_str(), workload.jobs.size(),
+         static_cast<long long>(workload.TotalTasks()), nodes,
+         static_cast<unsigned long long>(flags.seed));
+  Append(&report,
+         "wasted_core_hours=%.2f wasted_fraction=%.4f "
+         "lost_work_core_hours=%.2f overhead_core_hours=%.2f\n",
+         result.wasted_core_hours, result.WastedFraction(),
+         result.lost_work_core_hours, result.overhead_core_hours);
+  Append(&report, "energy_kwh=%.2f makespan_h=%.2f\n", result.energy_kwh,
+         ToHours(result.makespan));
+  Append(&report, "rt_low_s=%.0f rt_medium_s=%.0f rt_high_s=%.0f\n",
+         result.job_response_by_band[0].Mean(),
+         result.job_response_by_band[1].Mean(),
+         result.job_response_by_band[2].Mean());
+  Append(&report,
+         "preemptions=%lld kills=%lld checkpoints=%lld incremental=%lld "
+         "restores_local=%lld restores_remote=%lld\n",
+         static_cast<long long>(result.preemptions),
+         static_cast<long long>(result.kills),
+         static_cast<long long>(result.checkpoints),
+         static_cast<long long>(result.incremental_checkpoints),
+         static_cast<long long>(result.local_restores),
+         static_cast<long long>(result.remote_restores));
+  Append(&report,
+         "failures=%lld interrupted=%lld images_lost=%lld "
+         "images_survived=%lld\n",
+         static_cast<long long>(result.node_failures),
+         static_cast<long long>(result.tasks_interrupted_by_failure),
+         static_cast<long long>(result.images_lost_to_failure),
+         static_cast<long long>(result.images_survived_failure));
+  return report;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!Parse(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  const bool sweep = !flags.sweep_policies.empty() ||
+                     !flags.sweep_media.empty() ||
+                     !flags.sweep_seeds.empty();
+  if (!sweep) {
+    SchedulerConfig config;
+    if (!BuildConfig(flags, &config)) {
+      Usage(argv[0]);
+      return 2;
+    }
+    std::fputs(RunCell(flags, config).c_str(), stdout);
+    return 0;
+  }
+
+  // Cartesian product in policy-major, then medium, then seed order; an
+  // empty list falls back to the corresponding single-run flag.
+  std::vector<std::string> policies = SplitCsv(flags.sweep_policies);
+  if (policies.empty()) policies.push_back(flags.policy);
+  std::vector<std::string> media = SplitCsv(flags.sweep_media);
+  if (media.empty()) media.push_back(flags.medium);
+  std::vector<std::string> seeds = SplitCsv(flags.sweep_seeds);
+  if (seeds.empty()) seeds.push_back(std::to_string(flags.seed));
+
+  struct Cell {
+    Flags flags;
+    SchedulerConfig config;
+  };
+  std::vector<Cell> cells;
+  for (const std::string& policy : policies) {
+    for (const std::string& medium : media) {
+      for (const std::string& seed : seeds) {
+        Cell cell;
+        cell.flags = flags;
+        cell.flags.policy = policy;
+        cell.flags.medium = medium;
+        cell.flags.seed = std::strtoull(seed.c_str(), nullptr, 10);
+        if (!BuildConfig(cell.flags, &cell.config)) {
+          std::fprintf(stderr, "bad sweep value: policy=%s medium=%s\n",
+                       policy.c_str(), medium.c_str());
+          Usage(argv[0]);
+          return 2;
+        }
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  std::vector<std::string> reports(cells.size());
+  ParallelForIndexed(flags.parallel, static_cast<std::int64_t>(cells.size()),
+                     [&](std::int64_t i) {
+                       const Cell& cell = cells[static_cast<size_t>(i)];
+                       reports[static_cast<size_t>(i)] =
+                           RunCell(cell.flags, cell.config);
+                     });
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) std::fputs("\n", stdout);
+    std::fputs(reports[i].c_str(), stdout);
+  }
   return 0;
 }
