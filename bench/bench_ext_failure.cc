@@ -6,9 +6,16 @@
 // progress on a crashed node; checkpoint-based scheduling with
 // DFS-replicated images only loses work since the last dump, and with
 // local-only images loses the images too.
+//
+// A second sweep drives the YARN layer through a scripted FaultPlan (node
+// crashes, transient storage-op failures, a degraded-disk window) and
+// compares kill vs checkpoint vs adaptive on goodput, lost work and the
+// recovery counters (docs/FAULTS.md). Accepts --jobs N to run sweep cells
+// in parallel; output is byte-identical for any worker count.
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_yarn_common.h"
 #include "metrics/report.h"
 
 using namespace ckpt;
@@ -22,9 +29,15 @@ struct Variant {
   bool dfs;
 };
 
+struct YarnVariant {
+  const char* name;
+  PreemptionPolicy policy;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int workers = ExtractJobsFlag(&argc, argv);
   const int jobs = argc > 1 ? std::atoi(argv[1]) : 800;
   const Workload workload = GoogleDayWorkload(jobs);
   std::printf("Failure extension | %zu jobs, %lld tasks, one node crash per "
@@ -39,35 +52,41 @@ int main(int argc, char** argv) {
       {"Adaptive DFS", PreemptionPolicy::kAdaptive, true},
   };
 
+  const std::vector<SimulationResult> trace_results =
+      RunSweep<SimulationResult>(workers, 4, [&](int i) {
+        const Variant& variant = variants[i];
+        Simulator sim;
+        Cluster cluster(&sim);
+        TraceSimOptions options;
+        options.medium = StorageMedium::Ssd();
+        const int nodes = NodesForWorkload(workload, options.cores_per_node,
+                                           options.target_util);
+        cluster.AddNodes(nodes, Resources{16.0, GiB(64)}, options.medium);
+
+        SchedulerConfig config;
+        config.policy = variant.policy;
+        config.medium = options.medium;
+        config.checkpoint_to_dfs = variant.dfs;
+        config.victim_order = variant.policy == PreemptionPolicy::kKill
+                                  ? VictimOrder::kRandom
+                                  : VictimOrder::kCostAware;
+        config.resubmit_delay = Seconds(15);
+        ClusterScheduler scheduler(&sim, &cluster, config);
+        scheduler.Submit(workload);
+        // One crash per hour round-robin across nodes, 30-minute outages.
+        for (int hour = 1; hour <= 20; ++hour) {
+          scheduler.InjectNodeFailure(NodeId(hour % nodes), Hours(hour),
+                                      Minutes(30));
+        }
+        return scheduler.Run();
+      });
+
   std::vector<std::vector<std::string>> table{
       {"variant", "lost work [ch]", "waste [ch]", "low RT [s]",
        "interrupted", "images lost", "images survived"}};
-  for (const Variant& variant : variants) {
-    Simulator sim;
-    Cluster cluster(&sim);
-    TraceSimOptions options;
-    options.medium = StorageMedium::Ssd();
-    const int nodes =
-        NodesForWorkload(workload, options.cores_per_node, options.target_util);
-    cluster.AddNodes(nodes, Resources{16.0, GiB(64)}, options.medium);
-
-    SchedulerConfig config;
-    config.policy = variant.policy;
-    config.medium = options.medium;
-    config.checkpoint_to_dfs = variant.dfs;
-    config.victim_order = variant.policy == PreemptionPolicy::kKill
-                              ? VictimOrder::kRandom
-                              : VictimOrder::kCostAware;
-    config.resubmit_delay = Seconds(15);
-    ClusterScheduler scheduler(&sim, &cluster, config);
-    scheduler.Submit(workload);
-    // One crash per hour round-robin across nodes, 30-minute outages.
-    for (int hour = 1; hour <= 20; ++hour) {
-      scheduler.InjectNodeFailure(NodeId(hour % nodes), Hours(hour),
-                                  Minutes(30));
-    }
-    const SimulationResult result = scheduler.Run();
-    table.push_back({variant.name, Fmt(result.lost_work_core_hours, 1),
+  for (int i = 0; i < 4; ++i) {
+    const SimulationResult& result = trace_results[static_cast<size_t>(i)];
+    table.push_back({variants[i].name, Fmt(result.lost_work_core_hours, 1),
                      Fmt(result.wasted_core_hours, 1),
                      Fmt(result.job_response_by_band[0].Mean(), 0),
                      std::to_string(result.tasks_interrupted_by_failure),
@@ -79,5 +98,63 @@ int main(int argc, char** argv) {
       "\nReading: with DFS-replicated images a crash costs only the work\n"
       "since each victim's last dump; local-only images die with the node;\n"
       "kill-based scheduling had nothing saved to begin with.\n");
+
+  // --- YARN layer under a deterministic FaultPlan --------------------------
+  const Workload yarn_workload = FacebookYarnWorkload(20, 3000);
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.storage_write_fail_prob = 0.03;
+  plan.storage_read_fail_prob = 0.03;
+  plan.node_crashes.push_back({NodeId(1), Minutes(3), Minutes(5)});
+  plan.node_crashes.push_back({NodeId(3), Minutes(8), Minutes(5)});
+  plan.node_crashes.push_back({NodeId(5), Minutes(13), -1});
+  plan.degraded_windows.push_back({NodeId(0), Minutes(2), Minutes(10), 4.0});
+
+  std::printf(
+      "\nYARN failure sweep | %zu jobs, %lld tasks; 3 node crashes (one "
+      "permanent),\n3%% transient storage faults, one 4x degraded-disk "
+      "window; fault seed %llu\n",
+      yarn_workload.jobs.size(),
+      static_cast<long long>(yarn_workload.TotalTasks()),
+      static_cast<unsigned long long>(plan.seed));
+
+  const YarnVariant yarn_variants[] = {
+      {"Kill", PreemptionPolicy::kKill},
+      {"Checkpoint", PreemptionPolicy::kCheckpoint},
+      {"Adaptive", PreemptionPolicy::kAdaptive},
+  };
+  const std::vector<YarnResult> yarn_results =
+      RunSweep<YarnResult>(workers, 3, [&](int i) {
+        YarnConfig config;
+        config.num_nodes = 8;
+        config.containers_per_node = 24;
+        config.medium = StorageMedium::Ssd();
+        config.policy = yarn_variants[i].policy;
+        config.fault = plan;
+        YarnCluster yarn(config);
+        return yarn.RunWorkload(yarn_workload);
+      });
+
+  std::vector<std::vector<std::string>> yarn_table{
+      {"policy", "goodput [ch]", "lost work [ch]", "lost containers",
+       "dump fail", "restore fail", "fallback kills", "ckpt retries",
+       "rereplicated"}};
+  for (int i = 0; i < 3; ++i) {
+    const YarnResult& r = yarn_results[static_cast<size_t>(i)];
+    yarn_table.push_back({yarn_variants[i].name,
+                          Fmt(r.goodput_core_hours, 1),
+                          Fmt(r.lost_work_core_hours, 1),
+                          std::to_string(r.containers_lost),
+                          std::to_string(r.dump_failures),
+                          std::to_string(r.restore_failures),
+                          std::to_string(r.fallback_kills),
+                          std::to_string(r.checkpoint_retries),
+                          std::to_string(r.blocks_rereplicated)});
+  }
+  std::fputs(RenderTable(yarn_table).c_str(), stdout);
+  std::printf(
+      "\nReading: crashes and I/O faults hit every policy alike; checkpoint\n"
+      "policies convert most lost work into retried dumps and re-replicated\n"
+      "images, and fall back to kill only when dumps keep failing.\n");
   return 0;
 }

@@ -6,6 +6,9 @@
 #   * bench_fig3_trace_sim  --jobs 1  vs  --jobs 8   (small workload)
 #   * ckpt-sim sweep        --parallel 1 vs --parallel 8
 #
+#   * bench_ext_failure     --jobs 1  vs  --jobs 8   (fault-injection sweep:
+#     scripted node crashes + transient I/O faults with a fixed fault seed)
+#
 # Usage: scripts/check_determinism.sh [build-dir]
 set -euo pipefail
 
@@ -34,6 +37,16 @@ compare() {
   > "$work_dir/fig3.parallel.txt"
 compare "bench_fig3_trace_sim" \
   "$work_dir/fig3.serial.txt" "$work_dir/fig3.parallel.txt"
+
+# Fault lane: every cell owns a private FaultInjector forked from the fixed
+# fault seed, so injected crashes and I/O faults replay identically at any
+# worker count.
+"$build_dir/bench/bench_ext_failure" --jobs 1 150 \
+  > "$work_dir/ext_failure.serial.txt"
+"$build_dir/bench/bench_ext_failure" --jobs 8 150 \
+  > "$work_dir/ext_failure.parallel.txt"
+compare "bench_ext_failure (fault sweep)" \
+  "$work_dir/ext_failure.serial.txt" "$work_dir/ext_failure.parallel.txt"
 
 sweep_args=(--jobs=40 --sweep-policies=kill,checkpoint,adaptive
   --sweep-media=hdd,ssd --sweep-seeds=1,2)

@@ -53,8 +53,12 @@ if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
   tsan_dir="$build_dir-tsan"
   cmake -B "$tsan_dir" -S "$repo_root" -DCKPT_SANITIZE=thread
   cmake --build "$tsan_dir" -j "$(nproc)" \
-    --target test_thread_pool bench_fig3_trace_sim ckpt_sim_cli
+    --target test_thread_pool test_fault bench_fig3_trace_sim \
+    bench_ext_failure ckpt_sim_cli
   "$tsan_dir/tests/test_thread_pool"
+  # Fault injection draws RNG inside sweep cells; TSan watches the fault
+  # tests and the parallel fault sweep for cross-cell sharing.
+  "$tsan_dir/tests/test_fault"
   "$repo_root/scripts/check_determinism.sh" "$tsan_dir"
   echo "ci.sh: TSan lane passed"
 fi

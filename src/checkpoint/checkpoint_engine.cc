@@ -1,8 +1,10 @@
 #include "checkpoint/checkpoint_engine.h"
 
+#include <cmath>
 #include <utility>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/observability.h"
 
 namespace ckpt {
@@ -62,9 +64,30 @@ SimDuration CheckpointEngine::EstimateRestoreService(const ProcessState& proc,
   return store_->EstimateLoadBytesService(size, node, local);
 }
 
+SimDuration CheckpointEngine::BackoffDelay(int attempt) const {
+  // Attempt n (1-based) failed; wait backoff * multiplier^(n-1).
+  double delay = static_cast<double>(retry_.backoff);
+  for (int i = 1; i < attempt; ++i) delay *= retry_.multiplier;
+  return static_cast<SimDuration>(delay);
+}
+
+void CheckpointEngine::CountRetry(const char* op) {
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("ckpt.retry", {{"op", op}})->Inc();
+    obs_->tracer().Instant("fault.ckpt_retry", "fault", "ckpt", sim_->Now(),
+                           {TraceArg::Str("op", op)});
+  }
+}
+
 void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
                             const DumpOptions& opts,
                             std::function<void(DumpResult)> done) {
+  DumpAttempt(proc, node, opts, 1, std::move(done));
+}
+
+void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
+                                   DumpOptions opts, int attempt,
+                                   std::function<void(DumpResult)> done) {
   const bool can_increment = opts.incremental && proc.has_image &&
                              proc.memory.tracking_enabled() &&
                              !opts.replace_existing &&
@@ -76,6 +99,7 @@ void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
                               proc.image_node == node);
   const Bytes bytes = DumpBytes(proc, can_increment);
   const SimTime started = sim_->Now();
+  const std::int64_t epoch = proc.io_epoch;
 
   Tracer::SpanId span = Tracer::kInvalidSpan;
   if (obs_ != nullptr) {
@@ -86,7 +110,19 @@ void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
          TraceArg::Num("incremental", can_increment ? 1 : 0)});
   }
 
-  auto finish = [this, &proc, node, can_increment, bytes, started, span,
+  // Full dumps write-new-then-swap: the new image lands under a fresh path
+  // while the old image (if any) stays valid; only a successful save
+  // removes the old one. A failed or canceled save leaves the previous
+  // image restorable.
+  const std::string old_path = can_increment ? "" : proc.image_path;
+  std::string save_path = proc.image_path;
+  if (!can_increment) {
+    save_path = ImagePath(proc);
+    ++next_image_;
+  }
+
+  auto finish = [this, &proc, node, opts, attempt, can_increment, bytes,
+                 started, span, epoch, old_path, save_path,
                  done = std::move(done)](bool ok) {
     DumpResult result;
     result.ok = ok;
@@ -110,11 +146,38 @@ void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
           .GetCounter("ckpt.dump.bytes", {{"node", node_label}})
           ->Inc(result.bytes_written);
     }
+    if (proc.io_epoch != epoch) {
+      // The caller unwound this dump (node failure, kill) while the I/O was
+      // in flight: do not touch proc, and drop the orphaned new image.
+      if (ok && !can_increment) store_->Remove(save_path);
+      result.ok = false;
+      done(result);
+      return;
+    }
+    if (!ok && attempt < retry_.max_attempts) {
+      ++dump_retries_;
+      CountRetry("dump");
+      sim_->ScheduleAfter(BackoffDelay(attempt),
+                          [this, &proc, node, opts, attempt, epoch, done] {
+                            if (proc.io_epoch != epoch) {
+                              done(DumpResult{});
+                              return;
+                            }
+                            DumpAttempt(proc, node, opts, attempt + 1, done);
+                          });
+      return;
+    }
     if (ok) {
       ++dumps_;
       if (can_increment) ++incremental_dumps_;
       dump_bytes_ += bytes;
       dump_time_ += result.duration;
+      if (!can_increment) {
+        // Swap: retire the replaced image only now that its successor is
+        // fully stored.
+        if (!old_path.empty()) store_->Remove(old_path);
+        proc.image_path = save_path;
+      }
       proc.has_image = true;
       proc.image_node = node;
       // `bytes` is exactly what landed in the store (payload + metadata),
@@ -136,18 +199,17 @@ void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
     store_->Append(proc.image_path, bytes, node, std::move(finish));
     return;
   }
-  if (proc.has_image && !proc.image_path.empty()) {
-    store_->Remove(proc.image_path);
-    proc.has_image = false;
-    proc.image_bytes = 0;
-  }
-  proc.image_path = ImagePath(proc);
-  ++next_image_;
-  store_->Save(proc.image_path, bytes, node, std::move(finish));
+  store_->Save(save_path, bytes, node, std::move(finish));
 }
 
 void CheckpointEngine::Restore(ProcessState& proc, NodeId node,
                                std::function<void(RestoreResult)> done) {
+  RestoreAttempt(proc, node, 1, std::move(done));
+}
+
+void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
+                                      int attempt,
+                                      std::function<void(RestoreResult)> done) {
   if (!proc.has_image || !store_->Exists(proc.image_path)) {
     RestoreResult result;  // nothing to restore from
     sim_->ScheduleAfter(0, [result, done = std::move(done)] { done(result); });
@@ -156,6 +218,7 @@ void CheckpointEngine::Restore(ProcessState& proc, NodeId node,
   const SimTime started = sim_->Now();
   const bool remote = !store_->IsLocalTo(proc.image_path, node);
   const Bytes bytes = store_->StoredSize(proc.image_path);
+  const std::int64_t epoch = proc.io_epoch;
   Tracer::SpanId span = Tracer::kInvalidSpan;
   if (obs_ != nullptr) {
     span = obs_->tracer().BeginSpan(
@@ -164,44 +227,84 @@ void CheckpointEngine::Restore(ProcessState& proc, NodeId node,
          TraceArg::Num("bytes", static_cast<double>(bytes)),
          TraceArg::Num("remote", remote ? 1 : 0)});
   }
-  store_->Load(proc.image_path, node,
-               [this, &proc, node, remote, bytes, started, span,
-                done = std::move(done)](bool ok) {
-                 RestoreResult result;
-                 result.ok = ok;
-                 result.was_remote = remote;
-                 result.bytes_read = ok ? bytes : 0;
-                 result.duration = sim_->Now() - started;
-                 if (obs_ != nullptr) {
-                   obs_->tracer().EndSpan(
-                       span, sim_->Now(),
-                       {TraceArg::Num("ok", ok ? 1 : 0)});
-                   const std::string node_label =
-                       Observability::NodeLabel(node);
-                   obs_->metrics()
-                       .GetCounter("ckpt.restore.count",
-                                   {{"node", node_label},
-                                    {"locality", remote ? "remote" : "local"}})
-                       ->Inc();
-                   obs_->metrics()
-                       .GetHistogram("ckpt.restore.seconds",
-                                     {{"node", node_label}}, kIoSecondsBounds)
-                       ->Observe(ToSeconds(result.duration));
-                   obs_->metrics()
-                       .GetCounter("ckpt.restore.bytes", {{"node", node_label}})
-                       ->Inc(result.bytes_read);
-                 }
-                 if (ok) {
-                   ++restores_;
-                   restore_bytes_ += bytes;
-                   restore_time_ += result.duration;
-                   proc.image_node = node;
-                   // The restored process resumes with tracking re-armed so
-                   // a later preemption can dump incrementally (S5.2.2).
-                   proc.memory.StartTracking();
-                 }
-                 done(result);
-               });
+  store_->Load(
+      proc.image_path, node,
+      [this, &proc, node, attempt, remote, bytes, started, span, epoch,
+       done = std::move(done)](bool ok) {
+        RestoreResult result;
+        result.ok = ok;
+        result.was_remote = remote;
+        result.bytes_read = ok ? bytes : 0;
+        result.duration = sim_->Now() - started;
+        const bool live = proc.io_epoch == epoch;
+        // Integrity check, like CRIU verifying image magic/checksums after
+        // the read: a corrupt image is only discovered once loaded.
+        if (ok && live && fault_ != nullptr &&
+            fault_->ShouldCorruptImage(Observability::NodeTrack(node))) {
+          ok = false;
+          result.ok = false;
+          result.corrupt = true;
+          result.bytes_read = 0;
+          ++corrupt_images_;
+          if (obs_ != nullptr) {
+            obs_->metrics().GetCounter("ckpt.corrupt_images")->Inc();
+          }
+        }
+        if (obs_ != nullptr) {
+          obs_->tracer().EndSpan(span, sim_->Now(),
+                                 {TraceArg::Num("ok", ok ? 1 : 0)});
+          const std::string node_label = Observability::NodeLabel(node);
+          obs_->metrics()
+              .GetCounter("ckpt.restore.count",
+                          {{"node", node_label},
+                           {"locality", remote ? "remote" : "local"}})
+              ->Inc();
+          obs_->metrics()
+              .GetHistogram("ckpt.restore.seconds", {{"node", node_label}},
+                            kIoSecondsBounds)
+              ->Observe(ToSeconds(result.duration));
+          obs_->metrics()
+              .GetCounter("ckpt.restore.bytes", {{"node", node_label}})
+              ->Inc(result.bytes_read);
+        }
+        if (!live) {
+          // Canceled while the read was in flight: report failure without
+          // touching proc (no image-node rebinding on a dead attempt).
+          result.ok = false;
+          done(result);
+          return;
+        }
+        if (result.corrupt) {
+          // The image is unusable; retrying would reread the same bad
+          // bytes. Drop it so the caller restarts from scratch.
+          Discard(proc);
+          done(result);
+          return;
+        }
+        if (!ok && attempt < retry_.max_attempts) {
+          ++restore_retries_;
+          CountRetry("restore");
+          sim_->ScheduleAfter(BackoffDelay(attempt),
+                              [this, &proc, node, attempt, epoch, done] {
+                                if (proc.io_epoch != epoch) {
+                                  done(RestoreResult{});
+                                  return;
+                                }
+                                RestoreAttempt(proc, node, attempt + 1, done);
+                              });
+          return;
+        }
+        if (ok) {
+          ++restores_;
+          restore_bytes_ += bytes;
+          restore_time_ += result.duration;
+          proc.image_node = node;
+          // The restored process resumes with tracking re-armed so
+          // a later preemption can dump incrementally (S5.2.2).
+          proc.memory.StartTracking();
+        }
+        done(result);
+      });
 }
 
 void CheckpointEngine::Discard(ProcessState& proc) {

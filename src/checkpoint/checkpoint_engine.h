@@ -20,6 +20,7 @@
 
 namespace ckpt {
 
+class FaultInjector;
 class Observability;
 
 // The checkpointable view of one running task's process tree.
@@ -36,6 +37,11 @@ struct ProcessState {
   NodeId image_node;      // node that produced the latest dump
   Bytes image_bytes = 0;  // logical restore size (base + layers)
   int dump_count = 0;
+  // Cancellation epoch: CheckpointEngine::CancelInflight bumps it, and any
+  // dump/restore completion whose captured epoch no longer matches skips
+  // its state commit (so a late I/O completion cannot resurrect an image
+  // unwound by a node failure).
+  std::int64_t io_epoch = 0;
 
   ProcessState(TaskId id, Bytes memory_size, Bytes page_size = 4 * kKiB)
       : task(id), memory(memory_size, page_size) {}
@@ -57,8 +63,21 @@ struct DumpResult {
 struct RestoreResult {
   bool ok = false;
   bool was_remote = false;
+  // The image read fine but failed integrity verification; the engine has
+  // already discarded it, so the caller must restart from scratch rather
+  // than retry.
+  bool corrupt = false;
   Bytes bytes_read = 0;
   SimDuration duration = 0;
+};
+
+// Transient-failure retry budget for dump/restore I/O. Attempt n waits
+// backoff * multiplier^(n-1) before re-issuing; max_attempts = 1 disables
+// retries (the default, preserving pre-fault behavior).
+struct RetryPolicy {
+  int max_attempts = 1;
+  SimDuration backoff = Millis(500);
+  double multiplier = 2.0;
 };
 
 class CheckpointEngine {
@@ -80,6 +99,18 @@ class CheckpointEngine {
 
   // Drop the stored image (e.g. after the task finishes).
   void Discard(ProcessState& proc);
+
+  // Abandon any in-flight dump/restore for `proc`: pending completions and
+  // queued retries see a stale epoch and neither commit state nor invoke
+  // further retries. Call when the initiator dies (node failure, kill).
+  void CancelInflight(ProcessState& proc) { ++proc.io_epoch; }
+
+  // Retry budget for transient dump/restore failures.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Optional fault injector (null disables image-corruption draws).
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
 
   // Bytes the next dump would write (dirty pages + metadata, or the full
   // image when incremental dumping is unavailable).
@@ -104,6 +135,9 @@ class CheckpointEngine {
   std::int64_t dumps_completed() const { return dumps_; }
   std::int64_t incremental_dumps() const { return incremental_dumps_; }
   std::int64_t restores_completed() const { return restores_; }
+  std::int64_t dump_retries() const { return dump_retries_; }
+  std::int64_t restore_retries() const { return restore_retries_; }
+  std::int64_t corrupt_images_detected() const { return corrupt_images_; }
   Bytes total_dump_bytes() const { return dump_bytes_; }
   Bytes total_restore_bytes() const { return restore_bytes_; }
   SimDuration total_dump_time() const { return dump_time_; }
@@ -111,14 +145,25 @@ class CheckpointEngine {
 
  private:
   std::string ImagePath(const ProcessState& proc) const;
+  void DumpAttempt(ProcessState& proc, NodeId node, DumpOptions opts,
+                   int attempt, std::function<void(DumpResult)> done);
+  void RestoreAttempt(ProcessState& proc, NodeId node, int attempt,
+                      std::function<void(RestoreResult)> done);
+  SimDuration BackoffDelay(int attempt) const;
+  void CountRetry(const char* op);
 
   Simulator* sim_;
   CheckpointStore* store_;
   Observability* obs_;
+  FaultInjector* fault_ = nullptr;
+  RetryPolicy retry_;
   std::int64_t next_image_ = 0;
   std::int64_t dumps_ = 0;
   std::int64_t incremental_dumps_ = 0;
   std::int64_t restores_ = 0;
+  std::int64_t dump_retries_ = 0;
+  std::int64_t restore_retries_ = 0;
+  std::int64_t corrupt_images_ = 0;
   Bytes dump_bytes_ = 0;
   Bytes restore_bytes_ = 0;
   SimDuration dump_time_ = 0;

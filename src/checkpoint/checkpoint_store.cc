@@ -36,7 +36,12 @@ void LocalStore::Save(const std::string& path, Bytes size, NodeId node,
   }
   files_[path] = Entry{node, size};
   RecordStoreOp("save", "local", size);
-  device->SubmitWrite(size, [done = std::move(done)] { done(true); });
+  device->SubmitWrite(size, [this, path, done = std::move(done)](bool ok) {
+    // A failed device write leaves no usable image: unregister the file
+    // (which also releases the reservation) before reporting failure.
+    if (!ok) Remove(path);
+    done(ok);
+  });
 }
 
 void LocalStore::Append(const std::string& path, Bytes size, NodeId node,
@@ -50,7 +55,18 @@ void LocalStore::Append(const std::string& path, Bytes size, NodeId node,
   }
   it->second.size += size;
   RecordStoreOp("append", "local", size);
-  device->SubmitWrite(size, [done = std::move(done)] { done(true); });
+  device->SubmitWrite(
+      size, [this, path, size, node, done = std::move(done)](bool ok) {
+        if (!ok) {
+          // Roll the extension back; the base image layers remain valid.
+          auto rollback = files_.find(path);
+          if (rollback != files_.end()) {
+            rollback->second.size -= size;
+            if (StorageDevice* device = DeviceFor(node)) device->Release(size);
+          }
+        }
+        done(ok);
+      });
 }
 
 void LocalStore::Load(const std::string& path, NodeId node,
@@ -65,7 +81,8 @@ void LocalStore::Load(const std::string& path, NodeId node,
   StorageDevice* device = DeviceFor(node);
   CKPT_CHECK(device != nullptr);
   RecordStoreOp("load", "local", it->second.size);
-  device->SubmitRead(it->second.size, [done = std::move(done)] { done(true); });
+  device->SubmitRead(it->second.size,
+                     [done = std::move(done)](bool ok) { done(ok); });
 }
 
 bool LocalStore::Remove(const std::string& path) {

@@ -66,18 +66,23 @@ StorageDevice* DfsCluster::DeviceFor(NodeId node) const {
   return it == datanodes_.end() ? nullptr : it->second;
 }
 
+int DfsCluster::LiveDatanodeCount() const {
+  return static_cast<int>(datanode_ids_.size()) -
+         static_cast<int>(offline_.size());
+}
+
 std::vector<NodeId> DfsCluster::PlaceReplicas(NodeId writer) {
   std::vector<NodeId> replicas;
-  const int want =
-      std::min<int>(config_.replication, static_cast<int>(datanode_ids_.size()));
+  const int want = std::min<int>(config_.replication, LiveDatanodeCount());
   if (want == 0) return replicas;
   // HDFS policy: first replica on the writer when it hosts a datanode,
   // remaining replicas on distinct random nodes.
-  if (datanodes_.count(writer) > 0) replicas.push_back(writer);
+  if (DatanodeLive(writer)) replicas.push_back(writer);
   while (static_cast<int>(replicas.size()) < want) {
     NodeId pick = datanode_ids_[static_cast<size_t>(placement_rng_.UniformInt(
         0, static_cast<std::int64_t>(datanode_ids_.size()) - 1))];
-    if (std::find(replicas.begin(), replicas.end(), pick) == replicas.end()) {
+    if (DatanodeLive(pick) &&
+        std::find(replicas.begin(), replicas.end(), pick) == replicas.end()) {
       replicas.push_back(pick);
     }
   }
@@ -88,7 +93,7 @@ void DfsCluster::Write(const std::string& path, Bytes size, NodeId writer,
                        std::function<void(bool)> done) {
   CKPT_CHECK_GE(size, 0);
   done = WrapWithSpan("dfs.write", size, writer, std::move(done));
-  if (files_.count(path) > 0 || datanode_ids_.empty()) {
+  if (files_.count(path) > 0 || LiveDatanodeCount() == 0) {
     sim_->ScheduleAfter(0, [done = std::move(done)] { done(false); });
     return;
   }
@@ -132,7 +137,8 @@ void DfsCluster::WriteNextBlock(std::shared_ptr<PendingOp> op) {
   op->outstanding = static_cast<int>(block.replicas.size());
   CKPT_CHECK_GT(op->outstanding, 0);
 
-  auto replica_done = [this, op]() {
+  auto replica_done = [this, op](bool ok) {
+    if (!ok) op->failed = true;
     if (--op->outstanding == 0) {
       sim_->ScheduleAfter(config_.block_op_overhead,
                           [this, op] { WriteNextBlock(op); });
@@ -180,11 +186,20 @@ void DfsCluster::ReadNextBlock(std::shared_ptr<PendingOp> op) {
   const BlockInfo& block = op->file.blocks[op->next_block];
   op->next_block++;
 
-  // Prefer a replica co-located with the reader; otherwise the replica
-  // whose device has the shortest backlog (clients balance across copies).
-  NodeId source = block.replicas.front();
-  bool local = false;
+  // Prefer a live replica co-located with the reader; otherwise the live
+  // replica whose device has the shortest backlog (clients balance across
+  // copies). A block with no live replica fails the read.
+  std::vector<NodeId> candidates;
   for (NodeId replica : block.replicas) {
+    if (DatanodeLive(replica)) candidates.push_back(replica);
+  }
+  if (candidates.empty()) {
+    op->done(false);
+    return;
+  }
+  NodeId source = candidates.front();
+  bool local = false;
+  for (NodeId replica : candidates) {
     if (replica == op->requester) {
       source = replica;
       local = true;
@@ -192,7 +207,7 @@ void DfsCluster::ReadNextBlock(std::shared_ptr<PendingOp> op) {
     }
   }
   if (!local) {
-    for (NodeId replica : block.replicas) {
+    for (NodeId replica : candidates) {
       if (DeviceFor(replica)->QueueDelay() <
           DeviceFor(source)->QueueDelay()) {
         source = replica;
@@ -203,12 +218,172 @@ void DfsCluster::ReadNextBlock(std::shared_ptr<PendingOp> op) {
   CKPT_CHECK(device != nullptr);
   const Bytes bytes = block.size;
   const NodeId reader = op->requester;
-  device->SubmitRead(Inflated(bytes), [this, op, source, reader, bytes]() {
+  device->SubmitRead(Inflated(bytes), [this, op, source, reader, bytes](bool ok) {
+    if (!ok) {
+      op->done(false);
+      return;
+    }
     net_->Transfer(source, reader, bytes, [this, op]() {
       sim_->ScheduleAfter(config_.block_op_overhead,
                           [this, op] { ReadNextBlock(op); });
     });
   });
+}
+
+std::vector<std::string> DfsCluster::FailDataNode(NodeId node) {
+  std::vector<std::string> lost;
+  if (!DatanodeLive(node)) return lost;
+  offline_.insert(node);
+
+  // Strip the dead node's replicas; collect files left with a zero-replica
+  // block (lost) and files left under-replicated (to re-replicate). Paths
+  // are processed in sorted order so RNG draws and event scheduling stay
+  // independent of hash-map iteration order.
+  std::vector<std::string> under_replicated;
+  for (auto& [path, file] : files_) {
+    bool file_lost = false;
+    bool needs_copies = false;
+    for (BlockInfo& block : file.blocks) {
+      auto it = std::find(block.replicas.begin(), block.replicas.end(), node);
+      if (it == block.replicas.end()) continue;
+      block.replicas.erase(it);
+      current_stored_ -= block.size;
+      if (block.replicas.empty()) {
+        file_lost = true;
+      } else {
+        needs_copies = true;
+      }
+    }
+    if (file_lost) {
+      lost.push_back(path);
+    } else if (needs_copies) {
+      under_replicated.push_back(path);
+    }
+  }
+  std::sort(lost.begin(), lost.end());
+  std::sort(under_replicated.begin(), under_replicated.end());
+
+  for (const std::string& path : lost) {
+    ++files_lost_;
+    Delete(path);
+    if (obs_ != nullptr) {
+      obs_->metrics().GetCounter("dfs.files_lost")->Inc();
+    }
+  }
+
+  const int target = std::min<int>(config_.replication, LiveDatanodeCount());
+  for (const std::string& path : under_replicated) {
+    const FileInfo& file = files_.at(path);
+    for (const BlockInfo& block : file.blocks) {
+      if (static_cast<int>(block.replicas.size()) >= target) continue;
+      const BlockId id = block.id;
+      sim_->ScheduleAfter(config_.rereplication_delay, [this, path, id] {
+        ReplicateBlock(path, id, 1);
+      });
+    }
+  }
+  return lost;
+}
+
+void DfsCluster::RecoverDataNode(NodeId node) {
+  CKPT_CHECK(datanodes_.count(node) > 0) << "unknown datanode";
+  offline_.erase(node);
+}
+
+void DfsCluster::RetryOrDropReplication(const std::string& path, BlockId block,
+                                        int attempt) {
+  if (attempt >= config_.max_rereplication_attempts) return;
+  sim_->ScheduleAfter(config_.rereplication_delay,
+                      [this, path, block, attempt] {
+                        ReplicateBlock(path, block, attempt + 1);
+                      });
+}
+
+// Copy one under-replicated block to a fresh datanode: device read on a
+// surviving replica, network transfer, device write on the target. The
+// file may be deleted or the topology may change while the copy is in
+// flight, so every step revalidates against the namenode state.
+void DfsCluster::ReplicateBlock(const std::string& path, BlockId block,
+                                int attempt) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  const BlockInfo* info = nullptr;
+  for (const BlockInfo& b : it->second.blocks) {
+    if (b.id == block) info = &b;
+  }
+  if (info == nullptr) return;
+  if (static_cast<int>(info->replicas.size()) >=
+      std::min<int>(config_.replication, LiveDatanodeCount())) {
+    return;  // healed in the meantime (or no node can hold another copy)
+  }
+  NodeId source;
+  for (NodeId replica : info->replicas) {
+    if (DatanodeLive(replica)) {
+      source = replica;
+      break;
+    }
+  }
+  if (!source.valid()) return;  // nothing left to copy from
+  // Random target among live datanodes not already holding the block,
+  // drawn from the placement stream (deterministic in event order).
+  std::vector<NodeId> targets;
+  for (NodeId candidate : datanode_ids_) {
+    if (!DatanodeLive(candidate)) continue;
+    if (std::find(info->replicas.begin(), info->replicas.end(), candidate) !=
+        info->replicas.end()) {
+      continue;
+    }
+    targets.push_back(candidate);
+  }
+  if (targets.empty()) return;
+  const NodeId target = targets[static_cast<size_t>(placement_rng_.UniformInt(
+      0, static_cast<std::int64_t>(targets.size()) - 1))];
+  const Bytes bytes = info->size;
+  StorageDevice* src_device = DeviceFor(source);
+  CKPT_CHECK(src_device != nullptr);
+  src_device->SubmitRead(
+      Inflated(bytes),
+      [this, path, block, attempt, source, target, bytes](bool read_ok) {
+        if (!read_ok) {
+          RetryOrDropReplication(path, block, attempt);
+          return;
+        }
+        net_->Transfer(source, target, bytes, [this, path, block, attempt,
+                                               target, bytes] {
+          StorageDevice* dst = DeviceFor(target);
+          CKPT_CHECK(dst != nullptr);
+          dst->SubmitWrite(
+              Inflated(bytes),
+              [this, path, block, attempt, target, bytes](bool write_ok) {
+                if (!write_ok || !DatanodeLive(target)) {
+                  RetryOrDropReplication(path, block, attempt);
+                  return;
+                }
+                auto file_it = files_.find(path);
+                if (file_it == files_.end()) return;
+                for (BlockInfo& b : file_it->second.blocks) {
+                  if (b.id != block) continue;
+                  if (std::find(b.replicas.begin(), b.replicas.end(),
+                                target) != b.replicas.end()) {
+                    return;  // raced with another copy
+                  }
+                  b.replicas.push_back(target);
+                  current_stored_ += bytes;
+                  peak_stored_ = std::max(peak_stored_, current_stored_);
+                  ++blocks_rereplicated_;
+                  if (obs_ != nullptr) {
+                    obs_->metrics().GetCounter("dfs.rereplicated")->Inc();
+                    obs_->tracer().Instant(
+                        "fault.rereplicated", "fault", "dfs", sim_->Now(),
+                        {TraceArg::Str("path", path),
+                         TraceArg::Num("node",
+                                       static_cast<double>(target.value()))});
+                  }
+                  return;
+                }
+              });
+        });
+      });
 }
 
 bool DfsCluster::Delete(const std::string& path) {

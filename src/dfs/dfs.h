@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.h"
@@ -37,6 +38,11 @@ struct DfsConfig {
   // overhead Fig. 2b shows HDFS adding over the local filesystem.
   double io_inflation = 1.08;
   std::uint64_t placement_seed = 42;
+  // Background re-replication of under-replicated blocks after a datanode
+  // loss: delay before the namenode reacts, and how many times a single
+  // block copy is retried when its I/O fails.
+  SimDuration rereplication_delay = Seconds(5);
+  int max_rereplication_attempts = 3;
 };
 
 struct BlockInfo {
@@ -66,6 +72,24 @@ class DfsCluster {
   void AddDataNode(NodeId node, StorageDevice* device);
   int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
 
+  // --- Datanode failure ----------------------------------------------------
+
+  // Take `node`'s datanode offline: its replicas are dropped, files whose
+  // every replica lived there are lost, and surviving under-replicated
+  // blocks are re-replicated in the background after
+  // `rereplication_delay`. Returns the lost paths (sorted).
+  std::vector<std::string> FailDataNode(NodeId node);
+
+  // Bring a failed datanode back, empty (its old replicas are gone). It
+  // becomes eligible for placement and re-replication targets again.
+  void RecoverDataNode(NodeId node);
+
+  bool DatanodeLive(NodeId node) const {
+    return datanodes_.count(node) > 0 && offline_.count(node) == 0;
+  }
+  std::int64_t blocks_rereplicated() const { return blocks_rereplicated_; }
+  std::int64_t files_lost() const { return files_lost_; }
+
   // --- Asynchronous file operations -------------------------------------
 
   // Create `path` with `size` bytes, written from `writer`. Fails (done
@@ -86,6 +110,7 @@ class DfsCluster {
   const FileInfo* Stat(const std::string& path) const;
   bool HasLocalReplica(const std::string& path, NodeId node) const;
   Bytes total_stored() const;
+  Bytes current_stored() const { return current_stored_; }
   Bytes peak_stored() const { return peak_stored_; }
 
   // --- Cost estimates (Algorithm 1/2 inputs) ------------------------------
@@ -118,8 +143,12 @@ class DfsCluster {
   std::vector<NodeId> PlaceReplicas(NodeId writer);
   StorageDevice* DeviceFor(NodeId node) const;
   Bytes Inflated(Bytes size) const;
+  int LiveDatanodeCount() const;
   void WriteNextBlock(std::shared_ptr<PendingOp> op);
   void ReadNextBlock(std::shared_ptr<PendingOp> op);
+  void ReplicateBlock(const std::string& path, BlockId block, int attempt);
+  void RetryOrDropReplication(const std::string& path, BlockId block,
+                              int attempt);
 
   std::function<void(bool)> WrapWithSpan(const char* name, Bytes bytes,
                                          NodeId requester,
@@ -132,10 +161,13 @@ class DfsCluster {
   Rng placement_rng_;
   std::vector<NodeId> datanode_ids_;
   std::unordered_map<NodeId, StorageDevice*> datanodes_;
+  std::unordered_set<NodeId> offline_;
   std::unordered_map<std::string, FileInfo> files_;
   std::int64_t next_block_id_ = 0;
   Bytes current_stored_ = 0;  // bytes across replicas, tracked for peak
   Bytes peak_stored_ = 0;
+  std::int64_t blocks_rereplicated_ = 0;
+  std::int64_t files_lost_ = 0;
 };
 
 }  // namespace ckpt

@@ -1,0 +1,105 @@
+// Deterministic fault injection.
+//
+// A FaultPlan is pure data: scripted node crashes plus probabilistic
+// transient faults (storage-op failures, degraded-bandwidth windows,
+// checkpoint-image corruption). A FaultInjector turns the plan into
+// repeatable draws: every probability stream is forked from one seed via
+// Rng::Fork, and all draws happen in simulator event order, so the same
+// plan + seed produces byte-identical runs at any sweep --jobs count
+// (each sweep cell owns a private injector, like Simulator/Observability).
+//
+// Components hold a `FaultInjector*` that may be null; null means fault
+// injection is off, no random draws happen, and behavior (including
+// stdout) is bit-identical to a build without this subsystem.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace ckpt {
+
+class Observability;
+class Simulator;
+
+// One scripted machine crash. `down_for < 0` means the node never comes
+// back; otherwise it recovers (empty, images lost) after `down_for`.
+struct NodeCrashEvent {
+  NodeId node;
+  SimTime at = 0;
+  SimDuration down_for = -1;
+};
+
+// While `from <= now < until`, storage ops submitted on `node` take
+// `factor`x their nominal service time (degraded disk / noisy neighbor).
+struct DegradedWindow {
+  NodeId node;
+  SimTime from = 0;
+  SimTime until = 0;
+  double factor = 1.0;
+};
+
+struct FaultPlan {
+  std::vector<NodeCrashEvent> node_crashes;
+
+  // Per-operation probability that a storage write/read completes with
+  // ok=false (transient I/O error). The op still occupies the device for
+  // its full service time, like a failed-then-reported disk request.
+  double storage_write_fail_prob = 0;
+  double storage_read_fail_prob = 0;
+
+  std::vector<DegradedWindow> degraded_windows;
+
+  // Probability that a checkpoint image is found corrupt when the engine
+  // loads it (detected at Load, after paying the read, as a real checksum
+  // mismatch would be).
+  double image_corruption_prob = 0;
+
+  std::uint64_t seed = 42;
+
+  bool empty() const {
+    return node_crashes.empty() && storage_write_fail_prob <= 0 &&
+           storage_read_fail_prob <= 0 && degraded_windows.empty() &&
+           image_corruption_prob <= 0;
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Simulator* sim, FaultPlan plan, Observability* obs = nullptr);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Probability draws. Each purpose has its own forked stream so adding
+  // draws of one kind never perturbs the others. `where` labels the obs
+  // counter/trace only.
+  bool ShouldFailWrite(const std::string& where);
+  bool ShouldFailRead(const std::string& where);
+  bool ShouldCorruptImage(const std::string& where);
+
+  // Service-time multiplier for a storage op submitted on `node` now
+  // (>= 1.0; overlapping windows multiply).
+  double ServiceTimeFactor(NodeId node, SimTime now) const;
+
+  std::int64_t faults_injected() const { return faults_injected_; }
+
+ private:
+  bool Draw(Rng& rng, double prob, const char* kind, const std::string& where);
+
+  Simulator* sim_;
+  FaultPlan plan_;
+  Observability* obs_;
+  Rng write_rng_;
+  Rng read_rng_;
+  Rng corrupt_rng_;
+  std::int64_t faults_injected_ = 0;
+};
+
+}  // namespace ckpt

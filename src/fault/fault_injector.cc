@@ -1,0 +1,71 @@
+#include "fault/fault.h"
+
+#include "common/logging.h"
+#include "obs/observability.h"
+#include "sim/simulator.h"
+
+namespace ckpt {
+namespace {
+
+// Salts for Rng::Fork; arbitrary but fixed so streams stay decorrelated
+// and stable across builds.
+constexpr std::uint64_t kWriteSalt = 0x57;
+constexpr std::uint64_t kReadSalt = 0x52;
+constexpr std::uint64_t kCorruptSalt = 0x43;
+
+Rng ForkFromSeed(std::uint64_t seed, std::uint64_t salt) {
+  Rng root(seed);
+  return root.Fork(salt);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Simulator* sim, FaultPlan plan,
+                             Observability* obs)
+    : sim_(sim),
+      plan_(std::move(plan)),
+      obs_(obs),
+      write_rng_(ForkFromSeed(plan_.seed, kWriteSalt)),
+      read_rng_(ForkFromSeed(plan_.seed, kReadSalt)),
+      corrupt_rng_(ForkFromSeed(plan_.seed, kCorruptSalt)) {
+  CKPT_CHECK(sim != nullptr);
+}
+
+bool FaultInjector::Draw(Rng& rng, double prob, const char* kind,
+                         const std::string& where) {
+  if (prob <= 0) return false;
+  if (!rng.Bernoulli(prob)) return false;
+  ++faults_injected_;
+  if (obs_ != nullptr) {
+    obs_->metrics().GetCounter("fault.injected", {{"kind", kind}})->Inc();
+    obs_->tracer().Instant(std::string("fault.") + kind, "fault", where,
+                           sim_->Now(), {TraceArg::Str("where", where)});
+  }
+  return true;
+}
+
+bool FaultInjector::ShouldFailWrite(const std::string& where) {
+  return Draw(write_rng_, plan_.storage_write_fail_prob, "storage_write",
+              where);
+}
+
+bool FaultInjector::ShouldFailRead(const std::string& where) {
+  return Draw(read_rng_, plan_.storage_read_fail_prob, "storage_read", where);
+}
+
+bool FaultInjector::ShouldCorruptImage(const std::string& where) {
+  return Draw(corrupt_rng_, plan_.image_corruption_prob, "image_corrupt",
+              where);
+}
+
+double FaultInjector::ServiceTimeFactor(NodeId node, SimTime now) const {
+  double factor = 1.0;
+  for (const DegradedWindow& w : plan_.degraded_windows) {
+    if (w.node == node && now >= w.from && now < w.until && w.factor > 1.0) {
+      factor *= w.factor;
+    }
+  }
+  return factor;
+}
+
+}  // namespace ckpt

@@ -148,6 +148,38 @@ const MesosTaskInfo* MesosMaster::FindTask(std::int64_t task_id) const {
   return it == tasks_.end() ? nullptr : &it->second;
 }
 
+void MesosMaster::InjectNodeFailure(NodeId node) {
+  Node& n = cluster_->node(node);
+  if (!n.online()) return;
+  ++node_failures_;
+  // Collect in id order before notifying: tasks_ is a hash map, and the
+  // owners' OnTaskLost handlers schedule events.
+  std::vector<std::int64_t> lost;
+  for (const auto& [id, task] : tasks_) {
+    if (task.node == node) lost.push_back(id);
+  }
+  std::sort(lost.begin(), lost.end());
+  for (std::int64_t id : lost) {
+    MesosFramework* owner = task_owner_.at(id);
+    FrameworkInfo* info = InfoFor(owner);
+    n.Release(tasks_.at(id).resources);
+    info->allocated -= tasks_.at(id).resources;
+    task_owner_.erase(id);
+    revoke_pending_.erase(id);
+    tasks_.erase(id);
+    sim_->ScheduleAfter(0, [owner, id] { owner->OnTaskLost(id); });
+  }
+  n.SetOnline(false);
+  RequestOfferCycle();
+}
+
+void MesosMaster::RecoverNode(NodeId node) {
+  Node& n = cluster_->node(node);
+  if (n.online()) return;
+  n.SetOnline(true);
+  RequestOfferCycle();
+}
+
 void MesosMaster::Revoke() {
   if (config_.policy == PreemptionPolicy::kWait) return;
   // Pace revocation rounds: a framework that instantly releases a revoked
@@ -214,6 +246,7 @@ struct BatchFramework::TaskRt {
   SimTime run_start = -1;
   SimDuration work_done = 0;
   SimDuration saved_work = 0;
+  int dump_failures = 0;  // consecutive; reset on a successful dump
 
   std::int64_t mesos_id = -1;
   NodeId node;
@@ -305,7 +338,18 @@ void BatchFramework::RunTask(TaskRt* task, NodeId node,
                            task->state != TaskRt::State::kRestoring) {
                          return;
                        }
-                       CKPT_CHECK(r.ok);
+                       if (!r.ok) {
+                         // I/O fault or corrupt image: restart from scratch
+                         // on the resources we already hold instead of
+                         // aborting the framework.
+                         stats_.restore_failures++;
+                         stats_.lost_work += task->saved_work;
+                         engine_->Discard(*task->proc);
+                         task->saved_work = 0;
+                         task->work_done = 0;
+                         begin_run();
+                         return;
+                       }
                        task->work_done = task->saved_work;
                        begin_run();
                      });
@@ -375,6 +419,20 @@ void BatchFramework::OnRevoke(std::int64_t task_id) {
 
   PreemptAction action = PreemptAction::kKill;
   const bool can_increment = config_.incremental && task->proc->has_image;
+  if (config_.policy != PreemptionPolicy::kWait &&
+      config_.policy != PreemptionPolicy::kKill &&
+      task->dump_failures >= config_.max_checkpoint_failures) {
+    // Algorithm 1 degenerates to the kill baseline once this task's dumps
+    // keep failing: the checkpoint cost is being paid with nothing saved.
+    stats_.fallback_kills++;
+    stats_.lost_work += UnsavedProgress(task);
+    stats_.kills++;
+    task->attempt++;
+    task->run_start = -1;
+    task->work_done = task->saved_work;
+    requeue();
+    return;
+  }
   switch (config_.policy) {
     case PreemptionPolicy::kWait:
     case PreemptionPolicy::kKill:
@@ -426,10 +484,56 @@ void BatchFramework::OnRevoke(std::int64_t task_id) {
                       task->state != TaskRt::State::kDumping) {
                     return;
                   }
-                  CKPT_CHECK(result.ok);
+                  if (!result.ok) {
+                    // Dump failed after retries; write-new-then-swap kept
+                    // any previous image intact, so only the unsaved run
+                    // since it is lost.
+                    stats_.dump_failures++;
+                    task->dump_failures++;
+                    stats_.lost_work += task->work_done - task->saved_work;
+                    task->work_done = task->saved_work;
+                    requeue();
+                    return;
+                  }
+                  task->dump_failures = 0;
                   task->saved_work = task->work_done;
                   requeue();
                 });
+}
+
+void BatchFramework::OnTaskLost(std::int64_t task_id) {
+  auto it = by_mesos_id_.find(task_id);
+  if (it == by_mesos_id_.end()) return;  // completed concurrently
+  TaskRt* task = it->second;
+  by_mesos_id_.erase(it);
+  stats_.tasks_lost++;
+  switch (task->state) {
+    case TaskRt::State::kRunning:
+      stats_.lost_work += UnsavedProgress(task);
+      break;
+    case TaskRt::State::kDumping:
+      // A late dump completion must not commit into this task.
+      engine_->CancelInflight(*task->proc);
+      stats_.lost_work += task->work_done - task->saved_work;
+      break;
+    case TaskRt::State::kRestoring:
+      engine_->CancelInflight(*task->proc);
+      break;
+    case TaskRt::State::kWaiting:
+    case TaskRt::State::kDone:
+      return;
+  }
+  task->attempt++;
+  task->run_start = -1;
+  task->work_done = task->saved_work;
+  task->mesos_id = -1;
+  task->state = TaskRt::State::kWaiting;
+  waiting_.push_back(task);
+  master_->RequestResources(
+      this, Resources{config_.task_demand.cpus *
+                          static_cast<double>(waiting_.size()),
+                      config_.task_demand.memory *
+                          static_cast<Bytes>(waiting_.size())});
 }
 
 }  // namespace ckpt

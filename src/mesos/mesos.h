@@ -63,6 +63,11 @@ class MesosFramework {
   // MesosMaster::ReleaseTask when its resources are free.
   virtual void OnRevoke(std::int64_t task_id) = 0;
 
+  // The node hosting this task crashed. The master has already dropped the
+  // task and its resources; do NOT call ReleaseTask — just account the loss
+  // and requeue the work.
+  virtual void OnTaskLost(std::int64_t task_id) { (void)task_id; }
+
   virtual const char* name() const = 0;
 };
 
@@ -100,10 +105,16 @@ class MesosMaster {
   // revocation of lower-weight frameworks' tasks).
   void RequestResources(MesosFramework* framework, const Resources& amount);
 
+  // Script a node crash: every task on the node is torn down (each owner
+  // gets OnTaskLost) and the node stops receiving offers until RecoverNode.
+  void InjectNodeFailure(NodeId node);
+  void RecoverNode(NodeId node);
+
   const MesosTaskInfo* FindTask(std::int64_t task_id) const;
   std::int64_t offers_sent() const { return offers_sent_; }
   std::int64_t offers_declined() const { return offers_declined_; }
   std::int64_t revocations_sent() const { return revocations_; }
+  std::int64_t node_failures() const { return node_failures_; }
   double FrameworkShare(MesosFramework* framework) const;
 
  private:
@@ -134,6 +145,7 @@ class MesosMaster {
   std::int64_t offers_sent_ = 0;
   std::int64_t offers_declined_ = 0;
   std::int64_t revocations_ = 0;
+  std::int64_t node_failures_ = 0;
   SimTime next_revoke_at_ = 0;
   bool cycle_scheduled_ = false;
 };
@@ -150,6 +162,9 @@ struct BatchFrameworkConfig {
   Bytes image_page_size = kMiB;
   Bytes checkpoint_metadata = 512 * kKiB;
   bool incremental = true;
+  // After this many consecutive failed dumps of one task, revocation falls
+  // back to killing it (Algorithm 1 degenerates to the kill baseline).
+  int max_checkpoint_failures = 3;
   std::uint64_t seed = 99;
 };
 
@@ -160,6 +175,10 @@ struct BatchFrameworkStats {
   std::int64_t kills = 0;
   std::int64_t checkpoints = 0;
   std::int64_t restores = 0;
+  std::int64_t tasks_lost = 0;        // node crashes under running tasks
+  std::int64_t dump_failures = 0;     // dumps that failed after retries
+  std::int64_t restore_failures = 0;  // restores abandoned (I/O or corrupt)
+  std::int64_t fallback_kills = 0;    // revocations downgraded to kill
   SimDuration lost_work = 0;
 };
 
@@ -176,6 +195,7 @@ class BatchFramework final : public MesosFramework {
   // MesosFramework ------------------------------------------------------------
   void OnOffer(const ResourceOffer& offer) override;
   void OnRevoke(std::int64_t task_id) override;
+  void OnTaskLost(std::int64_t task_id) override;
   const char* name() const override { return name_.c_str(); }
 
   bool Done() const { return stats_.tasks_done == config_.num_tasks; }

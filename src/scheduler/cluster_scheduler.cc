@@ -46,6 +46,8 @@ struct ClusterScheduler::RtTask {
   NodeId pending_dump_node;
 
   int preempt_count = 0;
+  int dump_failures = 0;     // consecutive; reset on a successful dump
+  int restore_failures = 0;  // consecutive; reset on a successful restore
   // Dumps in flight that were initiated to make room for this task; while
   // nonzero the task does not trigger further preemption.
   int releases_in_flight = 0;
@@ -87,6 +89,15 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
   for (Node* node : cluster_->nodes()) {
     network_->AddNode(node->id());
   }
+  if (!config_.fault.empty()) {
+    fault_ = std::make_unique<FaultInjector>(sim_, config_.fault, config_.obs);
+    for (Node* node : cluster_->nodes()) {
+      node->storage().set_fault_injector(fault_.get(), node->id());
+    }
+    for (const NodeCrashEvent& crash : config_.fault.node_crashes) {
+      InjectNodeFailure(crash.node, crash.at, crash.down_for);
+    }
+  }
 }
 
 ClusterScheduler::~ClusterScheduler() = default;
@@ -114,6 +125,9 @@ SimulationResult ClusterScheduler::Run() {
     result_.io_overhead_fraction =
         static_cast<double>(device_busy) /
         (static_cast<double>(result_.makespan) * cluster_->size());
+  }
+  if (fault_ != nullptr) {
+    result_.faults_injected = fault_->faults_injected();
   }
   if (config_.obs != nullptr) {
     config_.obs->metrics()
@@ -338,9 +352,13 @@ void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
   result_.total_restore_time += service;
   result_.overhead_core_hours += ToHours(service) * task->spec->demand.cpus;
   result_.wasted_core_hours += ToHours(service) * task->spec->demand.cpus;
-  auto finish = [this, task, attempt] {
+  auto finish = [this, task, attempt](bool ok) {
     if (task->attempt != attempt ||
         task->state != RtTask::State::kRestoring) {
+      return;
+    }
+    if (!ok) {
+      OnRestoreFailed(task);
       return;
     }
     OnRestoreDone(task, attempt);
@@ -349,8 +367,13 @@ void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
     const NodeId src_node = task->image_node;
     const NodeId dst_node = node->id();
     src.SubmitRead(bytes, [this, src_node, dst_node, bytes,
-                           finish = std::move(finish)] {
-      network_->Transfer(src_node, dst_node, bytes, finish);
+                           finish = std::move(finish)](bool ok) mutable {
+      if (!ok) {
+        finish(false);
+        return;
+      }
+      network_->Transfer(src_node, dst_node, bytes,
+                         [finish = std::move(finish)] { finish(true); });
     });
   } else {
     src.SubmitRead(bytes, std::move(finish));
@@ -358,10 +381,41 @@ void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
   BumpOverheadEpoch();  // the read grew the image node's device backlog
 }
 
+void ClusterScheduler::OnRestoreFailed(RtTask* task) {
+  // The read faulted; the image itself is intact, so release the container
+  // and requeue — a later placement retries the restore (fresh I/O, and
+  // possibly a healthier path).
+  result_.restore_failures++;
+  task->restore_failures++;
+  task->attempt++;
+  cluster_->node(task->node).ReleaseSuspended(task->spec->demand);
+  InvalidateAvailSummary();
+  BumpOverheadEpoch();
+  auto& bucket = RunningOn(task->node);
+  bucket.erase(std::find(bucket.begin(), bucket.end(), task));
+  if (task->restore_failures >= config_.max_checkpoint_failures) {
+    // The image keeps failing to load (Algorithm 1's fallback mirror on the
+    // restore side): give up on it and restart from scratch, so a permanent
+    // read fault cannot livelock the task in a restore-retry loop.
+    const SimDuration lost = task->saved_work;
+    result_.lost_work_core_hours += ToHours(lost) * task->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+    ReleaseImage(task);
+    result_.restarts_from_scratch++;
+    task->work_done = 0;
+    task->unsynced_run = 0;
+    task->restore_failures = 0;
+  }
+  ApplyResubmitBackoff(task);
+  AddPending(task);
+  TrySchedule();
+}
+
 void ClusterScheduler::OnRestoreDone(RtTask* task, int attempt) {
   CKPT_CHECK_EQ(task->attempt, attempt);
   cluster_->node(task->node).Resume(task->spec->demand);
   task->state = RtTask::State::kRunning;
+  task->restore_failures = 0;
   task->work_done = task->saved_work;
   task->run_start = sim_->Now();
   task->attempt++;
@@ -629,6 +683,13 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
     if (demand.FitsIn(freed)) break;
     freed += victim->spec->demand;
     PreemptAction action = DecideVictimAction(victim);
+    if (action != PreemptAction::kKill &&
+        victim->dump_failures >= config_.max_checkpoint_failures) {
+      // Algorithm 1 falls back to the kill baseline for a victim whose
+      // dumps keep failing: the checkpoint cost is paid with nothing saved.
+      action = PreemptAction::kKill;
+      result_.checkpoint_failure_fallback_kills++;
+    }
     RecordVictimDecision(victim, action);
     PreemptVictim(victim, action);
     if (victim->state == RtTask::State::kDumping) {
@@ -722,7 +783,11 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   result_.wasted_core_hours += ToHours(service) * victim->spec->demand.cpus;
 
   const int attempt = victim->attempt;
-  auto finish = [this, victim, attempt, incremental, dump_bytes] {
+  auto finish = [this, victim, attempt, incremental, dump_bytes](bool ok) {
+    if (!ok) {
+      OnDumpFailed(victim, attempt);
+      return;
+    }
     OnDumpComplete(victim, attempt, incremental, dump_bytes, 0);
   };
   if (config_.checkpoint_to_dfs && config_.dfs_replication > 1 &&
@@ -736,9 +801,14 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
     const NodeId src = victim->node;
     device.SubmitWrite(dump_bytes,
                        [this, src, peer, dump_bytes,
-                        finish = std::move(finish)]() mutable {
-                         network_->Transfer(src, peer, dump_bytes,
-                                            std::move(finish));
+                        finish = std::move(finish)](bool ok) mutable {
+                         if (!ok) {
+                           finish(false);
+                           return;
+                         }
+                         network_->Transfer(
+                             src, peer, dump_bytes,
+                             [finish = std::move(finish)] { finish(true); });
                        });
   } else {
     device.SubmitWrite(dump_bytes, std::move(finish));
@@ -757,6 +827,7 @@ void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
   victim->saved_work = victim->work_done;
   victim->unsynced_run = 0;
   victim->has_image = true;
+  victim->dump_failures = 0;
   victim->pending_dump_bytes = 0;
   if (!incremental) victim->image_node = victim->node;
   victim->stored_bytes += dump_bytes;
@@ -774,6 +845,46 @@ void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
   ApplyResubmitBackoff(victim);
   AddPending(victim);
 
+  auto it = dump_beneficiary_.find(victim);
+  if (it != dump_beneficiary_.end()) {
+    it->second->releases_in_flight--;
+    CKPT_CHECK_GE(it->second->releases_in_flight, 0);
+    dump_beneficiary_.erase(it);
+  }
+  TrySchedule();
+}
+
+void ClusterScheduler::OnDumpFailed(RtTask* victim, int attempt) {
+  if (victim->attempt != attempt ||
+      victim->state != RtTask::State::kDumping) {
+    return;  // a node failure already unwound this dump
+  }
+  // The write faulted: unwind the reservation and fall back to kill
+  // semantics. A failed incremental dump keeps the base image (and its
+  // saved_work); a failed full dump had already retired the old image at
+  // freeze time, so the task restarts from scratch.
+  result_.dump_failures++;
+  victim->dump_failures++;
+  victim->attempt++;
+  UnindexPendingDump(victim);
+  if (config_.enforce_checkpoint_capacity && victim->pending_dump_bytes > 0) {
+    cluster_->node(victim->pending_dump_node)
+        .storage()
+        .Release(victim->pending_dump_bytes);
+  }
+  victim->pending_dump_bytes = 0;
+  const SimDuration lost = victim->work_done - victim->saved_work;
+  result_.lost_work_core_hours += ToHours(lost) * victim->spec->demand.cpus;
+  result_.wasted_core_hours += ToHours(lost) * victim->spec->demand.cpus;
+  victim->work_done = victim->saved_work;
+  victim->unsynced_run = 0;
+  BumpOverheadEpoch();
+  cluster_->node(victim->node).ReleaseSuspended(victim->spec->demand);
+  InvalidateAvailSummary();
+  auto& bucket = RunningOn(victim->node);
+  bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
+  ApplyResubmitBackoff(victim);
+  AddPending(victim);
   auto it = dump_beneficiary_.find(victim);
   if (it != dump_beneficiary_.end()) {
     it->second->releases_in_flight--;

@@ -19,6 +19,7 @@
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "dfs/network.h"
+#include "fault/fault.h"
 #include "metrics/stats.h"
 #include "scheduler/policy.h"
 #include "sim/simulator.h"
@@ -75,6 +76,14 @@ struct SchedulerConfig {
   // Backfill scan bound: pending tasks examined per scheduling pass.
   int max_backfill_scan = 64;
 
+  // Deterministic fault injection (node crashes are scheduled at
+  // construction; storage faults hook into every node's device). An empty
+  // plan leaves behaviour bit-for-bit identical to a build without faults.
+  FaultPlan fault;
+  // After this many consecutive failed dumps of one victim, Algorithm 1
+  // falls back to killing it instead of checkpointing again.
+  int max_checkpoint_failures = 3;
+
   std::uint64_t seed = 7;
 
   // Optional metrics/trace sink; not owned, null disables all recording.
@@ -130,6 +139,10 @@ struct SimulationResult {
   std::int64_t tasks_interrupted_by_failure = 0;
   std::int64_t images_lost_to_failure = 0;
   std::int64_t images_survived_failure = 0;
+  std::int64_t dump_failures = 0;     // storage write faults during dumps
+  std::int64_t restore_failures = 0;  // storage read faults during restores
+  std::int64_t checkpoint_failure_fallback_kills = 0;
+  std::int64_t faults_injected = 0;
 };
 
 class ClusterScheduler {
@@ -185,6 +198,8 @@ class ClusterScheduler {
   void ApplyResubmitBackoff(RtTask* task);
   void OnDumpComplete(RtTask* victim, int attempt, bool incremental,
                       Bytes dump_bytes, SimTime dump_started);
+  void OnDumpFailed(RtTask* victim, int attempt);
+  void OnRestoreFailed(RtTask* task);
   void StopRunning(RtTask* task);  // fold progress, detach from node
   void DetachFromNode(RtTask* task);
   void ReleaseImage(RtTask* task);
@@ -216,6 +231,7 @@ class ClusterScheduler {
   SchedulerConfig config_;
   Rng rng_;
   std::unique_ptr<NetworkModel> network_;
+  std::unique_ptr<FaultInjector> fault_;
 
   std::vector<std::unique_ptr<RtJob>> jobs_;
   std::vector<std::unique_ptr<RtTask>> tasks_;

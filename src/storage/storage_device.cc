@@ -3,33 +3,53 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault.h"
+
 namespace ckpt {
 
-SimTime StorageDevice::Enqueue(SimDuration service,
-                               std::function<void()> done) {
+SimTime StorageDevice::Enqueue(SimDuration service, bool ok,
+                               std::function<void(bool)> done) {
+  if (fault_ != nullptr) {
+    const double factor = fault_->ServiceTimeFactor(node_, sim_->Now());
+    if (factor > 1.0) {
+      service = static_cast<SimDuration>(static_cast<double>(service) * factor);
+    }
+  }
   const SimTime start = std::max(busy_until_, sim_->Now());
   busy_until_ = start + service;
   busy_time_ += service;
   ++pending_ops_;
+  const StorageOpId op = next_op_id_++;
+  live_ops_.insert(op);
   const SimTime completion = busy_until_;
-  sim_->ScheduleAt(completion, [this, done = std::move(done)]() {
+  sim_->ScheduleAt(completion, [this, op, ok, done = std::move(done)]() {
     --pending_ops_;
     ++ops_completed_;
-    if (done) done();
+    if (!ok) ++ops_failed_;
+    live_ops_.erase(op);
+    if (canceled_ops_.erase(op) > 0) return;
+    if (done) done(ok);
   });
   return completion;
 }
 
-SimTime StorageDevice::SubmitWrite(Bytes size, std::function<void()> done) {
+SimTime StorageDevice::SubmitWrite(Bytes size, std::function<void(bool)> done) {
   CKPT_CHECK_GE(size, 0);
   bytes_written_ += size;
-  return Enqueue(medium_.WriteTime(size), std::move(done));
+  const bool ok = fault_ == nullptr || !fault_->ShouldFailWrite(label_);
+  return Enqueue(medium_.WriteTime(size), ok, std::move(done));
 }
 
-SimTime StorageDevice::SubmitRead(Bytes size, std::function<void()> done) {
+SimTime StorageDevice::SubmitRead(Bytes size, std::function<void(bool)> done) {
   CKPT_CHECK_GE(size, 0);
   bytes_read_ += size;
-  return Enqueue(medium_.ReadTime(size), std::move(done));
+  const bool ok = fault_ == nullptr || !fault_->ShouldFailRead(label_);
+  return Enqueue(medium_.ReadTime(size), ok, std::move(done));
+}
+
+bool StorageDevice::CancelOp(StorageOpId id) {
+  if (live_ops_.count(id) == 0) return false;
+  return canceled_ops_.insert(id).second;
 }
 
 bool StorageDevice::Reserve(Bytes size) {

@@ -5,18 +5,32 @@
 // sequential checkpoint/restore to limit the number of concurrent
 // checkpoints on each node". QueueDelay() exposes the pending backlog, which
 // Algorithm 1 folds into the checkpoint-overhead estimate.
+//
+// Completions carry a `bool ok`. Without a fault injector every op
+// succeeds; with one attached (set_fault_injector), transient failures
+// consume the op's full service time and then complete ok=false, and
+// degraded-bandwidth windows stretch the service time. CancelOp()
+// suppresses a pending completion (the device still performs the op, its
+// result is simply discarded), which lets callers abandon I/O whose
+// initiator died without perturbing queue timing for later ops.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 
+#include "common/ids.h"
 #include "common/logging.h"
 #include "common/units.h"
 #include "sim/simulator.h"
 #include "storage/medium.h"
 
 namespace ckpt {
+
+class FaultInjector;
+
+using StorageOpId = std::uint64_t;
 
 class StorageDevice {
  public:
@@ -31,12 +45,28 @@ class StorageDevice {
   const StorageMedium& medium() const { return medium_; }
   const std::string& label() const { return label_; }
 
-  // Enqueue a sequential write of `size` bytes; `done` fires at completion.
-  // Returns the simulated completion time.
-  SimTime SubmitWrite(Bytes size, std::function<void()> done);
-  SimTime SubmitRead(Bytes size, std::function<void()> done);
+  // Attach a fault injector (null detaches). `node` locates this device
+  // for degraded-bandwidth windows; an invalid id matches no window.
+  void set_fault_injector(FaultInjector* injector, NodeId node = NodeId()) {
+    fault_ = injector;
+    node_ = node;
+  }
 
-  // Pure service time (no queueing).
+  // Enqueue a sequential write of `size` bytes; `done(ok)` fires at
+  // completion. Returns the simulated completion time.
+  SimTime SubmitWrite(Bytes size, std::function<void(bool)> done);
+  SimTime SubmitRead(Bytes size, std::function<void(bool)> done);
+
+  // Id of the op most recently submitted, for CancelOp().
+  StorageOpId last_op_id() const { return next_op_id_ - 1; }
+
+  // Drop the completion of a still-pending op: `done` is never invoked and
+  // the caller owns any cleanup. Device timing/stats are unchanged (the
+  // hardware still services the request). Returns false when the op
+  // already completed, was already canceled, or never existed.
+  bool CancelOp(StorageOpId id);
+
+  // Pure service time (no queueing, no degradation).
   SimDuration EstimateWrite(Bytes size) const { return medium_.WriteTime(size); }
   SimDuration EstimateRead(Bytes size) const { return medium_.ReadTime(size); }
 
@@ -58,17 +88,23 @@ class StorageDevice {
   Bytes total_bytes_read() const { return bytes_read_; }
   SimDuration total_busy_time() const { return busy_time_; }
   std::int64_t ops_completed() const { return ops_completed_; }
+  std::int64_t ops_failed() const { return ops_failed_; }
   Bytes peak_used() const { return peak_used_; }
 
  private:
-  SimTime Enqueue(SimDuration service, std::function<void()> done);
+  SimTime Enqueue(SimDuration service, bool ok, std::function<void(bool)> done);
 
   Simulator* sim_;
   StorageMedium medium_;
   std::string label_;
+  FaultInjector* fault_ = nullptr;
+  NodeId node_;
 
   SimTime busy_until_ = 0;
   int pending_ops_ = 0;
+  StorageOpId next_op_id_ = 1;
+  std::unordered_set<StorageOpId> live_ops_;
+  std::unordered_set<StorageOpId> canceled_ops_;
 
   Bytes used_ = 0;
   Bytes peak_used_ = 0;
@@ -76,6 +112,7 @@ class StorageDevice {
   Bytes bytes_read_ = 0;
   SimDuration busy_time_ = 0;
   std::int64_t ops_completed_ = 0;
+  std::int64_t ops_failed_ = 0;
 };
 
 }  // namespace ckpt

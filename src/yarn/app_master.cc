@@ -20,6 +20,9 @@ struct DistributedShellAm::TaskRt {
   SimDuration work_done = 0;   // validated work while stopped
   SimDuration saved_work = 0;  // captured in the image
   SimDuration unsynced_run = 0;
+  // Consecutive dump failures; at config.max_checkpoint_failures the AM
+  // stops checkpointing this task (Algorithm-1-aware fallback to kill).
+  int dump_failures = 0;
 
   Container container;  // valid while holding one
   int preempt_count = 0;
@@ -114,8 +117,21 @@ void DistributedShellAm::LaunchTask(TaskRt* task, const Container& container) {
                            task->state != TaskRt::State::kRestoring) {
                          return;
                        }
-                       CKPT_CHECK(result.ok);
                        rm_->ResumeContainer(task->container.id);
+                       if (!result.ok) {
+                         // The image is unusable (corrupt, replicas lost, or
+                         // I/O kept failing past the retry budget): drop it
+                         // and re-run from scratch in the held container
+                         // rather than crash the AM.
+                         stats_.restore_failures++;
+                         stats_.lost_work += task->saved_work;
+                         engine_->Discard(*task->proc);
+                         task->saved_work = 0;
+                         task->work_done = 0;
+                         task->unsynced_run = 0;
+                         RunTask(task);
+                         return;
+                       }
                        task->work_done = task->saved_work;
                        RunTask(task);
                      });
@@ -177,6 +193,41 @@ void DistributedShellAm::OnPreemptContainer(ContainerId id) {
   HandlePreempt(task);
 }
 
+void DistributedShellAm::OnContainerLost(ContainerId id) {
+  auto it = by_container_.find(id);
+  if (it == by_container_.end()) return;  // task completed concurrently
+  TaskRt* task = it->second;
+  stats_.containers_lost++;
+  by_container_.erase(it);
+
+  switch (task->state) {
+    case TaskRt::State::kRunning:
+      // The process died with the node; progress since the last image is
+      // gone. The container itself was already torn down by the RM.
+      stats_.lost_work += UnsavedProgress(task);
+      break;
+    case TaskRt::State::kDumping:
+      // The in-flight dump can never commit (and must not resurrect an
+      // image produced on the dead node).
+      engine_->CancelInflight(*task->proc);
+      stats_.lost_work += task->work_done - task->saved_work;
+      break;
+    case TaskRt::State::kRestoring:
+      // Abandon the restore; the image (wherever its replicas live) is
+      // untouched and the task requeues.
+      engine_->CancelInflight(*task->proc);
+      break;
+    case TaskRt::State::kWaiting:
+    case TaskRt::State::kDone:
+      return;  // no container should be mapped in these states
+  }
+  task->attempt++;
+  task->run_start = -1;
+  task->work_done = task->saved_work;
+  task->unsynced_run = 0;
+  RequeueTask(task);
+}
+
 SimDuration DistributedShellAm::UnsavedProgress(const TaskRt* task) const {
   SimDuration progress = task->work_done - task->saved_work;
   if (task->state == TaskRt::State::kRunning && task->run_start >= 0) {
@@ -221,6 +272,17 @@ void DistributedShellAm::RecordPolicyDecision(TaskRt* task, bool can_increment,
 void DistributedShellAm::HandlePreempt(TaskRt* task) {
   const bool can_increment =
       config_.incremental_checkpoints && task->proc->has_image;
+  // Algorithm-1-aware fallback: a task whose dumps keep failing has an
+  // effectively infinite checkpoint overhead, so the kill branch wins no
+  // matter the estimates. Stop trying to checkpoint it.
+  if (config_.policy != PreemptionPolicy::kKill &&
+      config_.policy != PreemptionPolicy::kWait &&
+      task->dump_failures >= config_.max_checkpoint_failures) {
+    RecordPolicyDecision(task, can_increment, "kill_fallback");
+    stats_.fallback_kills++;
+    KillTask(task);
+    return;
+  }
   switch (config_.policy) {
     case PreemptionPolicy::kWait:
       CKPT_CHECK(false) << "wait policy never sends preempt events";
@@ -319,7 +381,24 @@ void DistributedShellAm::CheckpointTask(TaskRt* task, bool incremental) {
                       task->state != TaskRt::State::kDumping) {
                     return;
                   }
-                  CKPT_CHECK(result.ok);
+                  if (!result.ok) {
+                    // Checkpoint failed past the retry budget: degrade to
+                    // kill semantics. Progress since the last good image is
+                    // lost, but the container is still vacated and any
+                    // prior image stays restorable (write-new-then-swap).
+                    stats_.dump_failures++;
+                    stats_.fallback_kills++;
+                    task->dump_failures++;
+                    stats_.lost_work += task->work_done - task->saved_work;
+                    task->work_done = task->saved_work;
+                    task->unsynced_run = 0;
+                    task->attempt++;
+                    by_container_.erase(task->container.id);
+                    rm_->ReleaseContainer(task->container.id);
+                    RequeueTask(task);
+                    return;
+                  }
+                  task->dump_failures = 0;
                   task->saved_work = task->work_done;
                   task->unsynced_run = 0;
                   by_container_.erase(task->container.id);

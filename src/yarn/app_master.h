@@ -35,6 +35,13 @@ struct AmStats {
   std::int64_t incremental_checkpoints = 0;
   std::int64_t restores = 0;
   std::int64_t remote_restores = 0;
+  // Failure handling: dump/restore I/O that stayed failed after the
+  // engine's retry budget, preempts degraded to kill semantics because of
+  // it, and containers that vanished with their node.
+  std::int64_t dump_failures = 0;
+  std::int64_t restore_failures = 0;
+  std::int64_t fallback_kills = 0;
+  std::int64_t containers_lost = 0;
   SimDuration lost_work = 0;        // killed, unsaved progress
   SimDuration dump_time = 0;        // container-held dump duration
   SimDuration restore_time = 0;     // container-held restore duration
@@ -58,6 +65,7 @@ class DistributedShellAm final : public AppClient {
   // AppClient ---------------------------------------------------------------
   void OnContainerAllocated(const Container& container) override;
   void OnPreemptContainer(ContainerId id) override;
+  void OnContainerLost(ContainerId id) override;
 
   bool Done() const { return stats_.tasks_done == stats_.tasks_total; }
   SimTime finish_time() const { return finish_time_; }

@@ -3,8 +3,10 @@
 // fronts the node's datanode storage for checkpoint traffic.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "cluster/node.h"
 #include "common/logging.h"
@@ -89,6 +91,20 @@ class NodeManager {
   bool IsLive(ContainerId id) const { return live_.count(id) > 0; }
   int live_containers() const { return static_cast<int>(live_.size()); }
   Resources Available() const { return node_->Available(); }
+
+  // Node crash: stop every container and return the evicted set (sorted by
+  // id for deterministic notification order) so the RM can tell owners.
+  std::vector<Container> Drain() {
+    std::vector<Container> evicted;
+    evicted.reserve(live_.size());
+    for (const auto& [id, container] : live_) evicted.push_back(container);
+    std::sort(evicted.begin(), evicted.end(),
+              [](const Container& a, const Container& b) {
+                return a.id < b.id;
+              });
+    for (const Container& container : evicted) StopContainer(container.id);
+    return evicted;
+  }
 
  private:
   Node* node_;

@@ -64,7 +64,9 @@ void ResourceManager::RequestContainers(AppId app, int count,
 
 void ResourceManager::ReleaseContainer(ContainerId id) {
   auto it = live_.find(id);
-  CKPT_CHECK(it != live_.end()) << "release of unknown container";
+  // A node crash may have torn the container down while the AM's release
+  // was in flight; that is not an error.
+  if (it == live_.end()) return;
   node_by_id_.at(it->second.node)->StopContainer(id);
   live_.erase(it);
   preempt_pending_.erase(id);
@@ -77,14 +79,56 @@ SimDuration ResourceManager::DumpQueueDelay(NodeId node) const {
 
 void ResourceManager::SuspendContainer(ContainerId id) {
   auto it = live_.find(id);
-  CKPT_CHECK(it != live_.end());
+  if (it == live_.end()) return;  // lost to a node crash
   node_by_id_.at(it->second.node)->SuspendContainer(id);
 }
 
 void ResourceManager::ResumeContainer(ContainerId id) {
   auto it = live_.find(id);
-  CKPT_CHECK(it != live_.end());
+  if (it == live_.end()) return;  // lost to a node crash
   node_by_id_.at(it->second.node)->ResumeContainer(id);
+}
+
+void ResourceManager::OnNodeFailure(NodeId node) {
+  NodeManager* nm = node_by_id_.at(node);
+  if (!nm->node().online()) return;
+  ++node_failures_;
+  std::vector<Container> evicted = nm->Drain();
+  nm->node().SetOnline(false);
+  if (Observability* obs = config_.obs) {
+    obs->metrics()
+        .GetCounter("rm.node_failures",
+                    {{"node", Observability::NodeLabel(node)}})
+        ->Inc();
+    obs->tracer().Instant(
+        "fault.node_crash", "fault", Observability::NodeTrack(node),
+        sim_->Now(),
+        {TraceArg::Num("containers_lost",
+                       static_cast<double>(evicted.size()))});
+  }
+  for (const Container& container : evicted) {
+    live_.erase(container.id);
+    preempt_pending_.erase(container.id);
+    auto app_it = apps_.find(container.app);
+    if (app_it == apps_.end()) continue;
+    AppClient* client = app_it->second.client;
+    const ContainerId id = container.id;
+    // The AM learns asynchronously, as it would from a missed NM heartbeat.
+    sim_->ScheduleAfter(config_.rpc_latency,
+                        [client, id] { client->OnContainerLost(id); });
+  }
+  RequestSchedule();
+}
+
+void ResourceManager::OnNodeRecovered(NodeId node) {
+  NodeManager* nm = node_by_id_.at(node);
+  if (nm->node().online()) return;
+  nm->node().SetOnline(true);
+  if (Observability* obs = config_.obs) {
+    obs->tracer().Instant("fault.node_recover", "fault",
+                          Observability::NodeTrack(node), sim_->Now(), {});
+  }
+  RequestSchedule();
 }
 
 const Container* ResourceManager::FindContainer(ContainerId id) const {

@@ -33,6 +33,9 @@ class AppClient {
   // ContainerPreemptEvent: vacate this container (checkpoint or kill) and
   // release it.
   virtual void OnPreemptContainer(ContainerId id) = 0;
+  // The container's node crashed: the container is already gone (do not
+  // release it) and any in-flight work on it is void.
+  virtual void OnContainerLost(ContainerId id) { (void)id; }
 };
 
 class ResourceManager {
@@ -60,6 +63,13 @@ class ResourceManager {
   // Freeze/unfreeze a container's process without releasing the slot.
   void SuspendContainer(ContainerId id);
   void ResumeContainer(ContainerId id);
+
+  // Node crash: drain the node's containers (owners learn through
+  // OnContainerLost), mark it offline so allocation skips it. Recovery
+  // brings the node back empty.
+  void OnNodeFailure(NodeId node);
+  void OnNodeRecovered(NodeId node);
+  std::int64_t node_failures() const { return node_failures_; }
 
   const Container* FindContainer(ContainerId id) const;
   int live_containers() const { return static_cast<int>(live_.size()); }
@@ -120,6 +130,7 @@ class ResourceManager {
   std::int64_t next_container_ = 0;
   std::int64_t next_seq_ = 0;
   std::int64_t preempt_events_ = 0;
+  std::int64_t node_failures_ = 0;
   bool schedule_scheduled_ = false;
   size_t place_cursor_ = 0;
 };

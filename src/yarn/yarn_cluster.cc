@@ -35,10 +35,43 @@ YarnCluster::YarnCluster(YarnConfig config) : config_(config) {
   engine_ =
       std::make_unique<CheckpointEngine>(sim_.get(), store_.get(), config_.obs);
 
+  RetryPolicy retry;
+  retry.max_attempts = std::max(config_.checkpoint_retry_attempts, 1);
+  retry.backoff = config_.checkpoint_retry_backoff;
+  retry.multiplier = config_.checkpoint_retry_multiplier;
+  engine_->set_retry_policy(retry);
+
+  if (!config_.fault.empty()) {
+    fault_ = std::make_unique<FaultInjector>(sim_.get(), config_.fault,
+                                             config_.obs);
+    for (Node* node : cluster_->nodes()) {
+      node->storage().set_fault_injector(fault_.get(), node->id());
+    }
+    engine_->set_fault_injector(fault_.get());
+  }
+
   std::vector<NodeManager*> nms;
   nms.reserve(node_managers_.size());
   for (auto& nm : node_managers_) nms.push_back(nm.get());
   rm_ = std::make_unique<ResourceManager>(sim_.get(), std::move(nms), config_);
+
+  for (const NodeCrashEvent& crash : config_.fault.node_crashes) {
+    InjectNodeFailure(crash.node, crash.at, crash.down_for);
+  }
+}
+
+void YarnCluster::InjectNodeFailure(NodeId node, SimTime at,
+                                    SimDuration down_for) {
+  sim_->ScheduleAt(at, [this, node] {
+    rm_->OnNodeFailure(node);
+    dfs_->FailDataNode(node);
+  });
+  if (down_for >= 0) {
+    sim_->ScheduleAt(at + down_for, [this, node] {
+      rm_->OnNodeRecovered(node);
+      dfs_->RecoverDataNode(node);
+    });
+  }
 }
 
 YarnCluster::~YarnCluster() {
@@ -84,6 +117,10 @@ YarnResult YarnCluster::RunWorkload(const Workload& workload) {
     result.incremental_checkpoints += stats.incremental_checkpoints;
     result.restores += stats.restores;
     result.remote_restores += stats.remote_restores;
+    result.containers_lost += stats.containers_lost;
+    result.dump_failures += stats.dump_failures;
+    result.restore_failures += stats.restore_failures;
+    result.fallback_kills += stats.fallback_kills;
     lost_work += stats.lost_work;
     overhead_time += stats.dump_time + stats.restore_time;
     for (double response : stats.task_response_seconds) {
@@ -98,6 +135,15 @@ YarnResult YarnCluster::RunWorkload(const Workload& workload) {
   result.wasted_core_hours =
       result.lost_work_core_hours + result.overhead_core_hours;
   result.total_busy_core_hours = ToHours(cluster_->TotalBusyCoreTime());
+  result.goodput_core_hours =
+      result.total_busy_core_hours - result.wasted_core_hours;
+  result.node_failures = rm_->node_failures();
+  result.checkpoint_retries =
+      engine_->dump_retries() + engine_->restore_retries();
+  result.corrupt_images = engine_->corrupt_images_detected();
+  result.blocks_rereplicated = dfs_->blocks_rereplicated();
+  result.dfs_files_lost = dfs_->files_lost();
+  result.faults_injected = fault_ != nullptr ? fault_->faults_injected() : 0;
   result.energy_kwh = cluster_->TotalEnergyKwh();
   result.checkpoint_cpu_overhead =
       result.total_busy_core_hours > 0

@@ -49,6 +49,21 @@ struct YarnResult {
   std::int64_t jobs_completed = 0;
   std::int64_t tasks_completed = 0;
   SimDuration makespan = 0;
+
+  // Failure-scenario accounting (zero when no FaultPlan is configured).
+  std::int64_t node_failures = 0;
+  std::int64_t containers_lost = 0;
+  std::int64_t dump_failures = 0;
+  std::int64_t restore_failures = 0;
+  std::int64_t fallback_kills = 0;
+  std::int64_t checkpoint_retries = 0;
+  std::int64_t corrupt_images = 0;
+  std::int64_t blocks_rereplicated = 0;
+  std::int64_t dfs_files_lost = 0;
+  std::int64_t faults_injected = 0;
+  // Goodput: busy core-hours that ended up in completed work rather than
+  // lost re-execution or checkpoint overhead.
+  double goodput_core_hours = 0;
 };
 
 class YarnCluster {
@@ -61,6 +76,11 @@ class YarnCluster {
 
   // Submit every job at its submit_time, run to completion, aggregate.
   YarnResult RunWorkload(const Workload& workload);
+
+  // Script a node crash at `at`; with `down_for >= 0` the node rejoins
+  // (empty) after that long. Crashes listed in config.fault.node_crashes
+  // are scheduled automatically at construction.
+  void InjectNodeFailure(NodeId node, SimTime at, SimDuration down_for = -1);
 
   Simulator& sim() { return *sim_; }
   ResourceManager& rm() { return *rm_; }
@@ -76,6 +96,7 @@ class YarnCluster {
   std::unique_ptr<DfsCluster> dfs_;
   std::unique_ptr<DfsStore> store_;
   std::unique_ptr<CheckpointEngine> engine_;
+  std::unique_ptr<FaultInjector> fault_;
   std::vector<std::unique_ptr<NodeManager>> node_managers_;
   std::unique_ptr<ResourceManager> rm_;
   std::vector<std::unique_ptr<DistributedShellAm>> ams_;

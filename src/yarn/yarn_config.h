@@ -7,6 +7,7 @@
 #include "cluster/resources.h"
 #include "dfs/dfs.h"
 #include "dfs/network.h"
+#include "fault/fault.h"
 #include "power/energy.h"
 #include "scheduler/policy.h"
 #include "storage/medium.h"
@@ -56,6 +57,18 @@ struct YarnConfig {
   // containers per node may be vacating (dumping) at a time; the remaining
   // candidates keep running until the monitor's next round reaches them.
   int max_vacating_per_node = 2;
+
+  // Fault injection (docs/FAULTS.md). An empty plan (the default) attaches
+  // no injector: no RNG draws, no behavior change.
+  FaultPlan fault;
+  // Engine-level retry budget for transient dump/restore I/O failures;
+  // inert unless faults make I/O fail.
+  int checkpoint_retry_attempts = 3;
+  SimDuration checkpoint_retry_backoff = Millis(500);
+  double checkpoint_retry_multiplier = 2.0;
+  // Algorithm-1-aware fallback: after this many consecutive dump failures
+  // a task stops checkpointing and is killed on preemption instead.
+  int max_checkpoint_failures = 3;
 
   // Optional metrics/trace context shared by every component of the
   // cluster; null (the default) disables observability entirely.

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
+
+#include "fault/fault.h"
 
 namespace ckpt {
 namespace {
@@ -155,6 +158,106 @@ TEST_F(DfsTest, WriteChargesDatanodeDevicesWithProtocolInflation) {
       2 * static_cast<double>(MiB(64)) * dfs_->config().io_inflation);
   EXPECT_NEAR(static_cast<double>(written), static_cast<double>(expected),
               1024.0);
+}
+
+TEST_F(DfsTest, FailedWriteRollsBackAndReportsOnce) {
+  FaultPlan plan;
+  plan.storage_write_fail_prob = 1.0;
+  FaultInjector injector(&sim_, plan);
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    devices_[i]->set_fault_injector(&injector, NodeId(static_cast<int>(i)));
+  }
+  int calls = 0;
+  bool ok = true;
+  // 200 MiB = 2 blocks x 2 replicas: several device ops fail, but the file
+  // callback must fire exactly once and the namespace roll back fully.
+  dfs_->Write("/a", MiB(200), NodeId(0), [&](bool w) {
+    ok = w;
+    ++calls;
+  });
+  sim_.Run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(dfs_->Exists("/a"));
+  EXPECT_EQ(dfs_->current_stored(), 0);
+}
+
+TEST_F(DfsTest, FailedDuplicateWriteLeavesOriginalIntact) {
+  EXPECT_TRUE(WriteSync("/a", MiB(100), NodeId(0)));
+  const Bytes stored = dfs_->current_stored();
+  int calls = 0;
+  bool ok = true;
+  dfs_->Write("/a", kMiB, NodeId(1), [&](bool w) {
+    ok = w;
+    ++calls;
+  });
+  sim_.Run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(dfs_->FileSize("/a"), MiB(100));
+  EXPECT_EQ(dfs_->current_stored(), stored);
+}
+
+TEST_F(DfsTest, WriteWithEveryDatanodeDownFailsOnce) {
+  for (int i = 0; i < 4; ++i) dfs_->FailDataNode(NodeId(i));
+  int calls = 0;
+  bool ok = true;
+  dfs_->Write("/a", kMiB, NodeId(0), [&](bool w) {
+    ok = w;
+    ++calls;
+  });
+  sim_.Run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(dfs_->current_stored(), 0);
+}
+
+TEST_F(DfsTest, FailedDataNodeTriggersRereplication) {
+  EXPECT_TRUE(WriteSync("/a", MiB(100), NodeId(0)));
+  const FileInfo* info = dfs_->Stat("/a");
+  ASSERT_NE(info, nullptr);
+  const NodeId victim = info->blocks[0].replicas[1];
+  // One replica survives, so nothing is lost outright...
+  EXPECT_TRUE(dfs_->FailDataNode(victim).empty());
+  EXPECT_FALSE(dfs_->DatanodeLive(victim));
+  EXPECT_EQ(dfs_->current_stored(), MiB(100));
+  // ...and the background copy restores full replication.
+  sim_.Run();
+  EXPECT_GE(dfs_->blocks_rereplicated(), 1);
+  EXPECT_EQ(dfs_->current_stored(), 2 * MiB(100));
+  info = dfs_->Stat("/a");
+  ASSERT_NE(info, nullptr);
+  for (const BlockInfo& block : info->blocks) {
+    EXPECT_EQ(block.replicas.size(), 2u);
+    for (NodeId replica : block.replicas) EXPECT_NE(replica, victim);
+  }
+}
+
+TEST_F(DfsTest, FileLostWhenEveryReplicaDies) {
+  EXPECT_TRUE(WriteSync("/a", MiB(64), NodeId(0)));
+  const FileInfo* info = dfs_->Stat("/a");
+  ASSERT_NE(info, nullptr);
+  const NodeId first = info->blocks[0].replicas[0];
+  const NodeId second = info->blocks[0].replicas[1];
+  EXPECT_TRUE(dfs_->FailDataNode(first).empty());
+  // Second failure lands before re-replication kicks in: the file is gone.
+  const std::vector<std::string> lost = dfs_->FailDataNode(second);
+  ASSERT_EQ(lost.size(), 1u);
+  EXPECT_EQ(lost[0], "/a");
+  EXPECT_EQ(dfs_->files_lost(), 1);
+  EXPECT_FALSE(dfs_->Exists("/a"));
+  EXPECT_EQ(dfs_->current_stored(), 0);
+  sim_.Run();  // the dead file must not be re-replicated
+  EXPECT_EQ(dfs_->blocks_rereplicated(), 0);
+}
+
+TEST_F(DfsTest, RecoveredDataNodeServesNewWrites) {
+  dfs_->FailDataNode(NodeId(3));
+  EXPECT_FALSE(dfs_->DatanodeLive(NodeId(3)));
+  dfs_->RecoverDataNode(NodeId(3));
+  EXPECT_TRUE(dfs_->DatanodeLive(NodeId(3)));
+  EXPECT_TRUE(WriteSync("/a", kMiB, NodeId(3)));
+  EXPECT_TRUE(dfs_->HasLocalReplica("/a", NodeId(3)));
 }
 
 TEST(DfsNoNodes, WriteFailsWithoutDatanodes) {

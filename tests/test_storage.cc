@@ -50,7 +50,10 @@ class StorageDeviceTest : public ::testing::Test {
 
 TEST_F(StorageDeviceTest, WriteCompletesAfterServiceTime) {
   SimTime done_at = -1;
-  device_.SubmitWrite(MiB(100), [&] { done_at = sim_.Now(); });
+  device_.SubmitWrite(MiB(100), [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done_at = sim_.Now();
+  });
   sim_.Run();
   EXPECT_NEAR(ToSeconds(done_at), 1.048, 0.01);
 }
@@ -58,8 +61,8 @@ TEST_F(StorageDeviceTest, WriteCompletesAfterServiceTime) {
 TEST_F(StorageDeviceTest, OperationsAreSerializedFifo) {
   std::vector<int> order;
   SimTime second_done = -1;
-  device_.SubmitWrite(MiB(100), [&] { order.push_back(1); });
-  device_.SubmitWrite(MiB(100), [&] {
+  device_.SubmitWrite(MiB(100), [&](bool) { order.push_back(1); });
+  device_.SubmitWrite(MiB(100), [&](bool) {
     order.push_back(2);
     second_done = sim_.Now();
   });
