@@ -7,6 +7,8 @@
 // the reproduction target.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -38,6 +40,24 @@ inline std::string ObsPath(const std::string& filename) {
   std::string path(dir);
   if (path.back() != '/') path += '/';
   return path + filename;
+}
+
+// Peak resident set size of this process, in bytes (ru_maxrss is KiB on
+// Linux). The sim runners export it as the process.peak_rss_bytes gauge
+// under CKPT_OBS=1 so memory can be tracked alongside throughput at scale.
+inline long long PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<long long>(usage.ru_maxrss) * 1024;
+}
+
+// Record the process-level gauges into `obs` (call at the end of a run;
+// ru_maxrss is monotone, so the last cell to export sees the true peak).
+inline void RecordProcessGauges(Observability* obs) {
+  if (obs == nullptr) return;
+  obs->metrics()
+      .GetGauge("process.peak_rss_bytes")
+      ->Max(static_cast<double>(PeakRssBytes()));
 }
 
 // Scaled stand-in for the paper's one-day Google slice. The paper simulates
@@ -114,7 +134,9 @@ inline SimulationResult RunTraceSim(const Workload& workload,
   config.obs = options.obs;
   ClusterScheduler scheduler(&sim, &cluster, config);
   scheduler.Submit(workload);
-  return scheduler.Run();
+  SimulationResult result = scheduler.Run();
+  RecordProcessGauges(options.obs);
+  return result;
 }
 
 inline const char* BandLabel(PriorityBand band) {

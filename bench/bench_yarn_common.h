@@ -40,7 +40,9 @@ inline YarnResult RunYarn(const Workload& workload,
   config.adaptive_threshold = options.adaptive_threshold;
   config.obs = options.obs;
   YarnCluster yarn(config);
-  return yarn.RunWorkload(workload);
+  YarnResult result = yarn.RunWorkload(workload);
+  RecordProcessGauges(options.obs);
+  return result;
 }
 
 }  // namespace ckpt::bench

@@ -59,6 +59,38 @@ run_sweep_bench fig3 "$build_dir/bench/bench_fig3_trace_sim" \
 run_sweep_bench fig8 "$build_dir/bench/bench_fig8_yarn" \
   bench_fig8_yarn.metrics.json
 
+# Scale sweep: cluster sizes x policies, with the feasibility index on and
+# off. The binary reports per-cell wall time, events/s, decisions/s and peak
+# RSS on stderr; record every cell plus the on/off decisions-per-sec ratio
+# at the largest size (the index's headline speedup).
+# Env: BENCH_SCALE_SIZES overrides the sweep sizes (default 1000,4000,10000).
+scale_sizes="${BENCH_SCALE_SIZES:-1000,4000,10000}"
+declare -A scale_dps
+for mode in on off; do
+  "$build_dir/bench/bench_scale" "--sizes=$scale_sizes" "--index=$mode" \
+    > "$obs_dir/scale.$mode.stdout.txt" 2> "$obs_dir/scale.$mode.stderr.txt"
+  while read -r _ nodes policy index seconds events eps decisions dps rss; do
+    nodes="${nodes#nodes=}"; policy="${policy#policy=}"
+    seconds="${seconds#seconds=}"; events="${events#events=}"
+    eps="${eps#events_per_sec=}"; decisions="${decisions#decisions=}"
+    dps="${dps#decisions_per_sec=}"; rss="${rss#peak_rss_bytes=}"
+    echo "bench_perf: scale nodes=$nodes policy=$policy index=$mode" \
+         "seconds=$seconds events_per_sec=$eps decisions_per_sec=$dps" \
+         "peak_rss_bytes=$rss"
+    entries+=("{\"bench\":\"scale\",\"nodes\":$nodes,\"policy\":\"$policy\",\"index\":\"$mode\",\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps,\"decisions\":$decisions,\"decisions_per_sec\":$dps,\"peak_rss_bytes\":$rss}")
+    scale_dps["$mode.$nodes.$policy"]="$dps"
+  done < <(grep '^bench_scale:' "$obs_dir/scale.$mode.stderr.txt")
+done
+largest="${scale_sizes##*,}"
+for policy in kill checkpoint adaptive; do
+  on="${scale_dps[on.$largest.$policy]:-0}"
+  off="${scale_dps[off.$largest.$policy]:-0}"
+  ratio="$(python3 -c "print(f'{$on / $off:.1f}' if $off > 0 else '0')")"
+  echo "bench_perf: scale_index_speedup nodes=$largest policy=$policy" \
+       "decisions_per_sec_ratio=$ratio"
+  entries+=("{\"bench\":\"scale_index_speedup\",\"nodes\":$largest,\"policy\":\"$policy\",\"decisions_per_sec_on\":$on,\"decisions_per_sec_off\":$off,\"ratio\":$ratio}")
+done
+
 # Micro-benchmark: the binary reports events/sec per scenario itself.
 micro_out="$obs_dir/micro.stdout.txt"
 t0="$(now)"

@@ -48,6 +48,16 @@ compare "bench_fig3_trace_sim" \
 compare "bench_ext_failure (fault sweep)" \
   "$work_dir/ext_failure.serial.txt" "$work_dir/ext_failure.parallel.txt"
 
+# Index lane: the O(log n) feasibility index must choose exactly the node
+# the linear scan chooses, so the scale bench's deterministic table is
+# byte-identical with the index on and off (only the header names the mode).
+"$build_dir/bench/bench_scale" --sizes=64,128 --index=on 2>/dev/null \
+  > "$work_dir/scale.on.txt"
+"$build_dir/bench/bench_scale" --sizes=64,128 --index=off 2>/dev/null \
+  | sed 's/index=off/index=on/' > "$work_dir/scale.off.txt"
+compare "bench_scale (feasibility index on vs off)" \
+  "$work_dir/scale.on.txt" "$work_dir/scale.off.txt"
+
 sweep_args=(--jobs=40 --sweep-policies=kill,checkpoint,adaptive
   --sweep-media=hdd,ssd --sweep-seeds=1,2)
 "$build_dir/tools/ckpt-sim" "${sweep_args[@]}" --parallel=1 \

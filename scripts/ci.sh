@@ -53,12 +53,15 @@ if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
   tsan_dir="$build_dir-tsan"
   cmake -B "$tsan_dir" -S "$repo_root" -DCKPT_SANITIZE=thread
   cmake --build "$tsan_dir" -j "$(nproc)" \
-    --target test_thread_pool test_fault bench_fig3_trace_sim \
-    bench_ext_failure ckpt_sim_cli
+    --target test_thread_pool test_fault test_feasibility_index \
+    bench_fig3_trace_sim bench_ext_failure bench_scale ckpt_sim_cli
   "$tsan_dir/tests/test_thread_pool"
   # Fault injection draws RNG inside sweep cells; TSan watches the fault
   # tests and the parallel fault sweep for cross-cell sharing.
   "$tsan_dir/tests/test_fault"
+  # The feasibility index is per-scheduler state; TSan verifies sweep cells
+  # never share one (each cell's scheduler owns its index and slab arena).
+  "$tsan_dir/tests/test_feasibility_index"
   "$repo_root/scripts/check_determinism.sh" "$tsan_dir"
   echo "ci.sh: TSan lane passed"
 fi

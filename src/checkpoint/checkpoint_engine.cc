@@ -91,7 +91,8 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
   const bool can_increment = opts.incremental && proc.has_image &&
                              proc.memory.tracking_enabled() &&
                              !opts.replace_existing &&
-                             store_->Exists(proc.image_path) &&
+                             proc.image_id.valid() &&
+                             store_->Exists(proc.image_id) &&
                              // Incremental layers must extend an image dumped
                              // on a reachable store; a local-store image on a
                              // different node cannot be extended from here.
@@ -113,16 +114,20 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
   // Full dumps write-new-then-swap: the new image lands under a fresh path
   // while the old image (if any) stays valid; only a successful save
   // removes the old one. A failed or canceled save leaves the previous
-  // image restorable.
-  const std::string old_path = can_increment ? "" : proc.image_path;
+  // image restorable. The fresh path is interned exactly once, here at
+  // image creation; everything downstream keys by the id.
+  const ImageId old_image = can_increment ? ImageId() : proc.image_id;
   std::string save_path = proc.image_path;
+  ImageId save_image = proc.image_id;
   if (!can_increment) {
     save_path = ImagePath(proc);
+    save_image = store_->Intern(save_path);
     ++next_image_;
   }
 
   auto finish = [this, &proc, node, opts, attempt, can_increment, bytes,
-                 started, span, epoch, old_path, save_path,
+                 started, span, epoch, old_image, save_image,
+                 save_path = std::move(save_path),
                  done = std::move(done)](bool ok) {
     DumpResult result;
     result.ok = ok;
@@ -149,7 +154,7 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
     if (proc.io_epoch != epoch) {
       // The caller unwound this dump (node failure, kill) while the I/O was
       // in flight: do not touch proc, and drop the orphaned new image.
-      if (ok && !can_increment) store_->Remove(save_path);
+      if (ok && !can_increment) store_->Remove(save_image);
       result.ok = false;
       done(result);
       return;
@@ -175,8 +180,9 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
       if (!can_increment) {
         // Swap: retire the replaced image only now that its successor is
         // fully stored.
-        if (!old_path.empty()) store_->Remove(old_path);
+        if (old_image.valid()) store_->Remove(old_image);
         proc.image_path = save_path;
+        proc.image_id = save_image;
       }
       proc.has_image = true;
       proc.image_node = node;
@@ -196,10 +202,10 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
   };
 
   if (can_increment) {
-    store_->Append(proc.image_path, bytes, node, std::move(finish));
+    store_->Append(proc.image_id, bytes, node, std::move(finish));
     return;
   }
-  store_->Save(save_path, bytes, node, std::move(finish));
+  store_->Save(save_image, bytes, node, std::move(finish));
 }
 
 void CheckpointEngine::Restore(ProcessState& proc, NodeId node,
@@ -210,14 +216,15 @@ void CheckpointEngine::Restore(ProcessState& proc, NodeId node,
 void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
                                       int attempt,
                                       std::function<void(RestoreResult)> done) {
-  if (!proc.has_image || !store_->Exists(proc.image_path)) {
+  if (!proc.has_image || !proc.image_id.valid() ||
+      !store_->Exists(proc.image_id)) {
     RestoreResult result;  // nothing to restore from
     sim_->ScheduleAfter(0, [result, done = std::move(done)] { done(result); });
     return;
   }
   const SimTime started = sim_->Now();
-  const bool remote = !store_->IsLocalTo(proc.image_path, node);
-  const Bytes bytes = store_->StoredSize(proc.image_path);
+  const bool remote = !store_->IsLocalTo(proc.image_id, node);
+  const Bytes bytes = store_->StoredSize(proc.image_id);
   const std::int64_t epoch = proc.io_epoch;
   Tracer::SpanId span = Tracer::kInvalidSpan;
   if (obs_ != nullptr) {
@@ -228,7 +235,7 @@ void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
          TraceArg::Num("remote", remote ? 1 : 0)});
   }
   store_->Load(
-      proc.image_path, node,
+      proc.image_id, node,
       [this, &proc, node, attempt, remote, bytes, started, span, epoch,
        done = std::move(done)](bool ok) {
         RestoreResult result;
@@ -308,11 +315,12 @@ void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
 }
 
 void CheckpointEngine::Discard(ProcessState& proc) {
-  if (proc.has_image && !proc.image_path.empty()) {
-    store_->Remove(proc.image_path);
+  if (proc.has_image && proc.image_id.valid()) {
+    store_->Remove(proc.image_id);
   }
   proc.has_image = false;
   proc.image_path.clear();
+  proc.image_id = ImageId();
   proc.image_bytes = 0;
 }
 

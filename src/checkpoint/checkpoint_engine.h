@@ -34,6 +34,7 @@ struct ProcessState {
   // Image bookkeeping, maintained by the engine.
   bool has_image = false;
   std::string image_path;
+  ImageId image_id;       // interned form of image_path (store hot-path key)
   NodeId image_node;      // node that produced the latest dump
   Bytes image_bytes = 0;  // logical restore size (base + layers)
   int dump_count = 0;

@@ -15,6 +15,24 @@ void CheckpointStore::RecordStoreOp(const char* op, const char* backend,
   obs_->metrics().GetCounter("store.bytes", std::move(labels))->Inc(bytes);
 }
 
+ImageId CheckpointStore::Intern(const std::string& path) {
+  auto [it, inserted] = intern_.emplace(
+      path, ImageId(static_cast<std::int64_t>(paths_.size())));
+  if (inserted) paths_.push_back(path);
+  return it->second;
+}
+
+ImageId CheckpointStore::Find(const std::string& path) const {
+  auto it = intern_.find(path);
+  return it == intern_.end() ? ImageId() : it->second;
+}
+
+const std::string& CheckpointStore::PathOf(ImageId image) const {
+  CKPT_CHECK(image.valid());
+  CKPT_CHECK_LT(static_cast<size_t>(image.value()), paths_.size());
+  return paths_[static_cast<size_t>(image.value())];
+}
+
 // --- LocalStore -----------------------------------------------------------
 
 void LocalStore::AddNode(NodeId node, StorageDevice* device) {
@@ -27,41 +45,53 @@ StorageDevice* LocalStore::DeviceFor(NodeId node) const {
   return it == devices_.end() ? nullptr : it->second;
 }
 
-void LocalStore::Save(const std::string& path, Bytes size, NodeId node,
+LocalStore::Entry* LocalStore::EntryFor(ImageId image) {
+  const size_t i = static_cast<size_t>(image.value());
+  if (i >= entries_.size()) entries_.resize(i + 1);
+  return &entries_[i];
+}
+
+const LocalStore::Entry* LocalStore::EntryFor(ImageId image) const {
+  const size_t i = static_cast<size_t>(image.value());
+  return i < entries_.size() ? &entries_[i] : nullptr;
+}
+
+void LocalStore::Save(ImageId image, Bytes size, NodeId node,
                       std::function<void(bool)> done) {
   StorageDevice* device = DeviceFor(node);
-  if (device == nullptr || files_.count(path) > 0 || !device->Reserve(size)) {
+  Entry* entry = EntryFor(image);
+  if (device == nullptr || entry->present || !device->Reserve(size)) {
     done(false);
     return;
   }
-  files_[path] = Entry{node, size};
+  *entry = Entry{node, size, /*present=*/true};
   RecordStoreOp("save", "local", size);
-  device->SubmitWrite(size, [this, path, done = std::move(done)](bool ok) {
+  device->SubmitWrite(size, [this, image, done = std::move(done)](bool ok) {
     // A failed device write leaves no usable image: unregister the file
     // (which also releases the reservation) before reporting failure.
-    if (!ok) Remove(path);
+    if (!ok) Remove(image);
     done(ok);
   });
 }
 
-void LocalStore::Append(const std::string& path, Bytes size, NodeId node,
+void LocalStore::Append(ImageId image, Bytes size, NodeId node,
                         std::function<void(bool)> done) {
-  auto it = files_.find(path);
+  Entry* entry = EntryFor(image);
   StorageDevice* device = DeviceFor(node);
-  if (it == files_.end() || device == nullptr || it->second.node != node ||
+  if (!entry->present || device == nullptr || entry->node != node ||
       !device->Reserve(size)) {
     done(false);
     return;
   }
-  it->second.size += size;
+  entry->size += size;
   RecordStoreOp("append", "local", size);
   device->SubmitWrite(
-      size, [this, path, size, node, done = std::move(done)](bool ok) {
+      size, [this, image, size, node, done = std::move(done)](bool ok) {
         if (!ok) {
           // Roll the extension back; the base image layers remain valid.
-          auto rollback = files_.find(path);
-          if (rollback != files_.end()) {
-            rollback->second.size -= size;
+          Entry* rollback = EntryFor(image);
+          if (rollback->present) {
+            rollback->size -= size;
             if (StorageDevice* device = DeviceFor(node)) device->Release(size);
           }
         }
@@ -69,10 +99,10 @@ void LocalStore::Append(const std::string& path, Bytes size, NodeId node,
       });
 }
 
-void LocalStore::Load(const std::string& path, NodeId node,
+void LocalStore::Load(ImageId image, NodeId node,
                       std::function<void(bool)> done) {
-  auto it = files_.find(path);
-  if (it == files_.end() || it->second.node != node) {
+  const Entry* entry = EntryFor(image);
+  if (entry == nullptr || !entry->present || entry->node != node) {
     // Local images are not reachable from other nodes (the CRIU name-
     // conflict limitation the paper works around with HDFS).
     done(false);
@@ -80,33 +110,34 @@ void LocalStore::Load(const std::string& path, NodeId node,
   }
   StorageDevice* device = DeviceFor(node);
   CKPT_CHECK(device != nullptr);
-  RecordStoreOp("load", "local", it->second.size);
-  device->SubmitRead(it->second.size,
+  RecordStoreOp("load", "local", entry->size);
+  device->SubmitRead(entry->size,
                      [done = std::move(done)](bool ok) { done(ok); });
 }
 
-bool LocalStore::Remove(const std::string& path) {
-  auto it = files_.find(path);
-  if (it == files_.end()) return false;
-  if (StorageDevice* device = DeviceFor(it->second.node)) {
-    device->Release(it->second.size);
+bool LocalStore::Remove(ImageId image) {
+  Entry* entry = EntryFor(image);
+  if (!entry->present) return false;
+  if (StorageDevice* device = DeviceFor(entry->node)) {
+    device->Release(entry->size);
   }
-  files_.erase(it);
+  *entry = Entry{};
   return true;
 }
 
-bool LocalStore::Exists(const std::string& path) const {
-  return files_.count(path) > 0;
+bool LocalStore::Exists(ImageId image) const {
+  const Entry* entry = EntryFor(image);
+  return entry != nullptr && entry->present;
 }
 
-Bytes LocalStore::StoredSize(const std::string& path) const {
-  auto it = files_.find(path);
-  return it == files_.end() ? -1 : it->second.size;
+Bytes LocalStore::StoredSize(ImageId image) const {
+  const Entry* entry = EntryFor(image);
+  return entry != nullptr && entry->present ? entry->size : -1;
 }
 
-bool LocalStore::IsLocalTo(const std::string& path, NodeId node) const {
-  auto it = files_.find(path);
-  return it != files_.end() && it->second.node == node;
+bool LocalStore::IsLocalTo(ImageId image, NodeId node) const {
+  const Entry* entry = EntryFor(image);
+  return entry != nullptr && entry->present && entry->node == node;
 }
 
 SimDuration LocalStore::EstimateSave(Bytes size, NodeId node) const {
@@ -120,11 +151,10 @@ SimDuration LocalStore::EstimateSaveService(Bytes size, NodeId node) const {
   return device == nullptr ? 0 : device->EstimateWrite(size);
 }
 
-SimDuration LocalStore::EstimateLoad(const std::string& path,
-                                     NodeId node) const {
-  auto it = files_.find(path);
-  if (it == files_.end()) return 0;
-  return EstimateLoadBytes(it->second.size, node, it->second.node == node);
+SimDuration LocalStore::EstimateLoad(ImageId image, NodeId node) const {
+  const Entry* entry = EntryFor(image);
+  if (entry == nullptr || !entry->present) return 0;
+  return EstimateLoadBytes(entry->size, node, entry->node == node);
 }
 
 SimDuration LocalStore::EstimateLoadBytes(Bytes size, NodeId node,
@@ -146,29 +176,44 @@ SimDuration LocalStore::EstimateLoadBytesService(Bytes size, NodeId node,
 
 DfsStore::DfsStore(DfsCluster* dfs) : dfs_(dfs) { CKPT_CHECK(dfs != nullptr); }
 
-void DfsStore::Save(const std::string& path, Bytes size, NodeId node,
-                    std::function<void(bool)> done) {
-  RecordStoreOp("save", "dfs", size);
-  dfs_->Write(path, size, node, std::move(done));
+DfsStore::ImageInfo& DfsStore::InfoFor(ImageId image) const {
+  const size_t i = static_cast<size_t>(image.value());
+  if (i >= images_.size()) images_.resize(i + 1);
+  return images_[i];
 }
 
-void DfsStore::Append(const std::string& path, Bytes size, NodeId node,
+const std::string& DfsStore::LayerPath(ImageId image, int layer) const {
+  ImageInfo& info = InfoFor(image);
+  while (static_cast<size_t>(layer) >= info.layer_paths.size()) {
+    info.layer_paths.push_back(
+        PathOf(image) + ".layer" +
+        std::to_string(info.layer_paths.size()));
+  }
+  return info.layer_paths[static_cast<size_t>(layer)];
+}
+
+void DfsStore::Save(ImageId image, Bytes size, NodeId node,
+                    std::function<void(bool)> done) {
+  RecordStoreOp("save", "dfs", size);
+  dfs_->Write(PathOf(image), size, node, std::move(done));
+}
+
+void DfsStore::Append(ImageId image, Bytes size, NodeId node,
                       std::function<void(bool)> done) {
-  if (!dfs_->Exists(path)) {
+  if (!dfs_->Exists(PathOf(image))) {
     done(false);
     return;
   }
   // HDFS files are immutable; incremental layers are side files that Load
   // and StoredSize fold back into the logical image.
-  const int layer = layers_[path]++;
+  const int layer = InfoFor(image).layers++;
   RecordStoreOp("append", "dfs", size);
-  dfs_->Write(path + ".layer" + std::to_string(layer), size, node,
-              std::move(done));
+  dfs_->Write(LayerPath(image, layer), size, node, std::move(done));
 }
 
 struct DfsStore::LoadOp : std::enable_shared_from_this<DfsStore::LoadOp> {
-  DfsCluster* dfs = nullptr;
-  std::string path;
+  const DfsStore* store = nullptr;
+  ImageId image;
   NodeId node;
   std::function<void(bool)> done;
 
@@ -179,55 +224,57 @@ struct DfsStore::LoadOp : std::enable_shared_from_this<DfsStore::LoadOp> {
       done(false);
       return;
     }
-    const std::string layer_path = path + ".layer" + std::to_string(layer);
-    if (!dfs->Exists(layer_path)) {
+    const std::string& layer_path = store->LayerPath(image, layer);
+    if (!store->dfs_->Exists(layer_path)) {
       done(true);
       return;
     }
     auto self = shared_from_this();
-    dfs->Read(layer_path, node, [self, layer](bool layer_ok) {
+    store->dfs_->Read(layer_path, node, [self, layer](bool layer_ok) {
       self->Continue(layer + 1, layer_ok);
     });
   }
 };
 
-void DfsStore::Load(const std::string& path, NodeId node,
+void DfsStore::Load(ImageId image, NodeId node,
                     std::function<void(bool)> done) {
-  RecordStoreOp("load", "dfs", StoredSize(path));
+  RecordStoreOp("load", "dfs", StoredSize(image));
   auto op = std::make_shared<LoadOp>();
-  op->dfs = dfs_;
-  op->path = path;
+  op->store = this;
+  op->image = image;
   op->node = node;
   op->done = std::move(done);
-  dfs_->Read(path, node, [op](bool ok) { op->Continue(0, ok); });
+  dfs_->Read(PathOf(image), node, [op](bool ok) { op->Continue(0, ok); });
 }
 
-bool DfsStore::Remove(const std::string& path) {
-  if (!dfs_->Delete(path)) return false;
+bool DfsStore::Remove(ImageId image) {
+  if (!dfs_->Delete(PathOf(image))) return false;
   for (int layer = 0;; ++layer) {
-    if (!dfs_->Delete(path + ".layer" + std::to_string(layer))) break;
+    if (!dfs_->Delete(LayerPath(image, layer))) break;
   }
-  layers_.erase(path);
+  // Layer numbering restarts if the same path is ever re-saved, matching
+  // the counter-map erase this replaced. The cached names stay valid.
+  InfoFor(image).layers = 0;
   return true;
 }
 
-bool DfsStore::Exists(const std::string& path) const {
-  return dfs_->Exists(path);
+bool DfsStore::Exists(ImageId image) const {
+  return dfs_->Exists(PathOf(image));
 }
 
-Bytes DfsStore::StoredSize(const std::string& path) const {
-  if (!dfs_->Exists(path)) return -1;
-  Bytes total = dfs_->FileSize(path);
+Bytes DfsStore::StoredSize(ImageId image) const {
+  if (!dfs_->Exists(PathOf(image))) return -1;
+  Bytes total = dfs_->FileSize(PathOf(image));
   for (int layer = 0;; ++layer) {
-    const Bytes size = dfs_->FileSize(path + ".layer" + std::to_string(layer));
+    const Bytes size = dfs_->FileSize(LayerPath(image, layer));
     if (size < 0) break;
     total += size;
   }
   return total;
 }
 
-bool DfsStore::IsLocalTo(const std::string& path, NodeId node) const {
-  return dfs_->HasLocalReplica(path, node);
+bool DfsStore::IsLocalTo(ImageId image, NodeId node) const {
+  return dfs_->HasLocalReplica(PathOf(image), node);
 }
 
 SimDuration DfsStore::EstimateSave(Bytes size, NodeId node) const {
@@ -238,9 +285,8 @@ SimDuration DfsStore::EstimateSaveService(Bytes size, NodeId node) const {
   return dfs_->EstimateWriteService(size, node);
 }
 
-SimDuration DfsStore::EstimateLoad(const std::string& path,
-                                   NodeId node) const {
-  return dfs_->EstimateRead(path, node);
+SimDuration DfsStore::EstimateLoad(ImageId image, NodeId node) const {
+  return dfs_->EstimateRead(PathOf(image), node);
 }
 
 SimDuration DfsStore::EstimateLoadBytes(Bytes size, NodeId node,

@@ -33,6 +33,7 @@ struct ContainerTag {};
 struct AppTag {};
 struct BlockTag {};
 struct CheckpointTag {};
+struct ImageTag {};
 
 using NodeId = Id<NodeTag>;
 using JobId = Id<JobTag>;
@@ -41,6 +42,9 @@ using ContainerId = Id<ContainerTag>;
 using AppId = Id<AppTag>;
 using BlockId = Id<BlockTag>;
 using CheckpointId = Id<CheckpointTag>;
+// Dense handle for an interned checkpoint-image path; see
+// CheckpointStore::Intern.
+using ImageId = Id<ImageTag>;
 
 }  // namespace ckpt
 

@@ -1,0 +1,58 @@
+// Typed slab arena: objects are placement-constructed into fixed-size
+// chunks and stay pointer-stable for the arena's lifetime. Built for the
+// scheduler's per-task runtime records, which are created in arrival order,
+// never individually freed, and at 10k-node scale number in the hundreds of
+// thousands — one malloc per chunk instead of one per object.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ckpt {
+
+template <typename T, size_t kChunkObjects = 512>
+class SlabArena {
+ public:
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  ~SlabArena() {
+    // Destroy in construction order; the last chunk is partially full.
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      const size_t count =
+          c + 1 == chunks_.size() ? used_in_last_ : kChunkObjects;
+      T* objects = reinterpret_cast<T*>(chunks_[c].get());
+      for (size_t i = 0; i < count; ++i) objects[i].~T();
+    }
+  }
+
+  template <typename... Args>
+  T* New(Args&&... args) {
+    if (chunks_.empty() || used_in_last_ == kChunkObjects) {
+      chunks_.push_back(std::make_unique<Storage[]>(kChunkObjects));
+      used_in_last_ = 0;
+    }
+    T* slot = reinterpret_cast<T*>(&chunks_.back()[used_in_last_]);
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++used_in_last_;
+    ++size_;
+    return slot;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  struct alignas(alignof(T)) Storage {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  std::vector<std::unique_ptr<Storage[]>> chunks_;
+  size_t used_in_last_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace ckpt

@@ -170,7 +170,7 @@ void DagAm::OnContainerAllocated(const Container& container) {
   for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
     TaskRt* task = *it;
     if (task->proc != nullptr && task->proc->has_image &&
-        engine_->store().IsLocalTo(task->proc->image_path, container.node)) {
+        engine_->store().IsLocalTo(task->proc->image_id, container.node)) {
       pick = it;
       break;
     }
@@ -198,7 +198,7 @@ void DagAm::LaunchTask(TaskRt* task, const Container& container) {
     task->attempt++;
     const int attempt = task->attempt;
     const bool remote =
-        !engine_->store().IsLocalTo(task->proc->image_path, container.node);
+        !engine_->store().IsLocalTo(task->proc->image_id, container.node);
     stats_.restores++;
     rm_->SuspendContainer(container.id);
     stats_.restore_time +=

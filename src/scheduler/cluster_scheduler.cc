@@ -85,9 +85,18 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
   CKPT_CHECK(cluster != nullptr);
   CKPT_CHECK_GT(cluster->size(), 0);
   network_ = std::make_unique<NetworkModel>(sim_, config_.network);
+  task_arena_ = std::make_unique<SlabArena<RtTask>>();
   running_.resize(static_cast<size_t>(cluster->size()));
+  for (auto& bucket : running_) bucket.reserve(8);
   for (Node* node : cluster_->nodes()) {
     network_->AddNode(node->id());
+  }
+  if (config_.use_feasibility_index) {
+    const size_t n = running_.size();
+    feas_index_.Reset(n);
+    index_leaf_stale_.assign(n, 1);
+    index_stale_list_.reserve(n);
+    for (size_t i = 0; i < n; ++i) index_stale_list_.push_back(i);
   }
   if (!config_.fault.empty()) {
     fault_ = std::make_unique<FaultInjector>(sim_, config_.fault, config_.obs);
@@ -104,6 +113,13 @@ ClusterScheduler::~ClusterScheduler() = default;
 
 void ClusterScheduler::Submit(const Workload& workload) {
   for (const JobSpec& job_spec : workload.jobs) {
+    // The feasibility index buckets releasable demand by raw priority;
+    // out-of-range specs would index past the aggregate array.
+    for (const TaskSpec& spec : job_spec.tasks) {
+      CKPT_CHECK(spec.priority >= kMinPriority &&
+                 spec.priority <= kMaxPriority)
+          << "task " << spec.id.value() << " priority " << spec.priority;
+    }
     auto job = std::make_unique<RtJob>();
     job->spec = job_spec;
     job->tasks_left = static_cast<int>(job_spec.tasks.size());
@@ -141,13 +157,13 @@ SimulationResult ClusterScheduler::Run() {
 
 void ClusterScheduler::OnJobArrival(RtJob* job) {
   for (const TaskSpec& spec : job->spec.tasks) {
-    auto task = std::make_unique<RtTask>();
+    RtTask* task = task_arena_->New();
     task->spec = &spec;
     task->job = job;
     task->create_idx = static_cast<std::int64_t>(tasks_.size());
     task->submit_time = sim_->Now();
-    AddPending(task.get());
-    tasks_.push_back(std::move(task));
+    AddPending(task);
+    tasks_.push_back(task);
   }
   FinishJobIfDone(job);  // degenerate zero-task jobs complete immediately
   TrySchedule();
@@ -218,6 +234,48 @@ Node* ProbeFit(Cluster& cluster, const Resources& demand, size_t& cursor) {
 }
 }  // namespace
 
+void ClusterScheduler::TouchNode(NodeId node) {
+  InvalidateAvailSummary();
+  if (!config_.use_feasibility_index) return;
+  const size_t i = static_cast<size_t>(node.value());
+  if (!index_leaf_stale_[i]) {
+    index_leaf_stale_[i] = 1;
+    index_stale_list_.push_back(i);
+  }
+}
+
+void ClusterScheduler::FlushFeasibilityIndex() {
+  for (const size_t i : index_stale_list_) {
+    index_leaf_stale_[i] = 0;
+    feas_index_.Update(i, ComputeNodeAgg(i));
+  }
+  index_stale_list_.clear();
+}
+
+FeasibilityAgg ClusterScheduler::ComputeNodeAgg(size_t node_index) {
+  const NodeId id(static_cast<std::int64_t>(node_index));
+  FeasibilityAgg agg;
+  agg.place = cluster_->node(id).Available();
+  // Demand a preemption attempt could at most release, bucketed by the
+  // victim's raw priority. A demand at priority p can only release victims
+  // with priority strictly below p, so preempt[p] — Available() plus the
+  // cumulative demand of buckets < p — matches the scheduler's exact
+  // releasable sum for this node.
+  std::array<Resources, FeasibilityAgg::kPriorities> prio_demand{};
+  for (const RtTask* t : RunningOn(id)) {
+    if (t->state == RtTask::State::kRunning &&
+        t->spec->latency_class < config_.protect_latency_class_at_least) {
+      prio_demand[static_cast<size_t>(t->spec->priority)] += t->spec->demand;
+    }
+  }
+  Resources cum = agg.place;
+  for (size_t p = 0; p < prio_demand.size(); ++p) {
+    agg.preempt[p] = cum;
+    cum += prio_demand[p];
+  }
+  return agg;
+}
+
 bool ClusterScheduler::MightFitAnywhere(const Resources& demand) {
   if (!avail_summary_valid_) {
     Resources summary{};
@@ -235,6 +293,20 @@ bool ClusterScheduler::MightFitAnywhere(const Resources& demand) {
 }
 
 Node* ClusterScheduler::ProbeFitCached(const Resources& demand) {
+  if (config_.use_feasibility_index) {
+    FlushFeasibilityIndex();
+    // The root aggregate is the conservative fit summary: reject in O(1).
+    if (!demand.FitsIn(feas_index_.Root().place)) return nullptr;
+    const size_t hit = feas_index_.FindPlace(
+        place_cursor_, demand, [this, &demand](size_t i) {
+          return demand.FitsIn(
+              cluster_->node(NodeId(static_cast<std::int64_t>(i)))
+                  .Available());
+        });
+    if (hit == FeasibilityIndex::npos) return nullptr;
+    place_cursor_ = (hit + 1) % static_cast<size_t>(cluster_->size());
+    return &cluster_->node(NodeId(static_cast<std::int64_t>(hit)));
+  }
   // A failed ProbeFit leaves the cursor untouched, so skipping the scan
   // outright is behaviorally identical.
   if (!MightFitAnywhere(demand)) return nullptr;
@@ -304,7 +376,8 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
 
 void ClusterScheduler::StartTask(RtTask* task, Node* node) {
   CKPT_CHECK(node->Allocate(task->spec->demand));
-  InvalidateAvailSummary();
+  TouchNode(node->id());
+  result_.sched_decisions++;
   RemovePending(task);
   task->state = RtTask::State::kRunning;
   task->node = node->id();
@@ -322,7 +395,8 @@ void ClusterScheduler::StartTask(RtTask* task, Node* node) {
 void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
   CKPT_CHECK(task->has_image);
   CKPT_CHECK(node->Allocate(task->spec->demand));
-  InvalidateAvailSummary();
+  TouchNode(node->id());
+  result_.sched_decisions++;
   RemovePending(task);
   task->state = RtTask::State::kRestoring;
   task->node = node->id();
@@ -389,7 +463,7 @@ void ClusterScheduler::OnRestoreFailed(RtTask* task) {
   task->restore_failures++;
   task->attempt++;
   cluster_->node(task->node).ReleaseSuspended(task->spec->demand);
-  InvalidateAvailSummary();
+  TouchNode(task->node);
   BumpOverheadEpoch();
   auto& bucket = RunningOn(task->node);
   bucket.erase(std::find(bucket.begin(), bucket.end(), task));
@@ -414,6 +488,9 @@ void ClusterScheduler::OnRestoreFailed(RtTask* task) {
 void ClusterScheduler::OnRestoreDone(RtTask* task, int attempt) {
   CKPT_CHECK_EQ(task->attempt, attempt);
   cluster_->node(task->node).Resume(task->spec->demand);
+  // Available() is unchanged, but the task re-enters kRunning and so grows
+  // the node's releasable set: its feasibility-index leaf must refresh.
+  TouchNode(task->node);
   task->state = RtTask::State::kRunning;
   task->restore_failures = 0;
   task->work_done = task->saved_work;
@@ -438,7 +515,7 @@ void ClusterScheduler::StopRunning(RtTask* task) {
 
 void ClusterScheduler::DetachFromNode(RtTask* task) {
   cluster_->node(task->node).Release(task->spec->demand);
-  InvalidateAvailSummary();
+  TouchNode(task->node);
   auto& bucket = RunningOn(task->node);
   bucket.erase(std::find(bucket.begin(), bucket.end(), task));
 }
@@ -621,29 +698,60 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
   // Find a node whose free resources plus lower-priority running work cover
   // the demand. The scan rotates so preemption pressure spreads across the
   // cluster instead of repeatedly recycling the same nodes' fresh tasks.
-  Node* chosen = nullptr;
-  std::vector<RtTask*> candidates;
-  const size_t n = static_cast<size_t>(cluster_->size());
-  for (size_t i = 0; i < n; ++i) {
-    Node* node = &cluster_->node(
-        NodeId(static_cast<std::int64_t>((victim_cursor_ + i) % n)));
-    if (image_bound && node->id() != task->image_node) continue;
+  // Exact per-node check; fills preempt_local_scratch_ (a member, so the
+  // hot path allocates nothing once warm) with the node's eligible victims.
+  auto releasable_fits = [this, &demand, priority](Node* node) {
+    preempt_local_scratch_.clear();
     Resources releasable = node->Available();
-    std::vector<RtTask*> local;
     for (RtTask* running : RunningOn(node->id())) {
       if (running->state == RtTask::State::kRunning &&
           running->spec->priority < priority &&
           running->spec->latency_class <
               config_.protect_latency_class_at_least) {
         releasable += running->spec->demand;
-        local.push_back(running);
+        preempt_local_scratch_.push_back(running);
       }
     }
-    if (demand.FitsIn(releasable)) {
+    return demand.FitsIn(releasable);
+  };
+
+  Node* chosen = nullptr;
+  victim_candidates_.clear();
+  const size_t n = static_cast<size_t>(cluster_->size());
+  if (image_bound) {
+    // Only the image node can host the task; the rotation scan would skip
+    // every other node, so probe it directly. On success the cursor lands
+    // one past the image node, exactly where the full scan would leave it.
+    Node* node = &cluster_->node(task->image_node);
+    if (releasable_fits(node)) {
       chosen = node;
-      candidates = std::move(local);
-      victim_cursor_ = (victim_cursor_ + i + 1) % n;
-      break;
+      victim_candidates_.swap(preempt_local_scratch_);
+      victim_cursor_ =
+          (static_cast<size_t>(task->image_node.value()) + 1) % n;
+    }
+  } else if (config_.use_feasibility_index) {
+    FlushFeasibilityIndex();
+    const size_t hit = feas_index_.FindPreempt(
+        victim_cursor_, static_cast<size_t>(priority), demand,
+        [this, &releasable_fits](size_t i) {
+          return releasable_fits(
+              &cluster_->node(NodeId(static_cast<std::int64_t>(i))));
+        });
+    if (hit != FeasibilityIndex::npos) {
+      chosen = &cluster_->node(NodeId(static_cast<std::int64_t>(hit)));
+      victim_candidates_.swap(preempt_local_scratch_);
+      victim_cursor_ = (hit + 1) % n;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      Node* node = &cluster_->node(
+          NodeId(static_cast<std::int64_t>((victim_cursor_ + i) % n)));
+      if (releasable_fits(node)) {
+        chosen = node;
+        victim_candidates_.swap(preempt_local_scratch_);
+        victim_cursor_ = (victim_cursor_ + i + 1) % n;
+        break;
+      }
     }
   }
   if (chosen == nullptr) {
@@ -659,14 +767,14 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
 
   switch (config_.victim_order) {
     case VictimOrder::kCostAware:
-      std::sort(candidates.begin(), candidates.end(),
+      std::sort(victim_candidates_.begin(), victim_candidates_.end(),
                 [this](RtTask* a, RtTask* b) {
                   return VictimCheckpointOverhead(a) <
                          VictimCheckpointOverhead(b);
                 });
       break;
     case VictimOrder::kLowestPriority:
-      std::sort(candidates.begin(), candidates.end(),
+      std::sort(victim_candidates_.begin(), victim_candidates_.end(),
                 [](RtTask* a, RtTask* b) {
                   if (a->spec->priority != b->spec->priority)
                     return a->spec->priority < b->spec->priority;
@@ -674,12 +782,13 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
                 });
       break;
     case VictimOrder::kRandom:
-      std::shuffle(candidates.begin(), candidates.end(), rng_.engine());
+      std::shuffle(victim_candidates_.begin(), victim_candidates_.end(),
+                   rng_.engine());
       break;
   }
 
   Resources freed = chosen->Available();
-  for (RtTask* victim : candidates) {
+  for (RtTask* victim : victim_candidates_) {
     if (demand.FitsIn(freed)) break;
     freed += victim->spec->demand;
     PreemptAction action = DecideVictimAction(victim);
@@ -730,6 +839,7 @@ void ClusterScheduler::ApplyResubmitBackoff(RtTask* task) {
 void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   CKPT_CHECK(victim->state == RtTask::State::kRunning);
   result_.preemptions++;
+  result_.sched_decisions++;
   victim->preempt_count++;
   StopRunning(victim);
   victim->attempt++;  // invalidate the scheduled completion
@@ -768,6 +878,9 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   // response times.
   victim->state = RtTask::State::kDumping;
   node.Suspend(victim->spec->demand);
+  // Available() is unchanged, but the victim left kRunning: tighten the
+  // node's releasable aggregate in the feasibility index.
+  TouchNode(victim->node);
   victim->pending_dump_bytes = dump_bytes;
   victim->pending_dump_node =
       incremental ? victim->image_node : victim->node;
@@ -839,7 +952,7 @@ void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
   victim->attempt++;
   BumpOverheadEpoch();
   cluster_->node(victim->node).ReleaseSuspended(victim->spec->demand);
-  InvalidateAvailSummary();
+  TouchNode(victim->node);
   auto& bucket = RunningOn(victim->node);
   bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
   ApplyResubmitBackoff(victim);
@@ -880,7 +993,7 @@ void ClusterScheduler::OnDumpFailed(RtTask* victim, int attempt) {
   victim->unsynced_run = 0;
   BumpOverheadEpoch();
   cluster_->node(victim->node).ReleaseSuspended(victim->spec->demand);
-  InvalidateAvailSummary();
+  TouchNode(victim->node);
   auto& bucket = RunningOn(victim->node);
   bucket.erase(std::find(bucket.begin(), bucket.end(), victim));
   ApplyResubmitBackoff(victim);
@@ -909,7 +1022,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
   if (!node.online()) return;
   result_.node_failures++;
   node.SetOnline(false);
-  InvalidateAvailSummary();
+  TouchNode(node_id);
   BumpOverheadEpoch();
 
   // Interrupt every task holding resources on the node. Copy the bucket:
@@ -996,6 +1109,11 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
     task->work_done = task->saved_work;
     task->unsynced_run = 0;
     cluster_->node(task->node).ReleaseSuspended(task->spec->demand);
+    // The seed forgot to refresh the fit summary here: the release grows an
+    // *online* node's Available(), so a stale summary could wrongly report
+    // "nothing fits anywhere". Touch the node for both the summary and the
+    // feasibility index.
+    TouchNode(task->node);
     auto& bucket = RunningOn(task->node);
     bucket.erase(std::find(bucket.begin(), bucket.end(), task));
     AddPending(task);
@@ -1016,7 +1134,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
   if (down_for >= 0) {
     sim_->ScheduleAfter(down_for, [this, node_id] {
       cluster_->node(node_id).SetOnline(true);
-      InvalidateAvailSummary();
+      TouchNode(node_id);
       TrySchedule();
     });
   }

@@ -18,9 +18,11 @@
 
 #include "cluster/cluster.h"
 #include "common/rng.h"
+#include "common/slab.h"
 #include "dfs/network.h"
 #include "fault/fault.h"
 #include "metrics/stats.h"
+#include "scheduler/feasibility_index.h"
 #include "scheduler/policy.h"
 #include "sim/simulator.h"
 #include "storage/medium.h"
@@ -75,6 +77,13 @@ struct SchedulerConfig {
 
   // Backfill scan bound: pending tasks examined per scheduling pass.
   int max_backfill_scan = 64;
+
+  // O(log n) node-feasibility index over placement/preemption scans. The
+  // index descends to exactly the node the linear scan would choose, so
+  // results are byte-identical either way; `false` keeps the plain scans
+  // (the bench_scale --index=off ablation and the property tests' reference
+  // executions).
+  bool use_feasibility_index = true;
 
   // Deterministic fault injection (node crashes are scheduled at
   // construction; storage faults hook into every node's device). An empty
@@ -134,6 +143,10 @@ struct SimulationResult {
   std::int64_t jobs_completed = 0;
   std::int64_t tasks_completed = 0;
 
+  // Scheduling decisions taken: task starts, restore starts, and victim
+  // preemptions. bench_scale divides this by wall time for decisions/s.
+  std::int64_t sched_decisions = 0;
+
   // Failure injection.
   std::int64_t node_failures = 0;
   std::int64_t tasks_interrupted_by_failure = 0;
@@ -185,6 +198,13 @@ class ClusterScheduler {
   bool MightFitAnywhere(const Resources& demand);
   // Any change to some node's Available() invalidates the summary.
   void InvalidateAvailSummary() { avail_summary_valid_ = false; }
+  // Invalidate the summary AND mark `node`'s feasibility-index leaf stale.
+  // Must be called on every change to the node's Available(), its online
+  // state, or the set/state of tasks running on it.
+  void TouchNode(NodeId node);
+  // Recompute stale index leaves; queries call this first.
+  void FlushFeasibilityIndex();
+  FeasibilityAgg ComputeNodeAgg(size_t node_index);
   // Any change that can affect VictimCheckpointOverhead's inputs (device
   // backlogs, image state) bumps the epoch, invalidating memoized costs.
   void BumpOverheadEpoch() { ++overhead_epoch_; }
@@ -234,7 +254,10 @@ class ClusterScheduler {
   std::unique_ptr<FaultInjector> fault_;
 
   std::vector<std::unique_ptr<RtJob>> jobs_;
-  std::vector<std::unique_ptr<RtTask>> tasks_;
+  // Task records live in a slab arena (pointer-stable, chunk-allocated);
+  // tasks_ keeps creation order for the failure-handling index iteration.
+  std::unique_ptr<SlabArena<RtTask>> task_arena_;
+  std::vector<RtTask*> tasks_;
 
   // Pending tasks ordered by (priority desc, submit asc, id asc).
   std::set<RtTask*, PendingLess> pending_;
@@ -277,6 +300,17 @@ class ClusterScheduler {
   bool preempt_fail_valid_ = false;
   Resources preempt_fail_demand_{};
   int preempt_fail_priority_ = 0;
+
+  // O(log n) feasibility index (see feasibility_index.h). Leaves go stale
+  // via TouchNode and are recomputed lazily before each query.
+  FeasibilityIndex feas_index_;
+  std::vector<char> index_leaf_stale_;
+  std::vector<size_t> index_stale_list_;
+
+  // Scratch buffers for TryPreemptFor, reused across nodes/attempts so the
+  // hot path performs no per-attempt allocations once warmed up.
+  std::vector<RtTask*> preempt_local_scratch_;
+  std::vector<RtTask*> victim_candidates_;
 };
 
 }  // namespace ckpt

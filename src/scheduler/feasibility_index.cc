@@ -1,0 +1,23 @@
+#include "scheduler/feasibility_index.h"
+
+namespace ckpt {
+
+void FeasibilityIndex::Reset(size_t nodes) {
+  n_ = nodes;
+  cap_ = 1;
+  while (cap_ < n_) cap_ <<= 1;
+  tree_.assign(2 * cap_, FeasibilityAgg{});
+}
+
+void FeasibilityIndex::Update(size_t i, const FeasibilityAgg& agg) {
+  size_t pos = cap_ + i;
+  tree_[pos] = agg;
+  for (pos /= 2; pos >= 1; pos /= 2) {
+    FeasibilityAgg merged = tree_[2 * pos];
+    merged.MaxWith(tree_[2 * pos + 1]);
+    tree_[pos] = merged;
+    if (pos == 1) break;
+  }
+}
+
+}  // namespace ckpt

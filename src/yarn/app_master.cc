@@ -77,7 +77,7 @@ void DistributedShellAm::OnContainerAllocated(const Container& container) {
   for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
     TaskRt* task = *it;
     if (task->proc != nullptr && task->proc->has_image &&
-        engine_->store().IsLocalTo(task->proc->image_path, container.node)) {
+        engine_->store().IsLocalTo(task->proc->image_id, container.node)) {
       pick = it;
       break;
     }
@@ -103,7 +103,7 @@ void DistributedShellAm::LaunchTask(TaskRt* task, const Container& container) {
     task->attempt++;
     const int attempt = task->attempt;
     const bool remote =
-        !engine_->store().IsLocalTo(task->proc->image_path, container.node);
+        !engine_->store().IsLocalTo(task->proc->image_id, container.node);
     stats_.restores++;
     if (remote) stats_.remote_restores++;
     // The container is reserved but the process is not executing during the
