@@ -65,6 +65,13 @@ int main(int argc, char** argv) {
         if (obs_enabled) {
           out.metrics_entry = "{\"name\":\"" + cells[i].name +
                               "\",\"metrics\":" + obs.metrics().ToJson() + "}";
+          // Per-cell decision audit stream; cells write distinct files, so
+          // this is safe under --jobs N and deterministic per cell.
+          const std::string audit_path = ObsPath(
+              "bench_fig3_trace_sim." + cells[i].name + ".audit.jsonl");
+          if (!obs.WriteAuditJsonl(audit_path)) {
+            std::fprintf(stderr, "obs: cannot write %s\n", audit_path.c_str());
+          }
         }
         return out;
       });

@@ -103,9 +103,20 @@ while read -r scenario impl events seconds eps; do
 done < <(grep '^scenario=' "$micro_out")
 grep '^speedup' "$micro_out" | sed 's/^/bench_perf: micro_sim /'
 
+# Provenance: which tree, when, and on what machine the numbers were
+# taken. scripts/bench_perf_diff.py warns when the machine block differs
+# between a run and the committed baseline (rates are then incomparable).
+git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+run_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+cpu_model="$(awk -F': ' '/^model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[[ -n "$cpu_model" ]] || cpu_model="unknown"
+
 {
   echo '{'
   echo "  \"generated_by\": \"scripts/bench_perf.sh\","
+  echo "  \"git_sha\": \"$git_sha\","
+  echo "  \"date\": \"$run_date\","
+  echo "  \"machine\": {\"nproc\": $(nproc), \"cpu_model\": \"$cpu_model\"},"
   echo "  \"jobs_timed\": \"$jobs_list\","
   echo '  "results": ['
   for i in "${!entries[@]}"; do

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace_event JSON file produced by the obs Tracer.
+"""Validate Chrome traces and decision-audit streams from the obs layer.
 
-Checks:
+For trace files (anything not ending in .audit.jsonl), checks:
   * the file parses as JSON and has a `traceEvents` array;
   * every event carries the required fields for its phase
     ('X' complete events need ts+dur, 'i' instants need ts+s, 'M' metadata
@@ -11,6 +11,12 @@ Checks:
     file order (the exporter sorts by sim time);
   * optionally (--require NAME[:MINCOUNT]), that at least MINCOUNT events
     with that name are present.
+
+Files ending in .audit.jsonl are validated against the AuditLog schema
+documented in docs/OBSERVABILITY.md instead: one object per line with
+strictly increasing integer `seq`, non-decreasing non-negative `t`, a
+known `kind` with its required args keys, an object `args`, and (when
+present) a `candidates` array of objects. --require matches kinds there.
 
 Exit code 0 on success; 1 with a diagnostic on the first violation.
 """
@@ -24,6 +30,19 @@ REQUIRED_BY_PHASE = {
     "X": ("name", "ts", "dur", "pid", "tid"),
     "i": ("name", "ts", "s", "pid", "tid"),
     "M": ("name", "pid", "tid", "args"),
+}
+
+# Audit-record kinds and the args keys each one must carry (a subset of
+# what the emitters write; see docs/OBSERVABILITY.md for the full schema).
+AUDIT_KINDS = {
+    "preempt_scan": ("task", "job", "priority", "demand_cpus", "outcome",
+                     "chosen_node"),
+    "restore_decision": ("task", "job", "image_node", "chosen_node",
+                         "remote", "restore_policy"),
+    "capacity_fallback": ("task", "job", "image_node", "reason"),
+    "rm_preempt_dispatch": ("considered", "dispatched"),
+    "am_decision": ("task", "job", "node", "unsaved_progress_s", "action",
+                    "policy"),
 }
 
 
@@ -81,9 +100,63 @@ def check_events(path, events):
     return counts
 
 
+def check_audit(path, requirements):
+    counts = collections.Counter()
+    last_seq = -1
+    last_t = -1
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{where}: cannot parse: {e}")
+            if not isinstance(rec, dict):
+                fail(f"{where}: not an object")
+            seq = rec.get("seq")
+            if not isinstance(seq, int) or seq < 0:
+                fail(f"{where}: seq must be a non-negative integer, "
+                     f"got {seq!r}")
+            if seq <= last_seq:
+                fail(f"{where}: seq {seq} not strictly increasing "
+                     f"(previous {last_seq})")
+            last_seq = seq
+            t = rec.get("t")
+            if not isinstance(t, (int, float)) or t < 0:
+                fail(f"{where}: t must be a non-negative number, got {t!r}")
+            if t < last_t:
+                fail(f"{where}: t {t} goes backwards (previous {last_t})")
+            last_t = t
+            kind = rec.get("kind")
+            if kind not in AUDIT_KINDS:
+                fail(f"{where}: unknown kind {kind!r}")
+            args = rec.get("args")
+            if not isinstance(args, dict):
+                fail(f"{where}: args must be an object, got {type(args)}")
+            for key in AUDIT_KINDS[kind]:
+                if key not in args:
+                    fail(f"{where}: kind {kind!r} missing args key {key!r}")
+            candidates = rec.get("candidates", [])
+            if not isinstance(candidates, list) or any(
+                    not isinstance(c, dict) for c in candidates):
+                fail(f"{where}: candidates must be an array of objects")
+            counts[kind] += 1
+    for name, min_count in requirements:
+        if counts[name] < min_count:
+            fail(f"{path}: expected >= {min_count} {name!r} records, "
+                 f"found {counts[name]}")
+    total = sum(counts.values())
+    by_kind = " ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"check_trace: OK: {path}: {total} audit records ({by_kind})")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", nargs="+", help="trace JSON file(s)")
+    parser.add_argument("trace", nargs="+",
+                        help="trace JSON or *.audit.jsonl file(s)")
     parser.add_argument(
         "--require", action="append", default=[], metavar="NAME[:MINCOUNT]",
         help="require at least MINCOUNT (default 1) events named NAME")
@@ -95,6 +168,9 @@ def main():
         requirements.append((name, int(count) if count else 1))
 
     for path in args.trace:
+        if path.endswith(".audit.jsonl"):
+            check_audit(path, requirements)
+            continue
         events = load_events(path)
         counts = check_events(path, events)
         for name, min_count in requirements:

@@ -45,6 +45,41 @@ test -s "$obs_dir/bench_fig8_yarn.metrics.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
   "$obs_dir/bench_fig8_yarn.metrics.json"
 
+# Decision-audit smoke lane: a small fig3 run with CKPT_OBS=1 must emit
+# per-cell audit streams that validate against the schema in
+# docs/OBSERVABILITY.md, and ckpt-report must render a run report whose
+# waste ledger reconciles with the goodput gap (no MISMATCH marker).
+CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$build_dir/bench/bench_fig3_trace_sim" 300 \
+  > "$obs_dir/fig3_stdout.txt"
+python3 "$repo_root/scripts/check_trace.py" --require preempt_scan \
+  "$obs_dir"/bench_fig3_trace_sim.*.audit.jsonl
+"$build_dir/tools/ckpt-report" \
+  "$obs_dir/bench_fig3_trace_sim.metrics.json" \
+  "$obs_dir"/bench_fig3_trace_sim.*.audit.jsonl > "$obs_dir/fig3_report.txt"
+grep -q "reconciliation:" "$obs_dir/fig3_report.txt"
+if grep -q "MISMATCH" "$obs_dir/fig3_report.txt"; then
+  echo "ci.sh: waste ledger does not reconcile with the goodput gap" >&2
+  exit 1
+fi
+
+# A/B analyzer lane: kill vs adaptive single runs must diff with a
+# non-empty waste attribution table.
+CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$build_dir/tools/ckpt-sim" \
+  --policy=kill --jobs=200 > /dev/null
+CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$build_dir/tools/ckpt-sim" \
+  --policy=adaptive --jobs=200 > /dev/null
+"$build_dir/tools/ckpt-report" --diff \
+  "$obs_dir/ckpt_sim.kill.metrics.json" \
+  "$obs_dir/ckpt_sim.adaptive.metrics.json" > "$obs_dir/diff_report.txt"
+grep -q "kill_lost_work" "$obs_dir/diff_report.txt"
+
+# Perf gate in check mode: validates both files and the entry matching;
+# regressions are reported but not enforced because the CI machine is not
+# the baseline host. Run scripts/bench_perf.sh + bench_perf_diff.py
+# without --check on a like-for-like machine for the hard gate.
+python3 "$repo_root/scripts/bench_perf_diff.py" --check \
+  "$repo_root/BENCH_PERF.json" "$repo_root/BENCH_PERF.baseline.json"
+
 # ThreadSanitizer lane: the simulator is single-threaded, so the only code
 # that may race is the sweep runner (thread pool + per-cell merge). Build
 # just those targets under TSan and run the threaded tests and the

@@ -71,11 +71,15 @@ SimDuration CheckpointEngine::BackoffDelay(int attempt) const {
   return static_cast<SimDuration>(delay);
 }
 
-void CheckpointEngine::CountRetry(const char* op) {
+void CheckpointEngine::CountRetry(const char* op, SimDuration backoff,
+                                  NodeId node) {
   if (obs_ != nullptr) {
     obs_->metrics().GetCounter("ckpt.retry", {{"op", op}})->Inc();
     obs_->tracer().Instant("fault.ckpt_retry", "fault", "ckpt", sim_->Now(),
-                           {TraceArg::Str("op", op)});
+                           {TraceArg::Str("op", op),
+                            TraceArg::Num("backoff_s", ToSeconds(backoff))});
+    obs_->waste().Add(WasteCause::kFaultRetry, ToSeconds(backoff), -1,
+                      node.valid() ? node.value() : -1);
   }
 }
 
@@ -161,7 +165,7 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
     }
     if (!ok && attempt < retry_.max_attempts) {
       ++dump_retries_;
-      CountRetry("dump");
+      CountRetry("dump", BackoffDelay(attempt), node);
       sim_->ScheduleAfter(BackoffDelay(attempt),
                           [this, &proc, node, opts, attempt, epoch, done] {
                             if (proc.io_epoch != epoch) {
@@ -290,7 +294,7 @@ void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
         }
         if (!ok && attempt < retry_.max_attempts) {
           ++restore_retries_;
-          CountRetry("restore");
+          CountRetry("restore", BackoffDelay(attempt), node);
           sim_->ScheduleAfter(BackoffDelay(attempt),
                               [this, &proc, node, attempt, epoch, done] {
                                 if (proc.io_epoch != epoch) {

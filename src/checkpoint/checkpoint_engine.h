@@ -151,7 +151,9 @@ class CheckpointEngine {
   void RestoreAttempt(ProcessState& proc, NodeId node, int attempt,
                       std::function<void(RestoreResult)> done);
   SimDuration BackoffDelay(int attempt) const;
-  void CountRetry(const char* op);
+  // Record a retry: counter + trace instant, plus the backoff delay
+  // charged to the waste ledger's fault_retry cause against `node`.
+  void CountRetry(const char* op, SimDuration backoff, NodeId node);
 
   Simulator* sim_;
   CheckpointStore* store_;

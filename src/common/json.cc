@@ -1,0 +1,333 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ckpt {
+namespace json {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  if (std::isfinite(value) && value == static_cast<double>(static_cast<long long>(value)) &&
+      std::abs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  if (!std::isfinite(value)) return "0";  // JSON has no inf/nan
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  return buf;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  return members_[it->second].second.get();
+}
+
+double Value::NumberOr(const std::string& key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
+}
+
+std::string Value::StringOr(const std::string& key,
+                            const std::string& fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->as_string() : fallback;
+}
+
+ValuePtr Value::MakeNull() { return std::make_shared<Value>(); }
+ValuePtr Value::MakeBool(bool b) {
+  auto v = std::make_shared<Value>();
+  v->type_ = Type::kBool;
+  v->bool_ = b;
+  return v;
+}
+ValuePtr Value::MakeNumber(double n) {
+  auto v = std::make_shared<Value>();
+  v->type_ = Type::kNumber;
+  v->number_ = n;
+  return v;
+}
+ValuePtr Value::MakeString(std::string s) {
+  auto v = std::make_shared<Value>();
+  v->type_ = Type::kString;
+  v->string_ = std::move(s);
+  return v;
+}
+ValuePtr Value::MakeArray() {
+  auto v = std::make_shared<Value>();
+  v->type_ = Type::kArray;
+  return v;
+}
+ValuePtr Value::MakeObject() {
+  auto v = std::make_shared<Value>();
+  v->type_ = Type::kObject;
+  return v;
+}
+
+void Value::Set(const std::string& key, ValuePtr v) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    members_[it->second].second = std::move(v);
+    return;
+  }
+  index_[key] = members_.size();
+  members_.emplace_back(key, std::move(v));
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  ValuePtr Run() {
+    ValuePtr v = ParseValue();
+    if (v == nullptr) return nullptr;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      Fail("trailing garbage");
+      return nullptr;
+    }
+    return v;
+  }
+
+ private:
+  void Fail(const std::string& reason) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "offset " + std::to_string(pos_) + ": " + reason;
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    std::size_t n = 0;
+    while (word[n] != '\0') ++n;
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  ValuePtr ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return nullptr;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't':
+        if (ConsumeWord("true")) return Value::MakeBool(true);
+        Fail("bad literal");
+        return nullptr;
+      case 'f':
+        if (ConsumeWord("false")) return Value::MakeBool(false);
+        Fail("bad literal");
+        return nullptr;
+      case 'n':
+        if (ConsumeWord("null")) return Value::MakeNull();
+        Fail("bad literal");
+        return nullptr;
+      default: return ParseNumber();
+    }
+  }
+
+  ValuePtr ParseObject() {
+    ++pos_;  // '{'
+    ValuePtr obj = Value::MakeObject();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      ValuePtr key = ParseString();
+      if (key == nullptr) return nullptr;
+      SkipWs();
+      if (!Consume(':')) {
+        Fail("expected ':' in object");
+        return nullptr;
+      }
+      ValuePtr val = ParseValue();
+      if (val == nullptr) return nullptr;
+      obj->Set(key->as_string(), std::move(val));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      Fail("expected ',' or '}' in object");
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseArray() {
+    ++pos_;  // '['
+    ValuePtr arr = Value::MakeArray();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      ValuePtr val = ParseValue();
+      if (val == nullptr) return nullptr;
+      arr->Append(std::move(val));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      Fail("expected ',' or ']' in array");
+      return nullptr;
+    }
+  }
+
+  ValuePtr ParseString() {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return nullptr;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Value::MakeString(std::move(out));
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return nullptr;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad \\u escape");
+              return nullptr;
+            }
+          }
+          // UTF-8 encode (surrogate pairs are not produced by our writers;
+          // lone surrogates encode as-is, which is fine for reporting).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape");
+          return nullptr;
+      }
+    }
+    Fail("unterminated string");
+    return nullptr;
+  }
+
+  ValuePtr ParseNumber() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return nullptr;
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      pos_ = start;
+      Fail("bad number");
+      return nullptr;
+    }
+    return Value::MakeNumber(v);
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ValuePtr Parse(const std::string& text, std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser p(text, error);
+  return p.Run();
+}
+
+}  // namespace json
+}  // namespace ckpt

@@ -1,0 +1,86 @@
+// Minimal JSON support: a recursive-descent parser producing a small
+// Value tree, plus the escaping / number-formatting helpers the writers
+// (tracer, metrics registry, audit log) share.
+//
+// The parser exists for tools/ckpt_report.cc, which must ingest the
+// *.metrics.json / *.trace.json / *.audit.jsonl artifacts without any
+// third-party dependency. It handles the JSON subset those writers emit
+// (objects, arrays, strings with \uXXXX escapes, doubles, bools, null)
+// and rejects everything else with a position-carrying error.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ckpt {
+namespace json {
+
+// Escape a string for embedding inside double quotes in JSON output.
+std::string Escape(const std::string& s);
+
+// Canonical number spelling shared by every JSON writer in the repo:
+// integers print without a decimal point, everything else with up to
+// 15 significant digits (round-trippable for the values we emit).
+std::string FormatNumber(double value);
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<ValuePtr>& items() const { return items_; }
+  // Object members in document order (duplicate keys keep the last).
+  const std::vector<std::pair<std::string, ValuePtr>>& members() const {
+    return members_;
+  }
+
+  // Object lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+  // Convenience accessors with defaults for absent/mistyped members.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key, const std::string& fallback) const;
+
+  static ValuePtr MakeNull();
+  static ValuePtr MakeBool(bool b);
+  static ValuePtr MakeNumber(double n);
+  static ValuePtr MakeString(std::string s);
+  static ValuePtr MakeArray();
+  static ValuePtr MakeObject();
+
+  void Append(ValuePtr v) { items_.push_back(std::move(v)); }
+  void Set(const std::string& key, ValuePtr v);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<ValuePtr> items_;
+  std::vector<std::pair<std::string, ValuePtr>> members_;
+  std::map<std::string, std::size_t> index_;  // key -> members_ slot
+};
+
+// Parse one JSON document. On failure returns nullptr and fills *error
+// with "offset N: reason" (error may be null when the caller only needs
+// the success bit). Trailing whitespace is allowed, trailing garbage is
+// not.
+ValuePtr Parse(const std::string& text, std::string* error);
+
+}  // namespace json
+}  // namespace ckpt

@@ -339,22 +339,25 @@ void DfsCluster::ReplicateBlock(const std::string& path, BlockId block,
   const NodeId target = targets[static_cast<size_t>(placement_rng_.UniformInt(
       0, static_cast<std::int64_t>(targets.size()) - 1))];
   const Bytes bytes = info->size;
+  const SimTime copy_started = sim_->Now();
   StorageDevice* src_device = DeviceFor(source);
   CKPT_CHECK(src_device != nullptr);
   src_device->SubmitRead(
       Inflated(bytes),
-      [this, path, block, attempt, source, target, bytes](bool read_ok) {
+      [this, path, block, attempt, source, target, bytes,
+       copy_started](bool read_ok) {
         if (!read_ok) {
           RetryOrDropReplication(path, block, attempt);
           return;
         }
         net_->Transfer(source, target, bytes, [this, path, block, attempt,
-                                               target, bytes] {
+                                               target, bytes, copy_started] {
           StorageDevice* dst = DeviceFor(target);
           CKPT_CHECK(dst != nullptr);
           dst->SubmitWrite(
               Inflated(bytes),
-              [this, path, block, attempt, target, bytes](bool write_ok) {
+              [this, path, block, attempt, target, bytes,
+               copy_started](bool write_ok) {
                 if (!write_ok || !DatanodeLive(target)) {
                   RetryOrDropReplication(path, block, attempt);
                   return;
@@ -372,6 +375,12 @@ void DfsCluster::ReplicateBlock(const std::string& path, BlockId block,
                   peak_stored_ = std::max(peak_stored_, current_stored_);
                   ++blocks_rereplicated_;
                   if (obs_ != nullptr) {
+                    // Attribute the whole read→transfer→write elapsed time
+                    // (queueing included) to the re-replication cause, as
+                    // device-seconds against the new replica's node.
+                    obs_->waste().Add(WasteCause::kReReplication,
+                                      ToSeconds(sim_->Now() - copy_started),
+                                      -1, target.value());
                     obs_->metrics().GetCounter("dfs.rereplicated")->Inc();
                     obs_->tracer().Instant(
                         "fault.rereplicated", "fault", "dfs", sim_->Now(),

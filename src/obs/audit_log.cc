@@ -1,0 +1,72 @@
+#include "obs/audit_log.h"
+
+#include "common/json.h"
+
+namespace ckpt {
+
+namespace {
+
+void AppendArgsObject(const TraceArgs& args, std::string* out) {
+  out->push_back('{');
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->push_back('"');
+    *out += json::Escape(arg.key);
+    *out += "\":";
+    if (arg.is_string) {
+      out->push_back('"');
+      *out += json::Escape(arg.str);
+      out->push_back('"');
+    } else {
+      *out += json::FormatNumber(arg.num);
+    }
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+AuditLog::AuditLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void AuditLog::Append(AuditRecord record) {
+  record.seq = next_seq_++;
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(record));
+}
+
+std::string AuditLog::ToJsonl() const {
+  std::string out;
+  out.reserve(ring_.size() * 160);
+  for (const AuditRecord& rec : ring_) {
+    out += "{\"seq\":";
+    out += std::to_string(rec.seq);
+    out += ",\"t\":";
+    out += std::to_string(rec.t);
+    out += ",\"kind\":\"";
+    out += json::Escape(rec.kind);
+    out += "\",\"track\":\"";
+    out += json::Escape(rec.track);
+    out += "\",\"args\":";
+    AppendArgsObject(rec.args, &out);
+    if (!rec.candidates.empty()) {
+      out += ",\"candidates\":[";
+      bool first = true;
+      for (const TraceArgs& cand : rec.candidates) {
+        if (!first) out.push_back(',');
+        first = false;
+        AppendArgsObject(cand, &out);
+      }
+      out.push_back(']');
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace ckpt

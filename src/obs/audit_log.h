@@ -1,0 +1,83 @@
+// Decision audit log: a ring-buffered, deterministic JSONL stream of
+// structured records for every Algorithm 1/2 decision the schedulers make.
+//
+// Where the Tracer answers "what happened when", the audit log answers
+// "why": each record carries the decision's inputs — every candidate
+// victim considered with its per-candidate cost terms and the reason it
+// was taken or rejected, the feasibility-index counters at scan time,
+// the local-vs-remote restore cost terms — so a run can be replayed as
+// an argument, not just a timeline. Records are keyed only by sim time
+// and an insertion sequence number (no wall clocks, no pointers), so two
+// identical runs produce byte-identical JSONL. The ring drops the oldest
+// record on overflow and counts the drops; `ckpt-report` and
+// `scripts/check_trace.py` consume the schema documented in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/tracer.h"  // TraceArg / TraceArgs
+
+namespace ckpt {
+
+// One audited decision. `args` holds the decision-level inputs and the
+// outcome; `candidates` holds one flat arg list per alternative that was
+// weighed (victim containers, restore targets), each including an
+// "action"/"reason" pair explaining its fate.
+struct AuditRecord {
+  std::string kind;   // e.g. "preempt_scan", "restore_decision"
+  std::string track;  // locality hint, same spelling as tracer tracks
+  SimTime t = 0;      // sim microseconds
+  std::int64_t seq = 0;
+  TraceArgs args;
+  std::vector<TraceArgs> candidates;
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 1 << 16);
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  // Appends a record, stamping its sequence number. Oldest records fall
+  // out when the ring is full.
+  void Append(AuditRecord record);
+
+  // Convenience for records with no candidate list.
+  void Event(std::string kind, std::string track, SimTime now,
+             TraceArgs args) {
+    AuditRecord rec;
+    rec.kind = std::move(kind);
+    rec.track = std::move(track);
+    rec.t = now;
+    rec.args = std::move(args);
+    Append(std::move(rec));
+  }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::int64_t dropped() const { return dropped_; }
+  std::int64_t total_appended() const { return next_seq_; }
+  const std::deque<AuditRecord>& records() const { return ring_; }
+
+  // One JSON object per line, in insertion order:
+  //   {"seq":N,"t":T,"kind":"...","track":"...","args":{...},
+  //    "candidates":[{...},...]}
+  // "candidates" is omitted when empty. Deterministic: field order is
+  // fixed and numbers use the shared canonical formatting.
+  std::string ToJsonl() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<AuditRecord> ring_;
+  std::int64_t next_seq_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace ckpt

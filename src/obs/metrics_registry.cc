@@ -143,6 +143,7 @@ std::string MetricsRegistry::ToJson() const {
             << ",\"max\":" << JsonNumber(h.stats().Max())
             << ",\"mean\":" << JsonNumber(h.stats().Mean())
             << ",\"p50\":" << JsonNumber(h.stats().Quantile(0.5))
+            << ",\"p95\":" << JsonNumber(h.stats().Quantile(0.95))
             << ",\"p99\":" << JsonNumber(h.stats().Quantile(0.99))
             << ",\"bounds\":[";
         for (size_t i = 0; i < h.bounds().size(); ++i) {

@@ -25,4 +25,19 @@ bool Observability::WriteTraceJsonl(const std::string& path) const {
   return WriteFile(path, tracer_.ToJsonl());
 }
 
+bool Observability::WriteAuditJsonl(const std::string& path) const {
+  return WriteFile(path, audit_.ToJsonl());
+}
+
+void Observability::FinalizeRun() {
+  waste_.SnapshotTo(metrics_);
+  self_profile_.SnapshotTo(metrics_);
+  metrics_.GetGauge("tracer.dropped_events")
+      ->Set(static_cast<double>(tracer_.dropped()));
+  metrics_.GetGauge("audit.dropped_records")
+      ->Set(static_cast<double>(audit_.dropped()));
+  metrics_.GetGauge("audit.records")
+      ->Set(static_cast<double>(audit_.size()));
+}
+
 }  // namespace ckpt

@@ -10,15 +10,19 @@
 #include <string>
 
 #include "common/ids.h"
+#include "obs/audit_log.h"
 #include "obs/metrics_registry.h"
+#include "obs/self_profile.h"
 #include "obs/tracer.h"
+#include "obs/waste_ledger.h"
 
 namespace ckpt {
 
 class Observability {
  public:
-  explicit Observability(std::size_t trace_capacity = 1 << 18)
-      : tracer_(trace_capacity) {}
+  explicit Observability(std::size_t trace_capacity = 1 << 18,
+                         std::size_t audit_capacity = 1 << 16)
+      : tracer_(trace_capacity), audit_(audit_capacity) {}
 
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
@@ -27,6 +31,12 @@ class Observability {
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  AuditLog& audit() { return audit_; }
+  const AuditLog& audit() const { return audit_; }
+  WasteLedger& waste() { return waste_; }
+  const WasteLedger& waste() const { return waste_; }
+  SelfProfile& self_profile() { return self_profile_; }
+  const SelfProfile& self_profile() const { return self_profile_; }
 
   // Canonical track/label spelling for per-node series ("node/3").
   static std::string NodeTrack(NodeId node) {
@@ -40,10 +50,21 @@ class Observability {
   bool WriteMetricsJson(const std::string& path) const;
   bool WriteChromeTrace(const std::string& path) const;
   bool WriteTraceJsonl(const std::string& path) const;
+  bool WriteAuditJsonl(const std::string& path) const;
+
+  // Folds end-of-run derived series into the metrics registry: the waste
+  // ledger and self-profile snapshots, plus tracer.dropped_events and
+  // audit.dropped_records gauges. Idempotent (everything is Set-based),
+  // so schedulers call it at the end of Run and benches may call it again
+  // before exporting.
+  void FinalizeRun();
 
  private:
   MetricsRegistry metrics_;
   Tracer tracer_;
+  AuditLog audit_;
+  WasteLedger waste_;
+  SelfProfile self_profile_;
 };
 
 }  // namespace ckpt

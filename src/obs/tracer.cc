@@ -72,6 +72,14 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
 void Tracer::Push(TraceRecord event) {
   if (ring_.size() >= capacity_) {
     ring_.pop_front();
+    if (dropped_ == 0) {
+      // Warn exactly once per tracer; the final count is exported as the
+      // tracer.dropped_events gauge. stderr keeps stdout byte-identical.
+      std::fprintf(stderr,
+                   "ckpt-obs: trace ring full (capacity %zu), dropping "
+                   "oldest events; raise trace_capacity for complete traces\n",
+                   capacity_);
+    }
     ++dropped_;
   }
   ring_.push_back(std::move(event));

@@ -1,0 +1,90 @@
+#include "obs/waste_ledger.h"
+
+namespace ckpt {
+
+const char* WasteCauseName(WasteCause cause) {
+  switch (cause) {
+    case WasteCause::kKillLostWork: return "kill_lost_work";
+    case WasteCause::kDumpOverhead: return "dump_overhead";
+    case WasteCause::kRestoreTransfer: return "restore_transfer";
+    case WasteCause::kFaultLostWork: return "fault_lost_work";
+    case WasteCause::kQueueing: return "queueing";
+    case WasteCause::kFaultRetry: return "fault_retry";
+    case WasteCause::kReReplication: return "rereplication";
+  }
+  return "unknown";
+}
+
+bool WasteCauseIsCoreHours(WasteCause cause) {
+  return cause != WasteCause::kFaultRetry &&
+         cause != WasteCause::kReReplication;
+}
+
+bool WasteCauseReconciles(WasteCause cause) {
+  switch (cause) {
+    case WasteCause::kKillLostWork:
+    case WasteCause::kDumpOverhead:
+    case WasteCause::kRestoreTransfer:
+    case WasteCause::kFaultLostWork:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void WasteLedger::Add(WasteCause cause, double amount, std::int64_t job,
+                      std::int64_t node) {
+  if (amount == 0) return;
+  const int c = static_cast<int>(cause);
+  totals_[c] += amount;
+  if (job >= 0) by_job_[{c, job}] += amount;
+  if (node >= 0) by_node_[{c, node}] += amount;
+  ++entries_;
+}
+
+double WasteLedger::Total(WasteCause cause) const {
+  return totals_[static_cast<int>(cause)];
+}
+
+double WasteLedger::ReconcilableCoreHours() const {
+  double sum = 0;
+  for (int c = 0; c < kNumWasteCauses; ++c) {
+    if (WasteCauseReconciles(static_cast<WasteCause>(c))) sum += totals_[c];
+  }
+  return sum;
+}
+
+void WasteLedger::SnapshotTo(MetricsRegistry& metrics) const {
+  for (int c = 0; c < kNumWasteCauses; ++c) {
+    const auto cause = static_cast<WasteCause>(c);
+    if (totals_[c] == 0) continue;
+    const char* name =
+        WasteCauseIsCoreHours(cause) ? "waste.core_hours" : "waste.io_seconds";
+    metrics
+        .GetGauge(name, {{"policy", policy_}, {"cause", WasteCauseName(cause)}})
+        ->Set(totals_[c]);
+  }
+  metrics.GetGauge("waste.reconcilable_core_hours", {{"policy", policy_}})
+      ->Set(ReconcilableCoreHours());
+  for (const auto& [key, amount] : by_job_) {
+    const auto cause = static_cast<WasteCause>(key.first);
+    const char* name = WasteCauseIsCoreHours(cause) ? "waste.by_job.core_hours"
+                                                    : "waste.by_job.io_seconds";
+    metrics
+        .GetGauge(name, {{"cause", WasteCauseName(cause)},
+                         {"job", std::to_string(key.second)}})
+        ->Set(amount);
+  }
+  for (const auto& [key, amount] : by_node_) {
+    const auto cause = static_cast<WasteCause>(key.first);
+    const char* name = WasteCauseIsCoreHours(cause)
+                           ? "waste.by_node.core_hours"
+                           : "waste.by_node.io_seconds";
+    metrics
+        .GetGauge(name, {{"cause", WasteCauseName(cause)},
+                         {"node", std::to_string(key.second)}})
+        ->Set(amount);
+  }
+}
+
+}  // namespace ckpt

@@ -107,6 +107,13 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
       InjectNodeFailure(crash.node, crash.at, crash.down_for);
     }
   }
+  if (config_.obs != nullptr) {
+    config_.obs->waste().set_policy(PolicyName(config_.policy));
+    SelfProfile& prof = config_.obs->self_profile();
+    prof_run_ = prof.slot("scheduler.run");
+    prof_pass_ = prof.slot("scheduler.pass");
+    prof_preempt_ = prof.slot("scheduler.preempt_scan");
+  }
 }
 
 ClusterScheduler::~ClusterScheduler() = default;
@@ -130,7 +137,10 @@ void ClusterScheduler::Submit(const Workload& workload) {
 }
 
 SimulationResult ClusterScheduler::Run() {
-  sim_->Run();
+  {
+    ScopedWallTimer run_timer(prof_run_);
+    sim_->Run();
+  }
   result_.total_busy_core_hours = ToHours(cluster_->TotalBusyCoreTime());
   result_.energy_kwh = cluster_->TotalEnergyKwh();
   SimDuration device_busy = 0;
@@ -146,9 +156,21 @@ SimulationResult ClusterScheduler::Run() {
     result_.faults_injected = fault_->faults_injected();
   }
   if (config_.obs != nullptr) {
-    config_.obs->metrics()
-        .GetGauge("sim.events_processed")
+    MetricsRegistry& m = config_.obs->metrics();
+    m.GetGauge("sim.events_processed")
         ->Set(static_cast<double>(sim_->EventsProcessed()));
+    m.GetGauge("sched.busy_core_hours")->Set(result_.total_busy_core_hours);
+    m.GetGauge("sched.wasted_core_hours")->Set(result_.wasted_core_hours);
+    m.GetGauge("sched.lost_work_core_hours")
+        ->Set(result_.lost_work_core_hours);
+    m.GetGauge("sched.overhead_core_hours")->Set(result_.overhead_core_hours);
+    m.GetGauge("sched.goodput_core_hours")
+        ->Set(result_.total_busy_core_hours - result_.wasted_core_hours);
+    m.GetGauge("sched.decisions")
+        ->Set(static_cast<double>(result_.sched_decisions));
+    m.GetGauge("index.leaves_recomputed")
+        ->Set(static_cast<double>(index_leaves_recomputed_));
+    config_.obs->FinalizeRun();
   }
   return result_;
 }
@@ -186,6 +208,7 @@ void ClusterScheduler::TrySchedule() {
 }
 
 void ClusterScheduler::RunSchedulePass() {
+  ScopedWallTimer pass_timer(prof_pass_);
   schedule_scheduled_ = false;
   // The preemption failure cache is scoped to one pass: between passes,
   // completions and dump finishes can grow some node's releasable set.
@@ -245,6 +268,8 @@ void ClusterScheduler::TouchNode(NodeId node) {
 }
 
 void ClusterScheduler::FlushFeasibilityIndex() {
+  index_leaves_recomputed_ +=
+      static_cast<std::int64_t>(index_stale_list_.size());
   for (const size_t i : index_stale_list_) {
     index_leaf_stale_[i] = 0;
     feas_index_.Update(i, ComputeNodeAgg(i));
@@ -345,14 +370,45 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
   const SimDuration local_overhead = EstimateLocalRestore(cost);
   const SimDuration remote_overhead = EstimateRemoteRestore(cost);
 
+  // Audit Algorithm 2's inputs whenever a restore actually begins; failed
+  // placements leave no record (they recur every pass and carry no
+  // decision).
+  auto audit_restore = [&](const Node* node, bool remote) {
+    Observability* obs = config_.obs;
+    if (obs == nullptr) return;
+    const char* policy_name =
+        config_.restore_policy == RestorePolicy::kAlwaysLocal
+            ? "always_local"
+            : config_.restore_policy == RestorePolicy::kAlwaysRemote
+                  ? "always_remote"
+                  : "adaptive";
+    obs->audit().Event(
+        "restore_decision", Observability::NodeTrack(node->id()), sim_->Now(),
+        {TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
+         TraceArg::Num("job", static_cast<double>(task->job->spec.id.value())),
+         TraceArg::Num("image_node",
+                       static_cast<double>(task->image_node.value())),
+         TraceArg::Num("chosen_node", static_cast<double>(node->id().value())),
+         TraceArg::Num("remote", remote ? 1 : 0),
+         TraceArg::Num("local_fits", local_fits ? 1 : 0),
+         TraceArg::Num("image_bytes", static_cast<double>(task->stored_bytes)),
+         TraceArg::Num("local_queue_s", ToSeconds(cost.local_queue_time)),
+         TraceArg::Num("remote_queue_s", ToSeconds(cost.remote_queue_time)),
+         TraceArg::Num("local_overhead_s", ToSeconds(local_overhead)),
+         TraceArg::Num("remote_overhead_s", ToSeconds(remote_overhead)),
+         TraceArg::Str("restore_policy", policy_name)});
+  };
+
   switch (config_.restore_policy) {
     case RestorePolicy::kAlwaysLocal:
       if (!local_fits) return false;
+      audit_restore(image_node, false);
       BeginRestore(task, image_node, false);
       return true;
     case RestorePolicy::kAlwaysRemote: {
       Node* node = ProbeFitCached(demand);
       if (node == nullptr) return false;
+      audit_restore(node, node->id() != task->image_node);
       BeginRestore(task, node, node->id() != task->image_node);
       return true;
     }
@@ -360,6 +416,7 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
       const RestoreChoice choice =
           DecideRestore(true, local_overhead, remote_overhead);
       if (choice == RestoreChoice::kLocal && local_fits) {
+        audit_restore(image_node, false);
         BeginRestore(task, image_node, false);
         return true;
       }
@@ -367,6 +424,7 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
       // happens to be the image node the restore is local after all.
       Node* node = ProbeFitCached(demand);
       if (node == nullptr) return false;
+      audit_restore(node, node->id() != task->image_node);
       BeginRestore(task, node, node->id() != task->image_node);
       return true;
     }
@@ -426,6 +484,8 @@ void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
   result_.total_restore_time += service;
   result_.overhead_core_hours += ToHours(service) * task->spec->demand.cpus;
   result_.wasted_core_hours += ToHours(service) * task->spec->demand.cpus;
+  ChargeWaste(WasteCause::kRestoreTransfer,
+              ToHours(service) * task->spec->demand.cpus, task);
   auto finish = [this, task, attempt](bool ok) {
     if (task->attempt != attempt ||
         task->state != RtTask::State::kRestoring) {
@@ -474,6 +534,8 @@ void ClusterScheduler::OnRestoreFailed(RtTask* task) {
     const SimDuration lost = task->saved_work;
     result_.lost_work_core_hours += ToHours(lost) * task->spec->demand.cpus;
     result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+    ChargeWaste(WasteCause::kFaultLostWork,
+                ToHours(lost) * task->spec->demand.cpus, task);
     ReleaseImage(task);
     result_.restarts_from_scratch++;
     task->work_done = 0;
@@ -645,15 +707,30 @@ PreemptAction ClusterScheduler::DecideVictimAction(RtTask* victim) const {
   return PreemptAction::kKill;
 }
 
+namespace {
+const char* ActionName(PreemptAction action) {
+  switch (action) {
+    case PreemptAction::kKill: return "kill";
+    case PreemptAction::kCheckpointFull: return "checkpoint_full";
+    case PreemptAction::kCheckpointIncremental:
+      return "checkpoint_incremental";
+  }
+  return "unknown";
+}
+}  // namespace
+
+void ClusterScheduler::ChargeWaste(WasteCause cause, double amount,
+                                   const RtTask* task) {
+  if (config_.obs == nullptr) return;
+  config_.obs->waste().Add(cause, amount, task->job->spec.id.value(),
+                           task->node.valid() ? task->node.value() : -1);
+}
+
 void ClusterScheduler::RecordVictimDecision(const RtTask* victim,
                                             PreemptAction action) const {
   Observability* obs = config_.obs;
   if (obs == nullptr) return;
-  const char* name = action == PreemptAction::kKill
-                         ? "kill"
-                         : action == PreemptAction::kCheckpointIncremental
-                               ? "checkpoint_incremental"
-                               : "checkpoint_full";
+  const char* name = ActionName(action);
   const SimDuration queue =
       cluster_->node(victim->node).storage().QueueDelay();
   obs->tracer().Instant(
@@ -673,6 +750,7 @@ void ClusterScheduler::RecordVictimDecision(const RtTask* victim,
 }
 
 bool ClusterScheduler::TryPreemptFor(RtTask* task) {
+  ScopedWallTimer preempt_timer(prof_preempt_);
   const Resources& demand = task->spec->demand;
   const int priority = task->spec->priority;
 
@@ -754,6 +832,28 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       }
     }
   }
+  // Decision-level audit envelope; only filled when obs is attached.
+  // Dominance-cache skips above leave no record (they repeat a failure
+  // already audited this pass); every real scan lands here.
+  Observability* obs = config_.obs;
+  AuditRecord audit;
+  if (obs != nullptr) {
+    audit.kind = "preempt_scan";
+    audit.t = sim_->Now();
+    audit.args = {
+        TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
+        TraceArg::Num("job", static_cast<double>(task->job->spec.id.value())),
+        TraceArg::Num("priority", static_cast<double>(priority)),
+        TraceArg::Num("demand_cpus", demand.cpus),
+        TraceArg::Num("demand_memory",
+                      static_cast<double>(demand.memory)),
+        TraceArg::Num("image_bound", image_bound ? 1 : 0),
+        TraceArg::Num("index_enabled", config_.use_feasibility_index ? 1 : 0),
+        TraceArg::Num("index_leaves_recomputed",
+                      static_cast<double>(index_leaves_recomputed_)),
+    };
+  }
+
   if (chosen == nullptr) {
     // Record only full-cluster failures: an image-bound task scans one
     // node, so its failure proves nothing about dominating demands.
@@ -761,6 +861,12 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       preempt_fail_valid_ = true;
       preempt_fail_demand_ = demand;
       preempt_fail_priority_ = priority;
+    }
+    if (obs != nullptr) {
+      audit.track = "scheduler";
+      audit.args.push_back(TraceArg::Num("chosen_node", -1));
+      audit.args.push_back(TraceArg::Str("outcome", "no_node"));
+      obs->audit().Append(std::move(audit));
     }
     return false;
   }
@@ -787,17 +893,48 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       break;
   }
 
+  // Per-candidate audit entry with the cost terms Algorithm 1 weighed;
+  // must run before PreemptVictim mutates the victim's progress counters.
+  auto audit_candidate = [&](const RtTask* victim, const char* action,
+                             const char* reason) {
+    audit.candidates.push_back(
+        {TraceArg::Num("task", static_cast<double>(victim->spec->id.value())),
+         TraceArg::Num("job", static_cast<double>(victim->job->spec.id.value())),
+         TraceArg::Num("priority", static_cast<double>(victim->spec->priority)),
+         TraceArg::Num("cpus", victim->spec->demand.cpus),
+         TraceArg::Num("unsaved_progress_s",
+                       ToSeconds(UnsavedProgress(victim))),
+         TraceArg::Num("overhead_s",
+                       ToSeconds(VictimCheckpointOverhead(victim))),
+         TraceArg::Num("has_image", victim->has_image ? 1 : 0),
+         TraceArg::Str("action", action), TraceArg::Str("reason", reason)});
+  };
+
   Resources freed = chosen->Available();
+  bool satisfied = false;
   for (RtTask* victim : victim_candidates_) {
-    if (demand.FitsIn(freed)) break;
+    if (!satisfied && demand.FitsIn(freed)) satisfied = true;
+    if (satisfied) {
+      // The demand is covered; remaining candidates survive. Only the
+      // audit record cares — without obs this is the seed's `break`.
+      if (obs == nullptr) break;
+      audit_candidate(victim, "none", "not_needed");
+      continue;
+    }
     freed += victim->spec->demand;
     PreemptAction action = DecideVictimAction(victim);
+    bool fallback = false;
     if (action != PreemptAction::kKill &&
         victim->dump_failures >= config_.max_checkpoint_failures) {
       // Algorithm 1 falls back to the kill baseline for a victim whose
       // dumps keep failing: the checkpoint cost is paid with nothing saved.
       action = PreemptAction::kKill;
       result_.checkpoint_failure_fallback_kills++;
+      fallback = true;
+    }
+    if (obs != nullptr) {
+      audit_candidate(victim, ActionName(action),
+                      fallback ? "dump_failures_fallback" : "selected");
     }
     RecordVictimDecision(victim, action);
     PreemptVictim(victim, action);
@@ -807,6 +944,13 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       task->releases_in_flight++;
       dump_beneficiary_[victim] = task;
     }
+  }
+  if (obs != nullptr) {
+    audit.track = Observability::NodeTrack(chosen->id());
+    audit.args.push_back(
+        TraceArg::Num("chosen_node", static_cast<double>(chosen->id().value())));
+    audit.args.push_back(TraceArg::Str("outcome", "preempted"));
+    obs->audit().Append(std::move(audit));
   }
   // Kills freed resources: earlier failures no longer bound releasable.
   preempt_fail_valid_ = false;
@@ -819,6 +963,8 @@ void ClusterScheduler::KillVictim(RtTask* victim) {
   const SimDuration lost = victim->work_done - victim->saved_work;
   result_.lost_work_core_hours += ToHours(lost) * victim->spec->demand.cpus;
   result_.wasted_core_hours += ToHours(lost) * victim->spec->demand.cpus;
+  ChargeWaste(WasteCause::kKillLostWork,
+              ToHours(lost) * victim->spec->demand.cpus, victim);
   result_.kills++;
   if (!victim->has_image) result_.restarts_from_scratch++;
   victim->work_done = victim->saved_work;
@@ -862,6 +1008,21 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   if (config_.enforce_checkpoint_capacity && !image_device.Reserve(dump_bytes)) {
     // No room for the image: fall back to killing the victim.
     result_.capacity_fallback_kills++;
+    if (config_.obs != nullptr) {
+      config_.obs->audit().Event(
+          "capacity_fallback", Observability::NodeTrack(victim->node),
+          sim_->Now(),
+          {TraceArg::Num("task",
+                         static_cast<double>(victim->spec->id.value())),
+           TraceArg::Num("job",
+                         static_cast<double>(victim->job->spec.id.value())),
+           TraceArg::Num("dump_bytes", static_cast<double>(dump_bytes)),
+           TraceArg::Num("image_node",
+                         static_cast<double>(incremental
+                                                 ? victim->image_node.value()
+                                                 : victim->node.value())),
+           TraceArg::Str("reason", "image_capacity")});
+    }
     KillVictim(victim);
     return;
   }
@@ -894,6 +1055,15 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   result_.total_dump_time += service;
   result_.overhead_core_hours += ToHours(service) * victim->spec->demand.cpus;
   result_.wasted_core_hours += ToHours(service) * victim->spec->demand.cpus;
+  if (config_.obs != nullptr) {
+    ChargeWaste(WasteCause::kDumpOverhead,
+                ToHours(service) * victim->spec->demand.cpus, victim);
+    // Queue wait freezes the victim's cores without counting as overhead
+    // in the paper's accounting; attribute it separately.
+    ChargeWaste(WasteCause::kQueueing,
+                ToHours(device.QueueDelay()) * victim->spec->demand.cpus,
+                victim);
+  }
 
   const int attempt = victim->attempt;
   auto finish = [this, victim, attempt, incremental, dump_bytes](bool ok) {
@@ -989,6 +1159,8 @@ void ClusterScheduler::OnDumpFailed(RtTask* victim, int attempt) {
   const SimDuration lost = victim->work_done - victim->saved_work;
   result_.lost_work_core_hours += ToHours(lost) * victim->spec->demand.cpus;
   result_.wasted_core_hours += ToHours(lost) * victim->spec->demand.cpus;
+  ChargeWaste(WasteCause::kFaultLostWork,
+              ToHours(lost) * victim->spec->demand.cpus, victim);
   victim->work_done = victim->saved_work;
   victim->unsynced_run = 0;
   BumpOverheadEpoch();
@@ -1038,6 +1210,8 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
         result_.lost_work_core_hours +=
             ToHours(lost) * task->spec->demand.cpus;
         result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+        ChargeWaste(WasteCause::kFaultLostWork,
+                    ToHours(lost) * task->spec->demand.cpus, task);
         task->work_done = task->saved_work;
         task->unsynced_run = 0;
         DetachFromNode(task);
@@ -1069,6 +1243,8 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
         result_.lost_work_core_hours +=
             ToHours(lost) * task->spec->demand.cpus;
         result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+        ChargeWaste(WasteCause::kFaultLostWork,
+                    ToHours(lost) * task->spec->demand.cpus, task);
         task->work_done = task->saved_work;
         task->unsynced_run = 0;
         node.ReleaseSuspended(task->spec->demand);
@@ -1106,6 +1282,8 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
     const SimDuration lost = task->work_done - task->saved_work;
     result_.lost_work_core_hours += ToHours(lost) * task->spec->demand.cpus;
     result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
+    ChargeWaste(WasteCause::kFaultLostWork,
+                ToHours(lost) * task->spec->demand.cpus, task);
     task->work_done = task->saved_work;
     task->unsynced_run = 0;
     cluster_->node(task->node).ReleaseSuspended(task->spec->demand);

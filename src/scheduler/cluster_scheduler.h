@@ -22,6 +22,7 @@
 #include "dfs/network.h"
 #include "fault/fault.h"
 #include "metrics/stats.h"
+#include "obs/self_profile.h"
 #include "scheduler/feasibility_index.h"
 #include "scheduler/policy.h"
 #include "sim/simulator.h"
@@ -31,6 +32,7 @@
 namespace ckpt {
 
 class Observability;
+enum class WasteCause;
 
 struct SchedulerConfig {
   PreemptionPolicy policy = PreemptionPolicy::kKill;
@@ -225,6 +227,9 @@ class ClusterScheduler {
   void ReleaseImage(RtTask* task);
   PreemptAction DecideVictimAction(RtTask* victim) const;
   void RecordVictimDecision(const RtTask* victim, PreemptAction action) const;
+  // Mirror of a result_ waste increment into the ledger (no-op without
+  // obs); `amount` is in the cause's unit, attribution from the task.
+  void ChargeWaste(WasteCause cause, double amount, const RtTask* task);
   bool CanIncrement(const RtTask* victim) const;
   SimDuration VictimCheckpointOverhead(const RtTask* victim) const;
   Bytes DumpBytes(const RtTask* victim, bool incremental) const;
@@ -311,6 +316,16 @@ class ClusterScheduler {
   // hot path performs no per-attempt allocations once warmed up.
   std::vector<RtTask*> preempt_local_scratch_;
   std::vector<RtTask*> victim_candidates_;
+
+  // Feasibility-index work counter (leaves recomputed by flushes); cheap
+  // enough to keep always-on, exported and audited only under obs.
+  std::int64_t index_leaves_recomputed_ = 0;
+
+  // Self-profile slots, resolved once at construction; null without obs,
+  // making every ScopedWallTimer a no-op.
+  SelfProfile::Slot* prof_run_ = nullptr;
+  SelfProfile::Slot* prof_pass_ = nullptr;
+  SelfProfile::Slot* prof_preempt_ = nullptr;
 };
 
 }  // namespace ckpt

@@ -109,8 +109,10 @@ void DistributedShellAm::LaunchTask(TaskRt* task, const Container& container) {
     // The container is reserved but the process is not executing during the
     // restore I/O; only the service time counts as checkpointing overhead.
     rm_->SuspendContainer(container.id);
-    stats_.restore_time +=
+    const SimDuration restore_service =
         engine_->EstimateRestoreService(*task->proc, container.node, !remote);
+    stats_.restore_time += restore_service;
+    ChargeWaste(WasteCause::kRestoreTransfer, restore_service, container.node);
     engine_->Restore(*task->proc, container.node,
                      [this, task, attempt](const RestoreResult& result) {
                        if (task->attempt != attempt ||
@@ -125,6 +127,8 @@ void DistributedShellAm::LaunchTask(TaskRt* task, const Container& container) {
                          // rather than crash the AM.
                          stats_.restore_failures++;
                          stats_.lost_work += task->saved_work;
+                         ChargeWaste(WasteCause::kFaultLostWork,
+                                     task->saved_work, task->container.node);
                          engine_->Discard(*task->proc);
                          task->saved_work = 0;
                          task->work_done = 0;
@@ -205,12 +209,16 @@ void DistributedShellAm::OnContainerLost(ContainerId id) {
       // The process died with the node; progress since the last image is
       // gone. The container itself was already torn down by the RM.
       stats_.lost_work += UnsavedProgress(task);
+      ChargeWaste(WasteCause::kFaultLostWork, UnsavedProgress(task),
+                  task->container.node);
       break;
     case TaskRt::State::kDumping:
       // The in-flight dump can never commit (and must not resurrect an
       // image produced on the dead node).
       engine_->CancelInflight(*task->proc);
       stats_.lost_work += task->work_done - task->saved_work;
+      ChargeWaste(WasteCause::kFaultLostWork,
+                  task->work_done - task->saved_work, task->container.node);
       break;
     case TaskRt::State::kRestoring:
       // Abandon the restore; the image (wherever its replicas live) is
@@ -234,6 +242,15 @@ SimDuration DistributedShellAm::UnsavedProgress(const TaskRt* task) const {
     progress += sim_->Now() - task->run_start;
   }
   return progress;
+}
+
+void DistributedShellAm::ChargeWaste(WasteCause cause, SimDuration sim_lost,
+                                     NodeId node) {
+  if (config_.obs == nullptr) return;
+  config_.obs->waste().Add(cause,
+                           ToHours(sim_lost) * config_.container_size.cpus,
+                           job_.id.value(),
+                           node.valid() ? node.value() : -1);
 }
 
 void DistributedShellAm::RecordPolicyDecision(TaskRt* task, bool can_increment,
@@ -267,6 +284,22 @@ void DistributedShellAm::RecordPolicyDecision(TaskRt* task, bool can_increment,
       .GetCounter("policy.decisions", {{"policy", PolicyName(config_.policy)},
                                        {"action", action}})
       ->Inc();
+  obs->audit().Event(
+      "am_decision", Observability::NodeTrack(node), sim_->Now(),
+      {TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
+       TraceArg::Num("job", static_cast<double>(job_.id.value())),
+       TraceArg::Num("container",
+                     static_cast<double>(task->container.id.value())),
+       TraceArg::Num("node", static_cast<double>(node.value())),
+       TraceArg::Num("unsaved_progress_s", ToSeconds(unsaved)),
+       TraceArg::Num("dump_queue_s", ToSeconds(queue)),
+       TraceArg::Num("dump_service_s", ToSeconds(dump_service)),
+       TraceArg::Num("restore_s", ToSeconds(restore)),
+       TraceArg::Num("overhead_s", ToSeconds(queue + dump_service + restore)),
+       TraceArg::Num("threshold", config_.adaptive_threshold),
+       TraceArg::Num("incremental_available", can_increment ? 1 : 0),
+       TraceArg::Str("policy", PolicyName(config_.policy)),
+       TraceArg::Str("action", action)});
 }
 
 void DistributedShellAm::HandlePreempt(TaskRt* task) {
@@ -329,7 +362,9 @@ void DistributedShellAm::HandlePreempt(TaskRt* task) {
 void DistributedShellAm::KillTask(TaskRt* task) {
   // Unsaved progress is lost; the task will rerun from its image (if any)
   // or from scratch.
-  stats_.lost_work += UnsavedProgress(task);
+  const SimDuration lost = UnsavedProgress(task);
+  stats_.lost_work += lost;
+  ChargeWaste(WasteCause::kKillLostWork, lost, task->container.node);
   stats_.kills++;
   task->attempt++;
   task->run_start = -1;
@@ -369,8 +404,18 @@ void DistributedShellAm::CheckpointTask(TaskRt* task, bool incremental) {
 
   stats_.checkpoints++;
   if (incremental && task->proc->has_image) stats_.incremental_checkpoints++;
-  stats_.dump_time += engine_->EstimateDumpService(
+  const SimDuration dump_service = engine_->EstimateDumpService(
       *task->proc, task->container.node, incremental);
+  stats_.dump_time += dump_service;
+  if (config_.obs != nullptr) {
+    ChargeWaste(WasteCause::kDumpOverhead, dump_service,
+                task->container.node);
+    // Queue wait behind the node's sequential checkpoint queue freezes the
+    // container without counting as dump overhead.
+    ChargeWaste(WasteCause::kQueueing,
+                rm_->DumpQueueDelay(task->container.node),
+                task->container.node);
+  }
 
   DumpOptions opts;
   opts.incremental = incremental;
@@ -390,6 +435,9 @@ void DistributedShellAm::CheckpointTask(TaskRt* task, bool incremental) {
                     stats_.fallback_kills++;
                     task->dump_failures++;
                     stats_.lost_work += task->work_done - task->saved_work;
+                    ChargeWaste(WasteCause::kFaultLostWork,
+                                task->work_done - task->saved_work,
+                                task->container.node);
                     task->work_done = task->saved_work;
                     task->unsynced_run = 0;
                     task->attempt++;

@@ -26,6 +26,8 @@
 
 namespace ckpt {
 
+enum class WasteCause;
+
 struct AmStats {
   std::int64_t tasks_total = 0;
   std::int64_t tasks_done = 0;
@@ -85,10 +87,14 @@ class DistributedShellAm final : public AppClient {
   void RequeueTask(TaskRt* task);
   SimDuration UnsavedProgress(const TaskRt* task) const;
   void TouchDirtyPages(TaskRt* task);
-  // Emit the policy.decision instant + counter: the Algorithm-1 cost terms
-  // this AM computed (or would compute) for `task`, and the chosen action.
+  // Emit the policy.decision instant + counter and the am_decision audit
+  // record: the Algorithm-1 cost terms this AM computed (or would compute)
+  // for `task`, and the chosen action.
   void RecordPolicyDecision(TaskRt* task, bool can_increment,
                             const char* action);
+  // Mirror an AmStats waste increment into the obs waste ledger (no-op
+  // without obs); `sim_lost` converts at the container's CPU width.
+  void ChargeWaste(WasteCause cause, SimDuration sim_lost, NodeId node);
 
   Simulator* sim_;
   ResourceManager* rm_;

@@ -309,19 +309,51 @@ void ResourceManager::DispatchPreempts(std::vector<const Container*> victims,
     if (it != live_.end()) vacating[it->second.node]++;
   }
 
+  // Audit envelope: which ranked victims the monitor examined this round
+  // and why each was dispatched or passed over.
+  Observability* obs = config_.obs;
+  AuditRecord audit;
+  std::int64_t dispatched = 0;
+  if (obs != nullptr) {
+    audit.kind = "rm_preempt_dispatch";
+    audit.track = "rm";
+    audit.t = sim_->Now();
+  }
+  auto audit_victim = [&](const Container* victim, const char* action,
+                          const char* reason) {
+    if (obs == nullptr) return;
+    audit.candidates.push_back(
+        {TraceArg::Num("container", static_cast<double>(victim->id.value())),
+         TraceArg::Num("app", static_cast<double>(victim->app.value())),
+         TraceArg::Num("node", static_cast<double>(victim->node.value())),
+         TraceArg::Num("priority", victim->priority),
+         TraceArg::Num("cost_s", ToSeconds(VictimCost(*victim))),
+         TraceArg::Str("action", action), TraceArg::Str("reason", reason)});
+  };
+
   for (const Container* victim : victims) {
-    if (count <= 0) break;
+    if (count <= 0) {
+      if (obs == nullptr) break;  // the seed's early exit
+      audit_victim(victim, "skipped", "quota_filled");
+      continue;
+    }
     if (config_.policy != PreemptionPolicy::kKill &&
         vacating[victim->node] >= config_.max_vacating_per_node) {
+      audit_victim(victim, "skipped", "vacating_cap");
       continue;
     }
     auto app_it = apps_.find(victim->app);
-    if (app_it == apps_.end()) continue;
+    if (app_it == apps_.end()) {
+      audit_victim(victim, "skipped", "app_gone");
+      continue;
+    }
+    audit_victim(victim, "dispatched", "selected");
+    ++dispatched;
     preempt_pending_.insert(victim->id);
     vacating[victim->node]++;
     ++preempt_events_;
     --count;
-    if (Observability* obs = config_.obs) {
+    if (obs != nullptr) {
       const SimDuration queue_delay = DumpQueueDelay(victim->node);
       obs->tracer().Instant(
           "rm.preempt_event", "rm", Observability::NodeTrack(victim->node),
@@ -344,6 +376,14 @@ void ResourceManager::DispatchPreempts(std::vector<const Container*> victims,
     const ContainerId cid = victim->id;
     sim_->ScheduleAfter(config_.rpc_latency,
                         [client, cid] { client->OnPreemptContainer(cid); });
+  }
+  if (obs != nullptr && !audit.candidates.empty()) {
+    audit.args = {TraceArg::Num(
+                      "considered",
+                      static_cast<double>(audit.candidates.size())),
+                  TraceArg::Num("dispatched",
+                                static_cast<double>(dispatched))};
+    obs->audit().Append(std::move(audit));
   }
 }
 

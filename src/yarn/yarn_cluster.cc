@@ -11,6 +11,7 @@ YarnCluster::YarnCluster(YarnConfig config) : config_(config) {
   sim_ = std::make_unique<Simulator>();
   if (config_.obs != nullptr) {
     SetLogClock([sim = sim_.get()] { return sim->Now(); });
+    config_.obs->waste().set_policy(PolicyName(config_.policy));
   }
   cluster_ = std::make_unique<Cluster>(sim_.get());
   const Resources per_node{
@@ -167,9 +168,16 @@ YarnResult YarnCluster::RunWorkload(const Workload& workload) {
         static_cast<double>(capacity);
   }
   if (config_.obs != nullptr) {
-    config_.obs->metrics()
-        .GetGauge("sim.events_processed")
+    MetricsRegistry& m = config_.obs->metrics();
+    m.GetGauge("sim.events_processed")
         ->Set(static_cast<double>(sim_->EventsProcessed()));
+    m.GetGauge("sched.busy_core_hours")->Set(result.total_busy_core_hours);
+    m.GetGauge("sched.wasted_core_hours")->Set(result.wasted_core_hours);
+    m.GetGauge("sched.lost_work_core_hours")
+        ->Set(result.lost_work_core_hours);
+    m.GetGauge("sched.overhead_core_hours")->Set(result.overhead_core_hours);
+    m.GetGauge("sched.goodput_core_hours")->Set(result.goodput_core_hours);
+    config_.obs->FinalizeRun();
   }
   return result;
 }

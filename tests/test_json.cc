@@ -1,0 +1,109 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ckpt {
+namespace {
+
+TEST(JsonFormatNumber, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(json::FormatNumber(0), "0");
+  EXPECT_EQ(json::FormatNumber(42), "42");
+  EXPECT_EQ(json::FormatNumber(-7), "-7");
+  EXPECT_EQ(json::FormatNumber(1e12), "1000000000000");
+}
+
+TEST(JsonFormatNumber, FractionsRoundTripTo15Digits) {
+  // 15 significant digits: exact dyadic fractions round-trip exactly,
+  // anything finer agrees to 1 ulp-at-15-digits.
+  EXPECT_EQ(std::stod(json::FormatNumber(3.25)), 3.25);
+  EXPECT_EQ(std::stod(json::FormatNumber(0.5)), 0.5);
+  const double v = 0.1 + 0.2;
+  EXPECT_NEAR(std::stod(json::FormatNumber(v)), v, 1e-15);
+}
+
+TEST(JsonFormatNumber, NonFiniteBecomesZero) {
+  EXPECT_EQ(json::FormatNumber(std::nan("")), "0");
+  EXPECT_EQ(json::FormatNumber(INFINITY), "0");
+}
+
+TEST(JsonEscape, ControlCharactersAndQuotes) {
+  EXPECT_EQ(json::Escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json::Escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(JsonParse, ScalarsAndNesting) {
+  std::string error;
+  json::ValuePtr doc = json::Parse(
+      R"({"name":"x","n":3.5,"ok":true,"nil":null,"arr":[1,2],"obj":{"k":"v"}})",
+      &error);
+  ASSERT_NE(doc, nullptr) << error;
+  EXPECT_EQ(doc->StringOr("name", ""), "x");
+  EXPECT_EQ(doc->NumberOr("n", 0), 3.5);
+  ASSERT_NE(doc->Find("ok"), nullptr);
+  EXPECT_TRUE(doc->Find("ok")->as_bool());
+  EXPECT_TRUE(doc->Find("nil")->is_null());
+  ASSERT_TRUE(doc->Find("arr")->is_array());
+  EXPECT_EQ(doc->Find("arr")->items().size(), 2u);
+  EXPECT_EQ(doc->Find("obj")->StringOr("k", ""), "v");
+}
+
+TEST(JsonParse, StringEscapes) {
+  std::string error;
+  json::ValuePtr doc = json::Parse(R"(["a\"b", "Aé", "\n\t"])",
+                                   &error);
+  ASSERT_NE(doc, nullptr) << error;
+  EXPECT_EQ(doc->items()[0]->as_string(), "a\"b");
+  EXPECT_EQ(doc->items()[1]->as_string(), "A\xc3\xa9");  // UTF-8 for A, é
+  EXPECT_EQ(doc->items()[2]->as_string(), "\n\t");
+}
+
+TEST(JsonParse, NegativeAndExponentNumbers) {
+  std::string error;
+  json::ValuePtr doc = json::Parse("[-1.5, 2e3, 0.25]", &error);
+  ASSERT_NE(doc, nullptr) << error;
+  EXPECT_EQ(doc->items()[0]->as_number(), -1.5);
+  EXPECT_EQ(doc->items()[1]->as_number(), 2000.0);
+  EXPECT_EQ(doc->items()[2]->as_number(), 0.25);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "1 2",
+        "{\"a\":1}garbage"}) {
+    std::string error;
+    EXPECT_EQ(json::Parse(bad, &error), nullptr) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+    EXPECT_NE(error.find("offset"), std::string::npos) << error;
+  }
+}
+
+TEST(JsonParse, DuplicateKeysKeepLast) {
+  std::string error;
+  json::ValuePtr doc = json::Parse(R"({"a":1,"a":2})", &error);
+  ASSERT_NE(doc, nullptr) << error;
+  EXPECT_EQ(doc->NumberOr("a", 0), 2.0);
+  EXPECT_EQ(doc->members().size(), 1u);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  // The exact shape MetricsRegistry emits for a histogram series.
+  const std::string text =
+      R"({"metrics":[{"name":"h","labels":{"op":"dump"},"type":"histogram",)"
+      R"("count":3,"sum":6.5,"p50":2,"p95":3.5,"p99":3.5,)"
+      R"("bounds":[1,10],"bucket_counts":[1,2,0]}]})";
+  std::string error;
+  json::ValuePtr doc = json::Parse(text, &error);
+  ASSERT_NE(doc, nullptr) << error;
+  const json::Value* metrics = doc->Find("metrics");
+  ASSERT_TRUE(metrics != nullptr && metrics->is_array());
+  const json::Value& entry = *metrics->items()[0];
+  EXPECT_EQ(entry.StringOr("type", ""), "histogram");
+  EXPECT_EQ(entry.NumberOr("p95", 0), 3.5);
+  EXPECT_EQ(entry.Find("labels")->StringOr("op", ""), "dump");
+  EXPECT_EQ(entry.Find("bucket_counts")->items().size(), 3u);
+}
+
+}  // namespace
+}  // namespace ckpt

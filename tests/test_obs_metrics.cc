@@ -44,6 +44,56 @@ TEST(Histogram, BucketsAndQuantiles) {
   EXPECT_DOUBLE_EQ(h->stats().Max(), 500.0);
 }
 
+TEST(Histogram, EmptySnapshotIsSafeAndValidJson) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("empty", {}, {1.0, 10.0});
+  EXPECT_EQ(h->count(), 0);
+  const std::string json = reg.ToJson();
+  // Zero-count histograms still serialize with zeroed quantiles instead of
+  // NaN/garbage, so downstream JSON parsers never choke.
+  EXPECT_NE(json.find("\"count\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":0"), std::string::npos);
+}
+
+TEST(Histogram, SingleSampleQuantilesCollapse) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("one", {}, {1.0, 10.0});
+  h->Observe(7.5);
+  EXPECT_DOUBLE_EQ(h->stats().Quantile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(h->stats().Quantile(0.95), 7.5);
+  EXPECT_DOUBLE_EQ(h->stats().Quantile(0.99), 7.5);
+  EXPECT_DOUBLE_EQ(h->stats().Min(), 7.5);
+  EXPECT_DOUBLE_EQ(h->stats().Max(), 7.5);
+}
+
+TEST(Histogram, AllSamplesInOverflowBucket) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("over", {}, {1.0, 2.0});
+  for (double x : {100.0, 200.0, 300.0}) h->Observe(x);
+  ASSERT_EQ(h->counts().size(), 3u);
+  EXPECT_EQ(h->counts()[0], 0);
+  EXPECT_EQ(h->counts()[1], 0);
+  EXPECT_EQ(h->counts()[2], 3);  // everything past the last bound
+  EXPECT_DOUBLE_EQ(h->stats().Quantile(0.5), 200.0);
+  EXPECT_DOUBLE_EQ(h->stats().Max(), 300.0);
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("mono", {}, {1.0, 10.0, 100.0});
+  // Deterministic skewed spread across all buckets.
+  for (int i = 1; i <= 200; ++i) h->Observe((i * 37) % 113 + 0.5);
+  const double p50 = h->stats().Quantile(0.5);
+  const double p95 = h->stats().Quantile(0.95);
+  const double p99 = h->stats().Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, h->stats().Min());
+  EXPECT_LE(p99, h->stats().Max());
+}
+
 TEST(MetricsRegistry, SameSeriesReturnsSameHandle) {
   MetricsRegistry reg;
   Counter* a = reg.GetCounter("ops", {{"node", "1"}});

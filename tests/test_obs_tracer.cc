@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/observability.h"
+
 namespace ckpt {
 namespace {
 
@@ -135,6 +137,48 @@ TEST(Tracer, StringsAreJsonEscaped) {
   const std::string json = tracer.ToChromeJson();
   EXPECT_NE(json.find("quote\\\"name"), std::string::npos);
   EXPECT_NE(json.find("/a\\\\b\\nc"), std::string::npos);
+}
+
+TEST(Tracer, RingWrapWarnsOnStderrExactlyOnce) {
+  Tracer tracer(/*capacity=*/2);
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 6; ++i) {
+    tracer.Instant("e" + std::to_string(i), "t", "main", i);
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  const size_t first = err.find("trace ring full");
+  ASSERT_NE(first, std::string::npos) << err;
+  // One warning per tracer, no matter how many events fall off; the final
+  // tally lives in the dropped() counter / tracer.dropped_events gauge.
+  EXPECT_EQ(err.find("trace ring full", first + 1), std::string::npos) << err;
+  EXPECT_EQ(tracer.dropped(), 4);
+}
+
+TEST(Observability, FinalizeRunExportsDropCounters) {
+  Observability obs(/*trace_capacity=*/2, /*audit_capacity=*/2);
+  testing::internal::CaptureStderr();  // swallow the one-time warning
+  for (int i = 0; i < 5; ++i) {
+    obs.tracer().Instant("e", "t", "main", i);
+    obs.audit().Event("preempt_scan", "scheduler", i, {});
+  }
+  testing::internal::GetCapturedStderr();
+  obs.FinalizeRun();
+  const std::string json = obs.metrics().ToJson();
+  EXPECT_NE(json.find("\"name\":\"tracer.dropped_events\",\"labels\":{},"
+                      "\"type\":\"gauge\",\"value\":3"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"name\":\"audit.dropped_records\",\"labels\":{},"
+                      "\"type\":\"gauge\",\"value\":3"),
+            std::string::npos);
+  // audit.records counts what survived in the ring (what the JSONL holds);
+  // retained + dropped = total appended.
+  EXPECT_NE(json.find("\"name\":\"audit.records\",\"labels\":{},"
+                      "\"type\":\"gauge\",\"value\":2"),
+            std::string::npos);
+  // FinalizeRun is idempotent: a second call only re-sets the gauges.
+  obs.FinalizeRun();
+  EXPECT_EQ(json, obs.metrics().ToJson());
 }
 
 }  // namespace

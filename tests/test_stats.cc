@@ -33,6 +33,30 @@ TEST(SummaryStats, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 0.0);
 }
 
+TEST(SummaryStats, SingleSampleCollapsesAllQuantiles) {
+  SummaryStats stats;
+  stats.Add(42.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.95), 42.0);
+  EXPECT_DOUBLE_EQ(stats.Quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(), 0.0);
+}
+
+TEST(SummaryStats, QuantilesMonotoneUnderSkew) {
+  SummaryStats stats;
+  // Heavy-tailed: many small values, a few huge ones.
+  for (int i = 0; i < 95; ++i) stats.Add(1.0 + i * 0.01);
+  for (int i = 0; i < 5; ++i) stats.Add(1000.0 + i);
+  const double p50 = stats.Quantile(0.5);
+  const double p95 = stats.Quantile(0.95);
+  const double p99 = stats.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LT(p50, 2.0);      // median in the bulk
+  EXPECT_GE(p99, 1000.0);   // tail reaches the outliers
+}
+
 TEST(SummaryStats, AddAfterQuantileStillCorrect) {
   SummaryStats stats;
   stats.Add(10);

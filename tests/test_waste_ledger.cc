@@ -1,0 +1,139 @@
+#include "obs/waste_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/observability.h"
+#include "scheduler/cluster_scheduler.h"
+#include "sim/simulator.h"
+#include "trace/google_trace.h"
+
+namespace ckpt {
+namespace {
+
+TEST(WasteCause, TaxonomyNamesAndUnits) {
+  EXPECT_STREQ(WasteCauseName(WasteCause::kKillLostWork), "kill_lost_work");
+  EXPECT_STREQ(WasteCauseName(WasteCause::kReReplication), "rereplication");
+  EXPECT_TRUE(WasteCauseIsCoreHours(WasteCause::kQueueing));
+  EXPECT_FALSE(WasteCauseIsCoreHours(WasteCause::kFaultRetry));
+  EXPECT_FALSE(WasteCauseIsCoreHours(WasteCause::kReReplication));
+  // Exactly the four CPU causes that mirror wasted_core_hours reconcile.
+  int reconciling = 0;
+  for (int c = 0; c < kNumWasteCauses; ++c) {
+    if (WasteCauseReconciles(static_cast<WasteCause>(c))) ++reconciling;
+  }
+  EXPECT_EQ(reconciling, 4);
+  EXPECT_FALSE(WasteCauseReconciles(WasteCause::kQueueing));
+}
+
+TEST(WasteLedger, AddAccumulatesPerCauseAndDimension) {
+  WasteLedger ledger;
+  ledger.Add(WasteCause::kKillLostWork, 1.5, /*job=*/3, /*node=*/0);
+  ledger.Add(WasteCause::kKillLostWork, 0.5, /*job=*/3, /*node=*/1);
+  ledger.Add(WasteCause::kDumpOverhead, 0.25, /*job=*/4);
+  ledger.Add(WasteCause::kFaultRetry, 12.0);
+  EXPECT_EQ(ledger.Total(WasteCause::kKillLostWork), 2.0);
+  EXPECT_EQ(ledger.Total(WasteCause::kDumpOverhead), 0.25);
+  EXPECT_EQ(ledger.Total(WasteCause::kFaultRetry), 12.0);
+  EXPECT_EQ(ledger.ReconcilableCoreHours(), 2.25);  // retry is io-seconds
+  EXPECT_EQ(ledger.entries(), 4);
+}
+
+TEST(WasteLedger, ZeroChargesAreSkipped) {
+  WasteLedger ledger;
+  ledger.Add(WasteCause::kQueueing, 0.0, 1, 1);
+  EXPECT_EQ(ledger.entries(), 0);
+  EXPECT_EQ(ledger.Total(WasteCause::kQueueing), 0.0);
+}
+
+TEST(WasteLedger, SnapshotEmitsLabelledSeries) {
+  WasteLedger ledger;
+  ledger.set_policy("adaptive");
+  ledger.Add(WasteCause::kKillLostWork, 2.0, /*job=*/7, /*node=*/3);
+  ledger.Add(WasteCause::kReReplication, 4.5, /*job=*/-1, /*node=*/3);
+  MetricsRegistry metrics;
+  ledger.SnapshotTo(metrics);
+  const std::string json = metrics.ToJson();
+  EXPECT_NE(json.find("waste.core_hours"), std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"kill_lost_work\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\":\"adaptive\""), std::string::npos);
+  EXPECT_NE(json.find("waste.io_seconds"), std::string::npos);
+  EXPECT_NE(json.find("\"cause\":\"rereplication\""), std::string::npos);
+  EXPECT_NE(json.find("waste.reconcilable_core_hours"), std::string::npos);
+  EXPECT_NE(json.find("waste.by_job.core_hours"), std::string::npos);
+  EXPECT_NE(json.find("\"job\":\"7\""), std::string::npos);
+  EXPECT_NE(json.find("waste.by_node.io_seconds"), std::string::npos);
+  // Untouched causes produce no series.
+  EXPECT_EQ(json.find("\"cause\":\"queueing\""), std::string::npos);
+}
+
+// End to end: on a congested trace-driven run, the ledger's reconciling
+// causes must equal the scheduler's wasted_core_hours (the goodput gap)
+// within 1%, and the decision audit stream must be non-empty.
+struct LedgerRun {
+  SimulationResult result;
+  double reconcilable = 0;
+  double kill_lost = 0;
+  double dump_overhead = 0;
+  double restore_transfer = 0;
+  std::int64_t audit_records = 0;
+};
+
+LedgerRun RunWithLedger(PreemptionPolicy policy) {
+  GoogleTraceConfig trace_config;
+  trace_config.sample_jobs = 120;
+  trace_config.seed = 11;
+  const Workload workload =
+      GoogleTraceGenerator(trace_config).GenerateWorkloadSample();
+
+  Observability obs;
+  Simulator sim;
+  Cluster cluster(&sim);
+  // Deliberately small so peaks force preemption.
+  cluster.AddNodes(2, Resources{16.0, GiB(64)}, StorageMedium::Ssd());
+  SchedulerConfig config;
+  config.policy = policy;
+  config.medium = StorageMedium::Ssd();
+  config.obs = &obs;
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  scheduler.Submit(workload);
+
+  LedgerRun out;
+  out.result = scheduler.Run();
+  const WasteLedger& ledger = obs.waste();
+  out.reconcilable = ledger.ReconcilableCoreHours();
+  out.kill_lost = ledger.Total(WasteCause::kKillLostWork);
+  out.dump_overhead = ledger.Total(WasteCause::kDumpOverhead);
+  out.restore_transfer = ledger.Total(WasteCause::kRestoreTransfer);
+  out.audit_records = obs.audit().total_appended();
+  return out;
+}
+
+TEST(WasteLedgerEndToEnd, KillRunReconcilesWithGoodputGap) {
+  const LedgerRun run = RunWithLedger(PreemptionPolicy::kKill);
+  ASSERT_GT(run.result.preemptions, 0);
+  ASSERT_GT(run.result.wasted_core_hours, 0);
+  EXPECT_NEAR(run.reconcilable, run.result.wasted_core_hours,
+              0.01 * run.result.wasted_core_hours);
+  // All kill waste is lost work; no checkpoint machinery ran.
+  EXPECT_NEAR(run.kill_lost, run.result.lost_work_core_hours, 1e-9);
+  EXPECT_EQ(run.dump_overhead, 0);
+  EXPECT_GT(run.audit_records, 0);
+}
+
+TEST(WasteLedgerEndToEnd, AdaptiveRunAttributesOverhead) {
+  const LedgerRun run = RunWithLedger(PreemptionPolicy::kAdaptive);
+  ASSERT_GT(run.result.preemptions, 0);
+  ASSERT_GT(run.result.wasted_core_hours, 0);
+  EXPECT_NEAR(run.reconcilable, run.result.wasted_core_hours,
+              0.01 * run.result.wasted_core_hours);
+  // Dump + restore charges mirror the scheduler's overhead accounting.
+  EXPECT_NEAR(run.dump_overhead + run.restore_transfer,
+              run.result.overhead_core_hours,
+              1e-9 + 0.01 * run.result.overhead_core_hours);
+  EXPECT_GT(run.audit_records, 0);
+}
+
+}  // namespace
+}  // namespace ckpt

@@ -1,0 +1,572 @@
+// ckpt-report — offline analyzer for the observability artifacts the
+// benches and CLIs export under CKPT_OBS=1.
+//
+// Run mode renders a human-readable report from any mix of artifacts:
+//
+//   $ ckpt-report bench_fig3_trace_sim.metrics.json
+//       bench_fig3_trace_sim.Kill.audit.jsonl
+//
+// sections: waste attribution per cause (with the goodput-gap
+// reconciliation check), top per-job / per-node contributors, the
+// tool's own self-profile timers, every histogram's p50/p95/p99, audit
+// record counts per kind, and trace event counts.
+//
+// Diff mode compares two runs A vs B (kill vs adaptive, before vs
+// after) on waste attribution and headline scheduler gauges:
+//
+//   $ ckpt-report --diff ckpt_sim.kill.metrics.json
+//       ckpt_sim.adaptive.metrics.json
+//
+// A *.metrics.json file may hold one run ({"metrics":[...]}) or a
+// combined sweep ({"runs":[{"name","metrics"}...]}); --run=NAME picks a
+// run out of a combined file (repeatable: first use applies to A,
+// second to B).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "metrics/report.h"
+
+using namespace ckpt;
+
+namespace {
+
+struct SeriesData {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  double value = 0;  // counter/gauge
+  double count = 0, mean = 0, p50 = 0, p95 = 0, p99 = 0;  // histogram
+};
+
+struct RunData {
+  std::string name;
+  std::vector<SeriesData> series;
+
+  const SeriesData* Find(const std::string& name) const {
+    for (const SeriesData& s : series) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+  double ValueOr(const std::string& name, double fallback) const {
+    const SeriesData* s = Find(name);
+    return s != nullptr ? s->value : fallback;
+  }
+};
+
+std::string Label(const SeriesData& s, const std::string& key) {
+  for (const auto& [k, v] : s.labels) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+std::string LabelSuffix(const SeriesData& s) {
+  if (s.labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < s.labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += s.labels[i].first + "=" + s.labels[i].second;
+  }
+  return out + "}";
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+// One {"name","labels",...} entry from the registry's metrics array.
+SeriesData ParseSeries(const json::Value& entry) {
+  SeriesData s;
+  s.name = entry.StringOr("name", "");
+  s.type = entry.StringOr("type", "");
+  if (const json::Value* labels = entry.Find("labels");
+      labels != nullptr && labels->is_object()) {
+    for (const auto& [key, value] : labels->members()) {
+      s.labels.emplace_back(
+          key, value->is_string() ? value->as_string() : std::string());
+    }
+  }
+  s.value = entry.NumberOr("value", 0);
+  s.count = entry.NumberOr("count", 0);
+  s.mean = entry.NumberOr("mean", 0);
+  s.p50 = entry.NumberOr("p50", 0);
+  s.p95 = entry.NumberOr("p95", 0);
+  s.p99 = entry.NumberOr("p99", 0);
+  return s;
+}
+
+RunData ParseRun(const std::string& name, const json::Value& metrics_doc) {
+  RunData run;
+  run.name = name;
+  if (const json::Value* metrics = metrics_doc.Find("metrics");
+      metrics != nullptr && metrics->is_array()) {
+    for (const json::ValuePtr& entry : metrics->items()) {
+      if (entry->is_object()) run.series.push_back(ParseSeries(*entry));
+    }
+  }
+  return run;
+}
+
+// Parse a metrics file into its runs: a single-run registry snapshot
+// becomes one run named after the file; a combined sweep file yields one
+// run per entry.
+bool ParseMetricsFile(const std::string& path, std::vector<RunData>* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "ckpt-report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  json::ValuePtr doc = json::Parse(text, &error);
+  if (doc == nullptr || !doc->is_object()) {
+    std::fprintf(stderr, "ckpt-report: %s: %s\n", path.c_str(),
+                 error.empty() ? "not a JSON object" : error.c_str());
+    return false;
+  }
+  if (const json::Value* runs = doc->Find("runs");
+      runs != nullptr && runs->is_array()) {
+    for (const json::ValuePtr& entry : runs->items()) {
+      if (!entry->is_object()) continue;
+      const json::Value* metrics = entry->Find("metrics");
+      if (metrics == nullptr || !metrics->is_object()) continue;
+      out->push_back(ParseRun(entry->StringOr("name", "?"), *metrics));
+    }
+    return true;
+  }
+  out->push_back(ParseRun(BaseName(path), *doc));
+  return true;
+}
+
+struct AuditSummary {
+  std::string path;
+  std::int64_t records = 0;
+  std::int64_t candidates = 0;
+  std::map<std::string, std::int64_t> by_kind;
+  double first_t = 0, last_t = 0;
+};
+
+bool ParseAuditFile(const std::string& path, AuditSummary* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "ckpt-report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  out->path = path;
+  std::istringstream lines(text);
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string error;
+    json::ValuePtr record = json::Parse(line, &error);
+    if (record == nullptr || !record->is_object()) {
+      std::fprintf(stderr, "ckpt-report: %s:%lld: bad record: %s\n",
+                   path.c_str(), static_cast<long long>(lineno),
+                   error.c_str());
+      return false;
+    }
+    const double t = record->NumberOr("t", 0);
+    if (out->records == 0) out->first_t = t;
+    out->last_t = t;
+    ++out->records;
+    ++out->by_kind[record->StringOr("kind", "?")];
+    if (const json::Value* candidates = record->Find("candidates");
+        candidates != nullptr && candidates->is_array()) {
+      out->candidates += static_cast<std::int64_t>(candidates->items().size());
+    }
+  }
+  return true;
+}
+
+struct TraceSummary {
+  std::string path;
+  std::int64_t events = 0;
+  std::map<std::string, std::int64_t> by_category;
+};
+
+// Accepts both the Chrome format ({"traceEvents":[...]}) and the JSONL
+// stream (one event object per line).
+bool ParseTraceFile(const std::string& path, TraceSummary* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "ckpt-report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  out->path = path;
+  auto tally = [out](const json::Value& event) {
+    // Skip thread-name metadata events; count real phases only.
+    const std::string phase = event.StringOr("ph", "");
+    if (phase == "M") return;
+    ++out->events;
+    ++out->by_category[event.StringOr("cat", "?")];
+  };
+  if (EndsWith(path, ".jsonl")) {
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      json::ValuePtr event = json::Parse(line, nullptr);
+      if (event != nullptr && event->is_object()) tally(*event);
+    }
+    return true;
+  }
+  std::string error;
+  json::ValuePtr doc = json::Parse(text, &error);
+  if (doc == nullptr || !doc->is_object()) {
+    std::fprintf(stderr, "ckpt-report: %s: %s\n", path.c_str(),
+                 error.empty() ? "not a JSON object" : error.c_str());
+    return false;
+  }
+  if (const json::Value* events = doc->Find("traceEvents");
+      events != nullptr && events->is_array()) {
+    for (const json::ValuePtr& event : events->items()) {
+      if (event->is_object()) tally(*event);
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Run-report sections.
+
+void PrintWasteSection(const RunData& run) {
+  // cause -> (core_hours, io_seconds); document order groups the two units.
+  std::vector<std::vector<std::string>> rows{
+      {"cause", "core-hours", "io-seconds"}};
+  std::map<std::string, std::pair<double, double>> by_cause;
+  for (const SeriesData& s : run.series) {
+    if (s.name == "waste.core_hours") {
+      by_cause[Label(s, "cause")].first += s.value;
+    } else if (s.name == "waste.io_seconds") {
+      by_cause[Label(s, "cause")].second += s.value;
+    }
+  }
+  double total_core_hours = 0;
+  for (const auto& [cause, amounts] : by_cause) {
+    total_core_hours += amounts.first;
+    rows.push_back({cause, Fmt(amounts.first, 2), Fmt(amounts.second, 2)});
+  }
+  if (by_cause.empty()) {
+    std::printf("  (no waste recorded)\n");
+    return;
+  }
+  std::fputs(RenderTable(rows).c_str(), stdout);
+
+  // The four CPU-denominated causes are charged at exactly the sites that
+  // feed wasted_core_hours, so attributed == goodput gap up to fp noise.
+  const SeriesData* reconcilable = run.Find("waste.reconcilable_core_hours");
+  const SeriesData* wasted = run.Find("sched.wasted_core_hours");
+  if (reconcilable != nullptr && wasted != nullptr) {
+    const double attributed = reconcilable->value;
+    const double gap = wasted->value;
+    const double rel =
+        gap != 0 ? std::fabs(attributed - gap) / std::fabs(gap) : 0.0;
+    std::printf(
+        "  reconciliation: attributed %.2f vs goodput gap %.2f core-hours "
+        "(%.3f%% apart)%s\n",
+        attributed, gap, 100.0 * rel, rel <= 0.01 ? "" : "  ** MISMATCH **");
+  }
+  if (total_core_hours > 0) {
+    std::printf("  total attributed: %.2f core-hours\n", total_core_hours);
+  }
+}
+
+void PrintTopContributors(const RunData& run, const std::string& series_name,
+                          const std::string& dim, int top_n) {
+  std::map<std::string, double> totals;
+  for (const SeriesData& s : run.series) {
+    if (s.name != series_name) continue;
+    totals[Label(s, dim)] += s.value;
+  }
+  if (totals.empty()) return;
+  std::vector<std::pair<std::string, double>> sorted(totals.begin(),
+                                                     totals.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (static_cast<int>(sorted.size()) > top_n) sorted.resize(top_n);
+  std::vector<std::vector<std::string>> rows{{dim, "core-hours"}};
+  for (const auto& [label, value] : sorted) {
+    rows.push_back({label, Fmt(value, 2)});
+  }
+  std::printf("  top %zu of %zu %ss:\n", sorted.size(), totals.size(),
+              dim.c_str());
+  std::fputs(RenderTable(rows).c_str(), stdout);
+}
+
+void PrintSelfProfile(const RunData& run) {
+  std::vector<std::vector<std::string>> rows{
+      {"section", "wall-seconds", "calls"}};
+  std::map<std::string, std::pair<double, double>> sections;
+  for (const SeriesData& s : run.series) {
+    if (s.name == "self.wall_seconds") {
+      sections[Label(s, "section")].first = s.value;
+    } else if (s.name == "self.calls") {
+      sections[Label(s, "section")].second = s.value;
+    }
+  }
+  if (sections.empty()) return;
+  for (const auto& [section, data] : sections) {
+    rows.push_back({section, Fmt(data.first, 3), Fmt(data.second, 0)});
+  }
+  std::printf("\n-- self-profile (tool wall clock, not sim time) --\n");
+  std::fputs(RenderTable(rows).c_str(), stdout);
+}
+
+void PrintHistograms(const RunData& run) {
+  std::vector<std::vector<std::string>> rows{
+      {"histogram", "count", "mean", "p50", "p95", "p99"}};
+  for (const SeriesData& s : run.series) {
+    if (s.type != "histogram" || s.count <= 0) continue;
+    rows.push_back({s.name + LabelSuffix(s), Fmt(s.count, 0), Fmt(s.mean, 3),
+                    Fmt(s.p50, 3), Fmt(s.p95, 3), Fmt(s.p99, 3)});
+  }
+  if (rows.size() == 1) return;
+  std::printf("\n-- histograms --\n");
+  std::fputs(RenderTable(rows).c_str(), stdout);
+}
+
+void PrintRunReport(const RunData& run) {
+  std::printf("\n=== run: %s ===\n", run.name.c_str());
+  const SeriesData* busy = run.Find("sched.busy_core_hours");
+  if (busy != nullptr) {
+    std::printf(
+        "  busy %.2f / wasted %.2f / goodput %.2f core-hours; "
+        "decisions %.0f; events %.0f\n",
+        busy->value, run.ValueOr("sched.wasted_core_hours", 0),
+        run.ValueOr("sched.goodput_core_hours", 0),
+        run.ValueOr("sched.decisions", 0),
+        run.ValueOr("sim.events_processed", 0));
+  }
+  const double trace_dropped = run.ValueOr("tracer.dropped_events", 0);
+  const double audit_dropped = run.ValueOr("audit.dropped_records", 0);
+  if (trace_dropped > 0 || audit_dropped > 0) {
+    std::printf("  ring drops: trace %.0f, audit %.0f (streams truncated)\n",
+                trace_dropped, audit_dropped);
+  }
+  std::printf("\n-- waste attribution --\n");
+  PrintWasteSection(run);
+  PrintTopContributors(run, "waste.by_job.core_hours", "job", 5);
+  PrintTopContributors(run, "waste.by_node.core_hours", "node", 5);
+  PrintSelfProfile(run);
+  PrintHistograms(run);
+}
+
+void PrintAuditSummary(const AuditSummary& audit) {
+  std::printf("\n=== audit: %s ===\n", audit.path.c_str());
+  std::printf("  %lld records (%lld candidate rows), t=[%.0f, %.0f]\n",
+              static_cast<long long>(audit.records),
+              static_cast<long long>(audit.candidates), audit.first_t,
+              audit.last_t);
+  if (audit.by_kind.empty()) return;
+  std::vector<std::vector<std::string>> rows{{"kind", "records"}};
+  for (const auto& [kind, count] : audit.by_kind) {
+    rows.push_back({kind, std::to_string(count)});
+  }
+  std::fputs(RenderTable(rows).c_str(), stdout);
+}
+
+void PrintTraceSummary(const TraceSummary& trace) {
+  std::printf("\n=== trace: %s ===\n", trace.path.c_str());
+  std::printf("  %lld events\n", static_cast<long long>(trace.events));
+  if (trace.by_category.empty()) return;
+  std::vector<std::vector<std::string>> rows{{"category", "events"}};
+  for (const auto& [category, count] : trace.by_category) {
+    rows.push_back({category, std::to_string(count)});
+  }
+  std::fputs(RenderTable(rows).c_str(), stdout);
+}
+
+// ---------------------------------------------------------------------------
+// Diff mode.
+
+std::string FmtDelta(double a, double b) {
+  const double delta = b - a;
+  if (a == 0) return delta == 0 ? "0" : "new";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * delta / std::fabs(a));
+  return buf;
+}
+
+int RunDiff(const RunData& a, const RunData& b) {
+  std::printf("=== diff: %s -> %s ===\n", a.name.c_str(), b.name.c_str());
+
+  std::printf("\n-- waste attribution (core-hours) --\n");
+  std::map<std::string, std::pair<double, double>> causes;
+  for (const SeriesData& s : a.series) {
+    if (s.name == "waste.core_hours") causes[Label(s, "cause")].first += s.value;
+  }
+  for (const SeriesData& s : b.series) {
+    if (s.name == "waste.core_hours") causes[Label(s, "cause")].second += s.value;
+  }
+  std::vector<std::vector<std::string>> rows{
+      {"cause", a.name, b.name, "delta", "delta%"}};
+  for (const auto& [cause, amounts] : causes) {
+    rows.push_back({cause, Fmt(amounts.first, 2), Fmt(amounts.second, 2),
+                    Fmt(amounts.second - amounts.first, 2),
+                    FmtDelta(amounts.first, amounts.second)});
+  }
+  if (causes.empty()) {
+    std::printf("  (neither run recorded waste)\n");
+  } else {
+    std::fputs(RenderTable(rows).c_str(), stdout);
+  }
+
+  std::printf("\n-- headline gauges --\n");
+  const char* gauges[] = {"sched.busy_core_hours", "sched.wasted_core_hours",
+                          "sched.goodput_core_hours",
+                          "sched.lost_work_core_hours",
+                          "sched.overhead_core_hours", "sched.decisions",
+                          "sim.events_processed"};
+  std::vector<std::vector<std::string>> gauge_rows{
+      {"gauge", a.name, b.name, "delta%"}};
+  for (const char* name : gauges) {
+    const SeriesData* sa = a.Find(name);
+    const SeriesData* sb = b.Find(name);
+    if (sa == nullptr && sb == nullptr) continue;
+    const double va = sa != nullptr ? sa->value : 0;
+    const double vb = sb != nullptr ? sb->value : 0;
+    gauge_rows.push_back({name, Fmt(va, 2), Fmt(vb, 2), FmtDelta(va, vb)});
+  }
+  std::fputs(RenderTable(gauge_rows).c_str(), stdout);
+  return causes.empty() ? 1 : 0;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--run=NAME]... <artifact>...\n"
+      "       %s --diff [--run=NAME]... A.metrics.json B.metrics.json\n"
+      "  artifacts by suffix: *.metrics.json (registry snapshot or combined\n"
+      "  {\"runs\":[...]} sweep), *.audit.jsonl (decision audit stream),\n"
+      "  *.trace.json / *.trace.jsonl (event traces)\n"
+      "  --run=NAME  pick one run out of a combined metrics file\n"
+      "              (repeatable: first applies to A, second to B in --diff)\n",
+      argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool diff = false;
+  std::vector<std::string> run_filters;
+  std::vector<std::string> metrics_files, audit_files, trace_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--diff") {
+      diff = true;
+    } else if (arg.rfind("--run=", 0) == 0) {
+      run_filters.push_back(arg.substr(6));
+    } else if (arg == "--help") {
+      Usage(argv[0]);
+      return 2;
+    } else if (EndsWith(arg, ".audit.jsonl")) {
+      audit_files.push_back(arg);
+    } else if (EndsWith(arg, ".trace.json") || EndsWith(arg, ".trace.jsonl")) {
+      trace_files.push_back(arg);
+    } else if (EndsWith(arg, ".json")) {
+      metrics_files.push_back(arg);
+    } else {
+      std::fprintf(stderr, "ckpt-report: unrecognized artifact %s\n",
+                   arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (diff) {
+    if (metrics_files.size() != 2) {
+      std::fprintf(stderr,
+                   "ckpt-report: --diff needs exactly two metrics files\n");
+      Usage(argv[0]);
+      return 2;
+    }
+    RunData sides[2];
+    for (int side = 0; side < 2; ++side) {
+      std::vector<RunData> runs;
+      if (!ParseMetricsFile(metrics_files[static_cast<size_t>(side)], &runs)) {
+        return 1;
+      }
+      const std::string filter =
+          static_cast<size_t>(side) < run_filters.size()
+              ? run_filters[static_cast<size_t>(side)]
+              : "";
+      if (!filter.empty()) {
+        bool found = false;
+        for (RunData& run : runs) {
+          if (run.name == filter) {
+            sides[side] = std::move(run);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          std::fprintf(stderr, "ckpt-report: no run named %s in %s\n",
+                       filter.c_str(),
+                       metrics_files[static_cast<size_t>(side)].c_str());
+          return 1;
+        }
+      } else if (!runs.empty()) {
+        sides[side] = std::move(runs.front());
+      } else {
+        std::fprintf(stderr, "ckpt-report: no runs in %s\n",
+                     metrics_files[static_cast<size_t>(side)].c_str());
+        return 1;
+      }
+    }
+    return RunDiff(sides[0], sides[1]);
+  }
+
+  if (metrics_files.empty() && audit_files.empty() && trace_files.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+  for (const std::string& path : metrics_files) {
+    std::vector<RunData> runs;
+    if (!ParseMetricsFile(path, &runs)) return 1;
+    for (const RunData& run : runs) {
+      if (!run_filters.empty() &&
+          std::find(run_filters.begin(), run_filters.end(), run.name) ==
+              run_filters.end()) {
+        continue;
+      }
+      PrintRunReport(run);
+    }
+  }
+  for (const std::string& path : audit_files) {
+    AuditSummary audit;
+    if (!ParseAuditFile(path, &audit)) return 1;
+    PrintAuditSummary(audit);
+  }
+  for (const std::string& path : trace_files) {
+    TraceSummary trace;
+    if (!ParseTraceFile(path, &trace)) return 1;
+    PrintTraceSummary(trace);
+  }
+  return 0;
+}

@@ -22,6 +22,7 @@
 
 #include "cluster/cluster.h"
 #include "common/thread_pool.h"
+#include "obs/observability.h"
 #include "scheduler/cluster_scheduler.h"
 #include "sim/simulator.h"
 #include "trace/google_trace.h"
@@ -29,6 +30,22 @@
 using namespace ckpt;
 
 namespace {
+
+// Same CKPT_OBS / CKPT_OBS_DIR contract as the bench binaries: opt-in
+// export keeps the default run byte-identical on stdout. Single-run mode
+// only; sweeps stay recording-free.
+bool ObsEnabled() {
+  const char* v = std::getenv("CKPT_OBS");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::string ObsPath(const std::string& filename) {
+  const char* dir = std::getenv("CKPT_OBS_DIR");
+  if (dir == nullptr || *dir == '\0') return filename;
+  std::string path(dir);
+  if (path.back() != '/') path += '/';
+  return path + filename;
+}
 
 struct Flags {
   std::string policy = "adaptive";
@@ -198,7 +215,9 @@ void Append(std::string* out, const char* fmt, ...) {
 // Run one fully-specified simulation cell and return its key=value report.
 // Self-contained (private Simulator/Cluster/workload), so cells may run on
 // worker threads.
-std::string RunCell(const Flags& flags, const SchedulerConfig& config) {
+std::string RunCell(const Flags& flags, SchedulerConfig config,
+                    Observability* obs = nullptr) {
+  config.obs = obs;
   GoogleTraceConfig trace_config;
   trace_config.sample_jobs = flags.jobs;
   trace_config.seed = flags.seed;
@@ -296,7 +315,20 @@ int main(int argc, char** argv) {
       Usage(argv[0]);
       return 2;
     }
-    std::fputs(RunCell(flags, config).c_str(), stdout);
+    Observability obs;
+    Observability* obs_ptr = ObsEnabled() ? &obs : nullptr;
+    std::fputs(RunCell(flags, config, obs_ptr).c_str(), stdout);
+    if (obs_ptr != nullptr) {
+      const std::string base = "ckpt_sim." + flags.policy;
+      const std::string metrics_path = ObsPath(base + ".metrics.json");
+      const std::string audit_path = ObsPath(base + ".audit.jsonl");
+      if (!obs.WriteMetricsJson(metrics_path)) {
+        std::fprintf(stderr, "obs: cannot write %s\n", metrics_path.c_str());
+      }
+      if (!obs.WriteAuditJsonl(audit_path)) {
+        std::fprintf(stderr, "obs: cannot write %s\n", audit_path.c_str());
+      }
+    }
     return 0;
   }
 
