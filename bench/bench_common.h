@@ -156,7 +156,9 @@ inline void PrintHeader(const std::string& title) {
 // their meaning) and return the worker count, defaulting to 1. Benches use
 // it to run independent sweep cells concurrently; N=1 runs every cell
 // inline, which is the reference execution the determinism tests compare
-// against.
+// against. The result is clamped to the machine's core count (see
+// ClampSweepWorkers) so an over-asked --jobs cannot silently slow a
+// CPU-bound sweep down; CKPT_SWEEP_NO_CLAMP lifts the clamp.
 inline int ExtractJobsFlag(int* argc, char** argv) {
   int workers = 1;
   int kept = 1;
@@ -173,7 +175,7 @@ inline int ExtractJobsFlag(int* argc, char** argv) {
     argv[kept++] = argv[i];
   }
   *argc = kept;
-  return workers < 1 ? 1 : workers;
+  return ClampSweepWorkers(workers);
 }
 
 // Run `cells` independent sweep cells on up to `workers` threads and return

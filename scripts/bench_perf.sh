@@ -35,11 +35,20 @@ print(total)
 EOF
 }
 
+# The benches clamp --jobs to the machine's core count (see
+# ClampSweepWorkers), so on small hosts the requested and effective worker
+# counts differ; record both so rates are attributed to the real
+# parallelism, not the requested one.
+effective_jobs() {
+  python3 -c "import os; print($1 if os.environ.get('CKPT_SWEEP_NO_CLAMP') else min($1, os.cpu_count() or $1))"
+}
+
 run_sweep_bench() {
   local name="$1" binary="$2" metrics_file="$3"
   shift 3
   for jobs in $jobs_list; do
-    local t0 t1 seconds events
+    local t0 t1 seconds events eff
+    eff="$(effective_jobs "$jobs")"
     t0="$(now)"
     CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$binary" --jobs "$jobs" "$@" \
       > "$obs_dir/$name.j$jobs.stdout.txt"
@@ -48,9 +57,9 @@ run_sweep_bench() {
     events="$(sum_events "$obs_dir/$metrics_file")"
     local eps
     eps="$(python3 -c "print(f'{$events / $seconds:.0f}')")"
-    echo "bench_perf: $name jobs=$jobs seconds=$seconds events=$events" \
-         "events_per_sec=$eps"
-    entries+=("{\"bench\":\"$name\",\"jobs\":$jobs,\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps}")
+    echo "bench_perf: $name jobs=$jobs effective_jobs=$eff" \
+         "seconds=$seconds events=$events events_per_sec=$eps"
+    entries+=("{\"bench\":\"$name\",\"jobs\":$jobs,\"effective_jobs\":$eff,\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps}")
   done
 }
 
@@ -66,20 +75,29 @@ run_sweep_bench fig8 "$build_dir/bench/bench_fig8_yarn" \
 # Env: BENCH_SCALE_SIZES overrides the sweep sizes (default 1000,4000,10000).
 scale_sizes="${BENCH_SCALE_SIZES:-1000,4000,10000}"
 declare -A scale_dps
-for mode in on off; do
-  "$build_dir/bench/bench_scale" "--sizes=$scale_sizes" "--index=$mode" \
-    > "$obs_dir/scale.$mode.stdout.txt" 2> "$obs_dir/scale.$mode.stderr.txt"
-  while read -r _ nodes policy index seconds events eps decisions dps rss; do
+# Parse one bench_scale stderr file into `entries`; $2 is the bench name
+# for the JSON rows ("scale" for the legacy sweep, "scale_sharded" for the
+# streaming sharded driver).
+parse_scale_stderr() {
+  local stderr_file="$1" bench="$2"
+  while read -r _ nodes policy index shards seconds events eps decisions dps rss; do
     nodes="${nodes#nodes=}"; policy="${policy#policy=}"
+    index="${index#index=}"; shards="${shards#shards=}"
     seconds="${seconds#seconds=}"; events="${events#events=}"
     eps="${eps#events_per_sec=}"; decisions="${decisions#decisions=}"
     dps="${dps#decisions_per_sec=}"; rss="${rss#peak_rss_bytes=}"
-    echo "bench_perf: scale nodes=$nodes policy=$policy index=$mode" \
-         "seconds=$seconds events_per_sec=$eps decisions_per_sec=$dps" \
-         "peak_rss_bytes=$rss"
-    entries+=("{\"bench\":\"scale\",\"nodes\":$nodes,\"policy\":\"$policy\",\"index\":\"$mode\",\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps,\"decisions\":$decisions,\"decisions_per_sec\":$dps,\"peak_rss_bytes\":$rss}")
-    scale_dps["$mode.$nodes.$policy"]="$dps"
-  done < <(grep '^bench_scale:' "$obs_dir/scale.$mode.stderr.txt")
+    echo "bench_perf: $bench nodes=$nodes policy=$policy index=$index" \
+         "shards=$shards seconds=$seconds events_per_sec=$eps" \
+         "decisions_per_sec=$dps peak_rss_bytes=$rss"
+    entries+=("{\"bench\":\"$bench\",\"nodes\":$nodes,\"policy\":\"$policy\",\"index\":\"$index\",\"shards\":$shards,\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps,\"decisions\":$decisions,\"decisions_per_sec\":$dps,\"peak_rss_bytes\":$rss}")
+    scale_dps["$index.$nodes.$policy"]="$dps"
+  done < <(grep '^bench_scale:' "$stderr_file")
+}
+
+for mode in on off; do
+  "$build_dir/bench/bench_scale" "--sizes=$scale_sizes" "--index=$mode" \
+    > "$obs_dir/scale.$mode.stdout.txt" 2> "$obs_dir/scale.$mode.stderr.txt"
+  parse_scale_stderr "$obs_dir/scale.$mode.stderr.txt" scale
 done
 largest="${scale_sizes##*,}"
 for policy in kill checkpoint adaptive; do
@@ -89,6 +107,20 @@ for policy in kill checkpoint adaptive; do
   echo "bench_perf: scale_index_speedup nodes=$largest policy=$policy" \
        "decisions_per_sec_ratio=$ratio"
   entries+=("{\"bench\":\"scale_index_speedup\",\"nodes\":$largest,\"policy\":\"$policy\",\"decisions_per_sec_on\":$on,\"decisions_per_sec_off\":$off,\"ratio\":$ratio}")
+done
+
+# Sharded single-run lane: the streaming sharded driver at 40k nodes, at
+# each worker count in BENCH_PERF_SHARDS. One run per worker count — the
+# cells must be byte-identical (check_determinism.sh enforces that), so
+# this lane only measures wall time, rates, and peak RSS.
+# Env: BENCH_SCALE_SHARD_SIZES overrides the sizes (default 40000),
+#      BENCH_PERF_SHARDS the worker counts (default "1 2").
+shard_sizes="${BENCH_SCALE_SHARD_SIZES:-40000}"
+for shards in ${BENCH_PERF_SHARDS:-1 2}; do
+  "$build_dir/bench/bench_scale" "--sizes=$shard_sizes" "--shards=$shards" \
+    > "$obs_dir/scale.s$shards.stdout.txt" \
+    2> "$obs_dir/scale.s$shards.stderr.txt"
+  parse_scale_stderr "$obs_dir/scale.s$shards.stderr.txt" scale_sharded
 done
 
 # Micro-benchmark: the binary reports events/sec per scenario itself.

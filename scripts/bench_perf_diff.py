@@ -2,7 +2,8 @@
 """Compare a fresh BENCH_PERF.json against a committed baseline.
 
 Entries are matched by their identity fields (bench plus whichever of
-jobs/nodes/policy/index/scenario/impl the entry carries) and compared on
+jobs/effective_jobs/nodes/policy/index/shards/scenario/impl the entry
+carries) and compared on
 the throughput metrics (events_per_sec, decisions_per_sec). An entry that
 regresses by more than --max-regress percent fails the gate; improvements
 and new/retired entries are reported but never fail.
@@ -25,8 +26,8 @@ import argparse
 import json
 import sys
 
-IDENTITY_FIELDS = ("bench", "jobs", "nodes", "policy", "index", "scenario",
-                   "impl")
+IDENTITY_FIELDS = ("bench", "jobs", "effective_jobs", "nodes", "policy",
+                   "index", "shards", "scenario", "impl")
 RATE_METRICS = ("events_per_sec", "decisions_per_sec")
 
 

@@ -1,19 +1,31 @@
 #!/usr/bin/env bash
-# Parallel sweeps must be byte-identical to their single-threaded reference
-# execution: cells run on private Simulators and merge in cell order, so any
-# divergence is a determinism bug (shared state, reordered output, a stray
-# RNG). Compares stdout of
-#   * bench_fig3_trace_sim  --jobs 1  vs  --jobs 8   (small workload)
-#   * ckpt-sim sweep        --parallel 1 vs --parallel 8
+# Parallel execution must be byte-identical to its single-threaded reference
+# execution. Two families of lanes:
 #
+# Sweep lanes (cells run on private Simulators and merge in cell order):
+#   * bench_fig3_trace_sim  --jobs 1  vs  --jobs 8   (small workload)
 #   * bench_ext_failure     --jobs 1  vs  --jobs 8   (fault-injection sweep:
 #     scripted node crashes + transient I/O faults with a fixed fault seed)
+#   * ckpt-sim sweep        --parallel 1 vs --parallel 8
+#
+# Sharded lanes (ONE run drained on worker threads; the shard count only
+# sets the worker count, never an ordering key):
+#   * ckpt-sim --shards=1 vs --shards=4 for all three preemption policies,
+#     comparing stdout plus the exported metrics + audit artifacts
+#   * bench_scale --shards=1 vs --shards=4 (streaming sharded driver)
+#
+# CKPT_SWEEP_NO_CLAMP keeps --jobs/--parallel at their literal values on
+# small machines — these lanes exist precisely to exercise multi-threaded
+# execution, so the core-count clamp must not quietly reduce them to the
+# serial path.
 #
 # Usage: scripts/check_determinism.sh [build-dir]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
+
+export CKPT_SWEEP_NO_CLAMP=1
 
 work_dir="$(mktemp -d)"
 trap 'rm -rf "$work_dir"' EXIT
@@ -29,6 +41,28 @@ compare() {
     diff "$ref" "$par" | head -20
     fail=1
   fi
+}
+
+# Drop wall-clock-dependent gauges (self.* profile timers,
+# process.peak_rss_bytes) from a metrics JSON so the rest byte-diffs.
+normalize_metrics() {
+  python3 - "$1" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+def keep(m):
+    name = m.get("name", "")
+    return not name.startswith("self.") and name != "process.peak_rss_bytes"
+def scrub(container):
+    if isinstance(container, dict) and isinstance(container.get("metrics"), list):
+        container["metrics"] = [m for m in container["metrics"] if keep(m)]
+scrub(doc)
+for run in doc.get("runs", []):
+    scrub(run.get("metrics", {}))
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+EOF
 }
 
 "$build_dir/bench/bench_fig3_trace_sim" --jobs 1 150 \
@@ -66,5 +100,37 @@ sweep_args=(--jobs=40 --sweep-policies=kill,checkpoint,adaptive
   > "$work_dir/sweep.parallel.txt"
 compare "ckpt-sim sweep" \
   "$work_dir/sweep.serial.txt" "$work_dir/sweep.parallel.txt"
+
+# Sharded single-run lane: one simulation drained on 1 vs 4 worker threads
+# must agree on stdout AND on every exported artifact — metrics gauges
+# (minus wall-clock ones), the decision audit log, and the waste ledger
+# entries embedded in the metrics export.
+for policy in kill checkpoint adaptive; do
+  for shards in 1 4; do
+    dir="$work_dir/sharded.$policy.$shards"
+    mkdir -p "$dir"
+    CKPT_OBS=1 CKPT_OBS_DIR="$dir" \
+      "$build_dir/tools/ckpt-sim" --policy="$policy" --jobs=60 \
+      --shards="$shards" > "$dir/stdout.txt"
+    normalize_metrics "$dir/ckpt_sim.$policy.metrics.json"
+  done
+  ref="$work_dir/sharded.$policy.1"
+  par="$work_dir/sharded.$policy.4"
+  compare "ckpt-sim --policy=$policy sharded stdout (1 vs 4 workers)" \
+    "$ref/stdout.txt" "$par/stdout.txt"
+  compare "ckpt-sim --policy=$policy sharded metrics" \
+    "$ref/ckpt_sim.$policy.metrics.json" "$par/ckpt_sim.$policy.metrics.json"
+  compare "ckpt-sim --policy=$policy sharded audit log" \
+    "$ref/ckpt_sim.$policy.audit.jsonl" "$par/ckpt_sim.$policy.audit.jsonl"
+done
+
+# Sharded streaming scale lane: bench_scale's deterministic stdout table
+# through the streaming sharded driver, 1 vs 4 workers.
+"$build_dir/bench/bench_scale" --sizes=64,128 --shards=1 2>/dev/null \
+  > "$work_dir/scale.shards1.txt"
+"$build_dir/bench/bench_scale" --sizes=64,128 --shards=4 2>/dev/null \
+  > "$work_dir/scale.shards4.txt"
+compare "bench_scale sharded streaming (1 vs 4 workers)" \
+  "$work_dir/scale.shards1.txt" "$work_dir/scale.shards4.txt"
 
 exit "$fail"

@@ -80,17 +80,24 @@ grep -q "kill_lost_work" "$obs_dir/diff_report.txt"
 python3 "$repo_root/scripts/bench_perf_diff.py" --check \
   "$repo_root/BENCH_PERF.json" "$repo_root/BENCH_PERF.baseline.json"
 
-# ThreadSanitizer lane: the simulator is single-threaded, so the only code
-# that may race is the sweep runner (thread pool + per-cell merge). Build
-# just those targets under TSan and run the threaded tests and the
-# serial-vs-parallel determinism diff.
+# ThreadSanitizer lane: threads appear in two places — the sweep runner
+# (thread pool + per-cell merge) and the sharded single-run driver (shard
+# mailboxes drained on pool workers between barriers). Build just those
+# targets under TSan and run the threaded tests and the serial-vs-parallel
+# determinism diff.
 if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
   tsan_dir="$build_dir-tsan"
   cmake -B "$tsan_dir" -S "$repo_root" -DCKPT_SANITIZE=thread
   cmake --build "$tsan_dir" -j "$(nproc)" \
     --target test_thread_pool test_fault test_feasibility_index \
+    test_sharded_simulator test_workload_stream \
     bench_fig3_trace_sim bench_ext_failure bench_scale ckpt_sim_cli
   "$tsan_dir/tests/test_thread_pool"
+  # The sharded single-run driver drains shard mailboxes on pool workers;
+  # TSan watches the barrier hand-offs, outbox merges, and the parallel
+  # feasibility-flush scratch writes.
+  "$tsan_dir/tests/test_sharded_simulator"
+  "$tsan_dir/tests/test_workload_stream"
   # Fault injection draws RNG inside sweep cells; TSan watches the fault
   # tests and the parallel fault sweep for cross-cell sharing.
   "$tsan_dir/tests/test_fault"

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "common/logging.h"
@@ -71,6 +72,15 @@ void ParallelForIndexed(int workers, std::int64_t n,
     pool.Submit([&fn, i] { fn(i); });
   }
   pool.Wait();
+}
+
+int ClampSweepWorkers(int requested) {
+  if (requested < 1) return 1;
+  const char* no_clamp = std::getenv("CKPT_SWEEP_NO_CLAMP");
+  if (no_clamp != nullptr && *no_clamp != '\0') return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return requested;  // unknown topology: trust the caller
+  return std::min(requested, static_cast<int>(hw));
 }
 
 }  // namespace ckpt

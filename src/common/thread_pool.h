@@ -56,4 +56,13 @@ class ThreadPool {
 void ParallelForIndexed(int workers, std::int64_t n,
                         const std::function<void(std::int64_t)>& fn);
 
+// Clamp a requested sweep worker count to the machine's hardware
+// concurrency. Oversubscribing cores only adds context-switch overhead to
+// CPU-bound sweep cells (a 1-core machine runs --jobs=4 ~25% slower than
+// --jobs=1), so benches pass their --jobs value through here and report the
+// effective count. Setting CKPT_SWEEP_NO_CLAMP (to anything non-empty)
+// disables the clamp — the determinism and TSan lanes use it so multi-
+// threaded code paths still run on small CI machines.
+int ClampSweepWorkers(int requested);
+
 }  // namespace ckpt

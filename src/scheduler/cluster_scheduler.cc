@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "obs/observability.h"
+#include "sim/sharded_simulator.h"
+#include "trace/workload_stream.h"
 
 namespace ckpt {
 
@@ -14,6 +16,12 @@ struct ClusterScheduler::RtJob {
   JobSpec spec;
   int tasks_left = 0;
   SimTime finish_time = -1;
+  // Streaming submission (SubmitStream): task records are tracked so that
+  // when the job finishes its spec storage — the bulk of a run's memory —
+  // can be released and the records' spec pointers nulled (a later
+  // dereference faults loudly instead of reading freed data).
+  bool streaming = false;
+  std::vector<RtTask*> rt_tasks;
 };
 
 struct ClusterScheduler::RtTask {
@@ -107,6 +115,14 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
       InjectNodeFailure(crash.node, crash.at, crash.down_for);
     }
   }
+  if (config_.sharded != nullptr) {
+    CKPT_CHECK(sim == config_.sharded->coordinator())
+        << "config.sharded set but sim is not its coordinator";
+    for (Node* node : cluster_->nodes()) {
+      node->storage().set_shard_channel(
+          config_.sharded->ChannelFor(node->id().value()));
+    }
+  }
   if (config_.obs != nullptr) {
     config_.obs->waste().set_policy(PolicyName(config_.policy));
     SelfProfile& prof = config_.obs->self_profile();
@@ -136,10 +152,47 @@ void ClusterScheduler::Submit(const Workload& workload) {
   }
 }
 
+void ClusterScheduler::SubmitStream(WorkloadStream* stream) {
+  CKPT_CHECK(stream != nullptr);
+  CKPT_CHECK(stream_ == nullptr) << "SubmitStream called twice";
+  stream_ = stream;
+  jobs_.reserve(static_cast<size_t>(stream->TotalJobs()));
+  stream_has_next_ = stream_->Next(&stream_next_);
+  if (stream_has_next_) {
+    sim_->ScheduleAt(stream_next_.submit_time, [this] { OnStreamArrival(); });
+  }
+}
+
+void ClusterScheduler::OnStreamArrival() {
+  CKPT_CHECK(stream_has_next_);
+  auto job = std::make_unique<RtJob>();
+  job->spec = std::move(stream_next_);
+  job->streaming = true;
+  for (const TaskSpec& spec : job->spec.tasks) {
+    CKPT_CHECK(spec.priority >= kMinPriority && spec.priority <= kMaxPriority)
+        << "task " << spec.id.value() << " priority " << spec.priority;
+  }
+  job->tasks_left = static_cast<int>(job->spec.tasks.size());
+  RtJob* jp = job.get();
+  jobs_.push_back(std::move(job));
+  // Pull the successor before dispatching this arrival: the stream's sorted
+  // contract puts it at >= now, so lookahead 1 suffices.
+  stream_has_next_ = stream_->Next(&stream_next_);
+  if (stream_has_next_) {
+    CKPT_CHECK_GE(stream_next_.submit_time, sim_->Now());
+    sim_->ScheduleAt(stream_next_.submit_time, [this] { OnStreamArrival(); });
+  }
+  OnJobArrival(jp);
+}
+
 SimulationResult ClusterScheduler::Run() {
   {
     ScopedWallTimer run_timer(prof_run_);
-    sim_->Run();
+    if (config_.sharded != nullptr) {
+      config_.sharded->Run();
+    } else {
+      sim_->Run();
+    }
   }
   result_.total_busy_core_hours = ToHours(cluster_->TotalBusyCoreTime());
   result_.energy_kwh = cluster_->TotalEnergyKwh();
@@ -158,7 +211,9 @@ SimulationResult ClusterScheduler::Run() {
   if (config_.obs != nullptr) {
     MetricsRegistry& m = config_.obs->metrics();
     m.GetGauge("sim.events_processed")
-        ->Set(static_cast<double>(sim_->EventsProcessed()));
+        ->Set(static_cast<double>(config_.sharded != nullptr
+                                      ? config_.sharded->EventsProcessed()
+                                      : sim_->EventsProcessed()));
     m.GetGauge("sched.busy_core_hours")->Set(result_.total_busy_core_hours);
     m.GetGauge("sched.wasted_core_hours")->Set(result_.wasted_core_hours);
     m.GetGauge("sched.lost_work_core_hours")
@@ -178,6 +233,7 @@ SimulationResult ClusterScheduler::Run() {
 // --- Arrival & scheduling ---------------------------------------------------
 
 void ClusterScheduler::OnJobArrival(RtJob* job) {
+  if (job->streaming) job->rt_tasks.reserve(job->spec.tasks.size());
   for (const TaskSpec& spec : job->spec.tasks) {
     RtTask* task = task_arena_->New();
     task->spec = &spec;
@@ -186,6 +242,7 @@ void ClusterScheduler::OnJobArrival(RtJob* job) {
     task->submit_time = sim_->Now();
     AddPending(task);
     tasks_.push_back(task);
+    if (job->streaming) job->rt_tasks.push_back(task);
   }
   FinishJobIfDone(job);  // degenerate zero-task jobs complete immediately
   TrySchedule();
@@ -270,6 +327,28 @@ void ClusterScheduler::TouchNode(NodeId node) {
 void ClusterScheduler::FlushFeasibilityIndex() {
   index_leaves_recomputed_ +=
       static_cast<std::int64_t>(index_stale_list_.size());
+  // Big flushes (cluster-wide invalidations at scale) fan the pure
+  // per-leaf recomputation out over the sharded driver's workers; the
+  // aggregates are applied serially in stale-list order either way, so the
+  // index ends up byte-identical at every worker count.
+  constexpr size_t kParallelFlushThreshold = 2048;
+  if (config_.sharded != nullptr &&
+      index_stale_list_.size() >= kParallelFlushThreshold) {
+    flush_scratch_.resize(index_stale_list_.size());
+    config_.sharded->ParallelFor(
+        static_cast<std::int64_t>(index_stale_list_.size()),
+        [this](std::int64_t k) {
+          flush_scratch_[static_cast<size_t>(k)] =
+              ComputeNodeAgg(index_stale_list_[static_cast<size_t>(k)]);
+        });
+    for (size_t k = 0; k < index_stale_list_.size(); ++k) {
+      const size_t i = index_stale_list_[k];
+      index_leaf_stale_[i] = 0;
+      feas_index_.Update(i, flush_scratch_[k]);
+    }
+    index_stale_list_.clear();
+    return;
+  }
   for (const size_t i : index_stale_list_) {
     index_leaf_stale_[i] = 0;
     feas_index_.Update(i, ComputeNodeAgg(i));
@@ -614,6 +693,16 @@ void ClusterScheduler::FinishJobIfDone(RtJob* job) {
   const auto band = static_cast<size_t>(BandOf(job->spec.priority));
   result_.job_response_by_band[band].Add(response);
   result_.all_job_responses.Add(response);
+  if (job->streaming) {
+    // Release the task specs — the bulk of a streaming run's memory. Spec
+    // pointers are nulled so a stale access faults instead of reading the
+    // freed vector.
+    for (RtTask* t : job->rt_tasks) t->spec = nullptr;
+    job->rt_tasks.clear();
+    job->rt_tasks.shrink_to_fit();
+    job->spec.tasks.clear();
+    job->spec.tasks.shrink_to_fit();
+  }
 }
 
 // --- Preemption -------------------------------------------------------------

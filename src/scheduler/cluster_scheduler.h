@@ -32,6 +32,8 @@
 namespace ckpt {
 
 class Observability;
+class ShardedSimulator;
+class WorkloadStream;
 enum class WasteCause;
 
 struct SchedulerConfig {
@@ -99,6 +101,13 @@ struct SchedulerConfig {
 
   // Optional metrics/trace sink; not owned, null disables all recording.
   Observability* obs = nullptr;
+
+  // Optional sharded-simulation driver (not owned). When set, `sim` passed
+  // to the constructor must be its coordinator(); node storage completions
+  // are routed through per-shard mailboxes so Run() can drain device events
+  // on worker threads between barriers (see sim/sharded_simulator.h).
+  // Null keeps the monolithic event loop, byte-for-byte unchanged.
+  ShardedSimulator* sharded = nullptr;
 };
 
 struct SimulationResult {
@@ -171,6 +180,16 @@ class ClusterScheduler {
   // Register the workload's arrival events. Call once before Run().
   void Submit(const Workload& workload);
 
+  // Streaming alternative to Submit(): jobs are pulled from `stream` (not
+  // owned; must outlive Run()) one at a time — each arrival event pulls the
+  // next job, so at most one undispatched JobSpec is materialized and
+  // finished jobs release their task specs. Peak memory stays O(live tasks)
+  // instead of O(all tasks). Event ordering may differ from Submit() when a
+  // later job's arrival ties with an event scheduled before it was pulled,
+  // so a run is comparable only to other SubmitStream runs (which are
+  // deterministic at every shard count).
+  void SubmitStream(WorkloadStream* stream);
+
   // Failure injection: crash `node` at `at`, recover it `down_for` later
   // (never, when down_for < 0). Tasks on the node are interrupted; with
   // DFS-replicated checkpoints their images survive and they resume
@@ -190,6 +209,8 @@ class ClusterScheduler {
   };
 
   void OnJobArrival(RtJob* job);
+  // Dispatch the buffered streamed job, then pull/schedule the next one.
+  void OnStreamArrival();
   void TrySchedule();
   void RunSchedulePass();
   bool TryPlace(RtTask* task);
@@ -259,6 +280,12 @@ class ClusterScheduler {
   std::unique_ptr<FaultInjector> fault_;
 
   std::vector<std::unique_ptr<RtJob>> jobs_;
+
+  // Streaming submission state (SubmitStream): the source stream plus the
+  // single pulled-but-undispatched job (lookahead 1).
+  WorkloadStream* stream_ = nullptr;
+  JobSpec stream_next_;
+  bool stream_has_next_ = false;
   // Task records live in a slab arena (pointer-stable, chunk-allocated);
   // tasks_ keeps creation order for the failure-handling index iteration.
   std::unique_ptr<SlabArena<RtTask>> task_arena_;
@@ -316,6 +343,10 @@ class ClusterScheduler {
   // hot path performs no per-attempt allocations once warmed up.
   std::vector<RtTask*> preempt_local_scratch_;
   std::vector<RtTask*> victim_candidates_;
+
+  // Scratch for the sharded parallel feasibility flush (aggregates computed
+  // on workers, applied serially in stale-list order).
+  std::vector<FeasibilityAgg> flush_scratch_;
 
   // Feasibility-index work counter (leaves recomputed by flushes); cheap
   // enough to keep always-on, exported and audited only under obs.

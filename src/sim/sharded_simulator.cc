@@ -1,0 +1,164 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+void ShardChannel::ScheduleLocal(SimTime when, SimCallback cb) {
+  owner_->ScheduleLocal(shard_, when, std::move(cb));
+}
+
+void ShardChannel::PostGlobal(SimTime when, SimCallback cb) {
+  owner_->PostGlobal(shard_, when, std::move(cb));
+}
+
+ShardedSimulator::ShardedSimulator(Options options)
+    : workers_(std::max(options.workers, 1)),
+      parallel_threshold_(std::max<std::int64_t>(options.parallel_threshold, 0)) {
+  shards_ = std::vector<Shard>(kLogicalShards);
+  channels_.resize(kLogicalShards);
+  for (int s = 0; s < kLogicalShards; ++s) {
+    channels_[static_cast<size_t>(s)].owner_ = this;
+    channels_[static_cast<size_t>(s)].shard_ = s;
+  }
+  if (workers_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(std::min(workers_, kLogicalShards));
+  }
+  drain_list_.reserve(kLogicalShards);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::ScheduleLocal(int shard, SimTime when, SimCallback cb) {
+  // Only the coordinator phase schedules shard events (device submission is
+  // a coordinator action), so `when` can never precede coordinator time —
+  // and per-device FIFO completion times are monotone, so it can never
+  // precede an event this shard already fired either.
+  CKPT_CHECK_GE(when, coordinator_.Now());
+  shards_[static_cast<size_t>(shard)].queue.Push(when, std::move(cb));
+  min_shard_head_ = std::min(min_shard_head_, when);
+}
+
+void ShardedSimulator::PostGlobal(int shard, SimTime when, SimCallback cb) {
+  shards_[static_cast<size_t>(shard)].outbox.push_back(
+      Message{when, std::move(cb)});
+}
+
+SimTime ShardedSimulator::MinShardHead() {
+  SimTime min = Simulator::kMaxTime;
+  for (Shard& shard : shards_) {
+    if (!shard.queue.empty()) min = std::min(min, shard.queue.NextWhen());
+  }
+  return min;
+}
+
+std::int64_t ShardedSimulator::Run() {
+  min_shard_head_ = MinShardHead();
+  for (;;) {
+    // Serial phase: the coordinator owns every instant up to (and
+    // including) the earliest shard event. min_shard_head_ stays exact
+    // here: shard queues only grow during this phase, and each insert
+    // lowers the bound through ScheduleLocal.
+    while (!coordinator_.Empty() &&
+           coordinator_.NextWhen() <= min_shard_head_) {
+      coordinator_.Step();
+    }
+    if (min_shard_head_ >= Simulator::kMaxTime) {
+      CKPT_CHECK(coordinator_.Empty());
+      return EventsProcessed();
+    }
+    const SimTime window =
+        coordinator_.Empty() ? Simulator::kMaxTime : coordinator_.NextWhen();
+    DrainShards(window);
+    MergeOutboxes();
+    ++barriers_;
+    min_shard_head_ = MinShardHead();
+  }
+}
+
+void ShardedSimulator::DrainShards(SimTime horizon) {
+  drain_list_.clear();
+  std::int64_t pending = 0;
+  for (int s = 0; s < kLogicalShards; ++s) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    if (!shard.queue.empty() && shard.queue.NextWhen() < horizon) {
+      drain_list_.push_back(s);
+      pending += shard.queue.size();  // upper bound; cheap heuristic
+    }
+  }
+  if (pool_ == nullptr || drain_list_.size() < 2 ||
+      pending < parallel_threshold_) {
+    for (const int s : drain_list_) {
+      DrainOne(shards_[static_cast<size_t>(s)], horizon);
+    }
+    return;
+  }
+  for (const int s : drain_list_) {
+    Shard* shard = &shards_[static_cast<size_t>(s)];
+    pool_->Submit([this, shard, horizon] { DrainOne(*shard, horizon); });
+  }
+  pool_->Wait();
+}
+
+void ShardedSimulator::DrainOne(Shard& shard, SimTime horizon) {
+  while (!shard.queue.empty() && shard.queue.NextWhen() < horizon) {
+    EventNode* node = shard.queue.PopLive();
+    ++shard.processed;
+    node->cb();
+    shard.queue.Recycle(node);
+  }
+}
+
+void ShardedSimulator::MergeOutboxes() {
+  merge_scratch_.clear();
+  for (Shard& shard : shards_) {
+    for (Message& msg : shard.outbox) {
+      merge_scratch_.push_back(std::move(msg));
+    }
+    shard.outbox.clear();
+  }
+  if (merge_scratch_.empty()) return;
+  // Each outbox is already when-nondecreasing (heap pop order), so a
+  // stable sort of the shard-order concatenation realizes the canonical
+  // (when, shard, emission seq) merge order.
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const Message& a, const Message& b) {
+                     return a.when < b.when;
+                   });
+  for (Message& msg : merge_scratch_) {
+    // Fresh coordinator sequence numbers slot the message after any
+    // already-pending coordinator event at the same instant.
+    coordinator_.ScheduleAt(msg.when, std::move(msg.cb));
+    ++messages_merged_;
+  }
+  merge_scratch_.clear();
+}
+
+std::int64_t ShardedSimulator::EventsProcessed() const {
+  std::int64_t total = coordinator_.EventsProcessed();
+  for (const Shard& shard : shards_) total += shard.processed;
+  return total;
+}
+
+void ShardedSimulator::ParallelFor(
+    std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  if (pool_ == nullptr || n < 2 * workers_) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const int blocks = std::min<std::int64_t>(workers_, n);
+  const std::int64_t chunk = (n + blocks - 1) / blocks;
+  for (int b = 0; b < blocks; ++b) {
+    const std::int64_t begin = b * chunk;
+    const std::int64_t end = std::min(n, begin + chunk);
+    pool_->Submit([&fn, begin, end] {
+      for (std::int64_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool_->Wait();
+}
+
+}  // namespace ckpt

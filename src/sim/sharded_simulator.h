@@ -1,0 +1,176 @@
+// Deterministic sharded simulation driver: one run, many cores.
+//
+// A ShardedSimulator partitions event processing between one *coordinator*
+// Simulator (scheduler decisions, job arrivals, network deliveries — all
+// logic that reads or writes cluster-global state) and a fixed number of
+// *logical shards*, each owning the per-device completion events of a
+// disjoint subset of nodes. Shards drain concurrently on worker threads
+// inside data-dependent safe windows; everything a shard event wants to
+// tell the rest of the system travels through its shard's outbox and is
+// merged back into the coordinator queue at the next barrier in a fixed
+// (when, shard, emission seq) order.
+//
+// Determinism contract: the number of *logical* shards is a fixed constant
+// (kLogicalShards) independent of the worker count, every ordering key is
+// derived from (event time, logical shard, per-shard emission order), and
+// workers only ever touch the shard they were handed. Consequently stdout,
+// metrics, the audit log, and the waste ledger are byte-identical for any
+// --shards value, including --shards=1 (the single-worker reference runs
+// the exact same merge machinery, just without threads).
+//
+// Safe-window protocol (one round of Run()):
+//   1. Serial phase: the coordinator processes its own events while its
+//      head is <= the earliest shard event (ties go to the coordinator, so
+//      a cancellation issued at time T always lands before a completion at
+//      T — the conservative order).
+//   2. Window: W = the coordinator's next event time (+inf when empty).
+//      Every shard event strictly before W is causally closed: shard
+//      events cannot spawn other shard events (completions only post
+//      messages), and any coordinator reaction to a message at time t can
+//      only enqueue device work finishing at >= t (per-device FIFO service
+//      times are monotone), never inside the drained window.
+//   3. Parallel drain: workers pop and run each shard's events < W.
+//      Shard callbacks touch only their own devices' state and append
+//      (when, cb) messages to their shard-private outbox.
+//   4. Barrier merge: outboxes are concatenated in logical-shard order and
+//      stably sorted by `when` — i.e. (when, shard, emission seq) — then
+//      pushed into the coordinator queue, where fresh sequence numbers
+//      slot them after any already-pending coordinator event at the same
+//      instant. Repeat until both sides are empty.
+//
+// Relation to the monolithic Simulator: a device completion that ties with
+// a coordinator event at the same instant may fire on the other side of it
+// than the global schedule-order tiebreak would have put it (the protocol
+// always lets the coordinator pass time T first). Runs are therefore
+// deterministic at *every* shard count but are a distinct — equally valid —
+// serialization from the monolithic driver's; tie-free scenarios coincide
+// exactly (tests/test_sharded_simulator.cc checks both properties).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace ckpt {
+
+class ShardedSimulator;
+
+// Per-logical-shard mailbox handed to event sources (storage devices).
+// ScheduleLocal may only be called from the coordinator phase; PostGlobal
+// only from this shard's own callbacks during a drain. Neither is ever
+// called concurrently for one shard, so no locks are needed.
+class ShardChannel {
+ public:
+  // Schedule a shard-local event at absolute time `when`. The caller must
+  // guarantee `when` is >= every event this shard already fired — true for
+  // FIFO device completions, whose times are nondecreasing per device.
+  void ScheduleLocal(SimTime when, SimCallback cb);
+
+  // Defer `cb` to the coordinator, to run at `when` (the posting event's
+  // own time). Applied at the next barrier in (when, shard, post order).
+  void PostGlobal(SimTime when, SimCallback cb);
+
+ private:
+  friend class ShardedSimulator;
+  ShardedSimulator* owner_ = nullptr;
+  int shard_ = 0;
+};
+
+struct ShardedSimulatorOptions {
+  // Worker threads for shard drains (and ParallelFor). 1 = run the full
+  // merge machinery inline, no threads — the determinism reference.
+  int workers = 1;
+  // Below this many pending shard events a drain runs inline even with
+  // workers available: a thread-pool round trip costs more than popping
+  // a handful of events. Purely a latency knob; results are identical.
+  std::int64_t parallel_threshold = 128;
+};
+
+class ShardedSimulator {
+ public:
+  // The determinism domain count: fixed regardless of worker count, so
+  // every ordering key is partition-independent. 64 bounds both the
+  // usable parallelism and the per-barrier head-scan cost.
+  static constexpr int kLogicalShards = 64;
+
+  using Options = ShardedSimulatorOptions;
+
+  explicit ShardedSimulator(Options options = {});
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator();
+
+  // The coordinator clock/queue. Substrates keep their Simulator* pointer;
+  // only device completions are rerouted through shard channels.
+  Simulator* coordinator() { return &coordinator_; }
+
+  // Channel for the logical shard owning `key` (callers pass the node id).
+  ShardChannel* ChannelFor(std::int64_t key) {
+    return &channels_[static_cast<size_t>(key % kLogicalShards)];
+  }
+
+  // Drive coordinator + shards to completion. Returns events processed.
+  std::int64_t Run();
+
+  // Coordinator events + shard events + barrier-merged messages; identical
+  // at every worker count.
+  std::int64_t EventsProcessed() const;
+
+  std::int64_t Barriers() const { return barriers_; }
+
+  // Deterministic parallel-for over [0, n) on the drain pool: fn(i) must
+  // write only slot i of its output. Runs inline when workers == 1 or n is
+  // small. Exposed so the scheduler can fan out shard-independent work
+  // (feasibility-index leaf recomputation) between barriers.
+  void ParallelFor(std::int64_t n, const std::function<void(std::int64_t)>& fn);
+
+  int workers() const { return workers_; }
+
+ private:
+  friend class ShardChannel;
+
+  struct Message {
+    SimTime when;
+    SimCallback cb;
+  };
+
+  // One logical shard. Padded so adjacent shards never share a cache line
+  // while workers drain them concurrently.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    std::vector<Message> outbox;
+    std::int64_t processed = 0;
+  };
+
+  void ScheduleLocal(int shard, SimTime when, SimCallback cb);
+  void PostGlobal(int shard, SimTime when, SimCallback cb);
+  SimTime MinShardHead();          // exact scan over all shard queues
+  void DrainShards(SimTime horizon);
+  void DrainOne(Shard& shard, SimTime horizon);
+  void MergeOutboxes();
+
+  Simulator coordinator_;
+  std::vector<Shard> shards_;
+  std::vector<ShardChannel> channels_;
+  // Lower bound on the earliest shard event; exact after MinShardHead(),
+  // only lowered (by ScheduleLocal) during the serial phase, so the serial
+  // loop's comparison is always against the true minimum.
+  SimTime min_shard_head_ = Simulator::kMaxTime;
+  std::int64_t messages_merged_ = 0;
+  std::int64_t barriers_ = 0;
+
+  int workers_ = 1;
+  std::int64_t parallel_threshold_ = 128;
+  std::unique_ptr<ThreadPool> pool_;  // null when workers_ == 1
+
+  // Barrier scratch, reused across rounds.
+  std::vector<int> drain_list_;
+  std::vector<Message> merge_scratch_;
+};
+
+}  // namespace ckpt

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "fault/fault.h"
+#include "sim/sharded_simulator.h"
 
 namespace ckpt {
 
@@ -22,6 +23,25 @@ SimTime StorageDevice::Enqueue(SimDuration service, bool ok,
   const StorageOpId op = next_op_id_++;
   live_ops_.insert(op);
   const SimTime completion = busy_until_;
+  if (channel_ != nullptr) {
+    // Sharded path: device bookkeeping fires as a shard-local event (this
+    // device belongs to exactly one logical shard); the caller's `done`
+    // runs on the coordinator at the same instant, delivered through the
+    // shard outbox in deterministic (when, shard, post order).
+    channel_->ScheduleLocal(
+        completion, [this, op, ok, completion, done = std::move(done)]() mutable {
+          --pending_ops_;
+          ++ops_completed_;
+          if (!ok) ++ops_failed_;
+          live_ops_.erase(op);
+          if (canceled_ops_.erase(op) > 0) return;
+          if (done) {
+            channel_->PostGlobal(completion,
+                                 [ok, done = std::move(done)] { done(ok); });
+          }
+        });
+    return completion;
+  }
   sim_->ScheduleAt(completion, [this, op, ok, done = std::move(done)]() {
     --pending_ops_;
     ++ops_completed_;

@@ -29,6 +29,7 @@
 namespace ckpt {
 
 class FaultInjector;
+class ShardChannel;
 
 using StorageOpId = std::uint64_t;
 
@@ -51,6 +52,15 @@ class StorageDevice {
     fault_ = injector;
     node_ = node;
   }
+
+  // Route completion events through a sharded-simulation mailbox (null
+  // keeps them on the owning Simulator — the monolithic path, untouched).
+  // With a channel, the completion's device bookkeeping runs as a
+  // shard-local event and the `done` callback is deferred to the
+  // coordinator at the same instant; see sim/sharded_simulator.h for the
+  // ordering contract this relies on (per-device FIFO completion times are
+  // monotone, so shard events never precede one already fired).
+  void set_shard_channel(ShardChannel* channel) { channel_ = channel; }
 
   // Enqueue a sequential write of `size` bytes; `done(ok)` fires at
   // completion. Returns the simulated completion time.
@@ -98,6 +108,7 @@ class StorageDevice {
   StorageMedium medium_;
   std::string label_;
   FaultInjector* fault_ = nullptr;
+  ShardChannel* channel_ = nullptr;
   NodeId node_;
 
   SimTime busy_until_ = 0;

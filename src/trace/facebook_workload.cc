@@ -2,32 +2,76 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "trace/workload_stream.h"
 
 namespace ckpt {
+namespace {
 
-Workload GenerateFacebookWorkload(const FacebookWorkloadConfig& config) {
-  CKPT_CHECK_GE(config.total_jobs, 4);
-  Rng rng(config.seed);
-  Workload workload;
+// Sequential job generator behind both GenerateFacebookWorkload
+// (materialized) and StreamFacebookWorkload. Jobs 0..high_jobs-1 are the
+// periodic production bursts, the rest the low-priority batch tail; the RNG
+// draw order matches the original two-loop construction exactly (high loop
+// first, then low loop, with `tasks_left` carried across).
+struct FacebookJobGen {
+  FacebookWorkloadConfig config;
+  Rng rng;
+  int high_jobs = 0;
+  int tasks_left = 0;
   std::int64_t next_task = 0;
+  int idx = 0;
 
-  // Facebook's mix (S2): most jobs are small and low priority; ~3 % of jobs
-  // need more than half the cluster and ~2 % exceed its capacity. We budget
-  // the 7,000 tasks as: a handful of large high-priority production jobs
-  // (one oversubscribing the cluster) and a long tail of small low-priority
-  // jobs.
-  const int high_jobs = std::max(config.total_jobs / 8, 2);
-  const int low_jobs = config.total_jobs - high_jobs;
+  explicit FacebookJobGen(const FacebookWorkloadConfig& cfg)
+      : config(cfg),
+        rng(cfg.seed),
+        high_jobs(std::max(cfg.total_jobs / 8, 2)),
+        tasks_left(cfg.total_tasks) {
+    CKPT_CHECK_GE(config.total_jobs, 4);
+  }
 
-  int tasks_left = config.total_tasks;
-  auto add_job = [&](int priority, int num_tasks, SimTime submit) {
+  std::int64_t TotalJobs() const { return config.total_jobs; }
+  bool Done() const { return idx >= config.total_jobs; }
+
+  JobSpec Next() {
+    int priority;
+    int num_tasks;
+    SimTime submit;
+    if (idx < high_jobs) {
+      // High-priority production jobs arrive periodically; the first is
+      // sized beyond the entire cluster so scheduling it preempts
+      // everything below it.
+      const int j = idx;
+      submit = config.production_period * (j + 1) +
+               Seconds(rng.Uniform(0.0, 30.0));
+      num_tasks = j == 0 ? static_cast<int>(config.cluster_containers * 1.2)
+                         : static_cast<int>(config.cluster_containers *
+                                            rng.Uniform(0.35, 0.8));
+      priority = config.high_priority;
+    } else {
+      // Low-priority batch jobs: sizes log-normal, arrivals spread across
+      // the experiment window, submitted early enough to occupy the cluster
+      // before the production bursts land.
+      const int j = idx - high_jobs;
+      const int low_jobs = config.total_jobs - high_jobs;
+      const SimDuration window = config.production_period * (high_jobs + 2);
+      submit = static_cast<SimTime>(rng.Uniform(0.0, ToSeconds(window) * 0.8) *
+                                    static_cast<double>(kSecond));
+      const int remaining_jobs = low_jobs - j;
+      const int fair_share =
+          std::max(tasks_left / std::max(remaining_jobs, 1), 8);
+      num_tasks = static_cast<int>(std::clamp(
+          rng.LogNormal(std::log(static_cast<double>(fair_share)), 0.6), 4.0,
+          static_cast<double>(2 * fair_share)));
+      priority = config.low_priority;
+    }
+
     num_tasks = std::max(1, std::min(num_tasks, tasks_left));
     tasks_left -= num_tasks;
     JobSpec job;
-    job.id = JobId(static_cast<std::int64_t>(workload.jobs.size()));
+    job.id = JobId(idx);
     job.submit_time = submit;
     job.priority = priority;
     job.tasks.reserve(static_cast<size_t>(num_tasks));
@@ -58,40 +102,28 @@ Workload GenerateFacebookWorkload(const FacebookWorkloadConfig& config) {
       task.memory_write_rate = rng.Uniform(0.01, 0.04);
       job.tasks.push_back(task);
     }
-    workload.jobs.push_back(std::move(job));
-  };
-
-  // High-priority production jobs arrive periodically; the first is sized
-  // beyond the entire cluster so scheduling it preempts everything below it.
-  for (int j = 0; j < high_jobs; ++j) {
-    const SimTime submit =
-        config.production_period * (j + 1) +
-        Seconds(rng.Uniform(0.0, 30.0));
-    const int tasks =
-        j == 0 ? static_cast<int>(config.cluster_containers * 1.2)
-               : static_cast<int>(config.cluster_containers *
-                                  rng.Uniform(0.35, 0.8));
-    add_job(config.high_priority, tasks, submit);
+    ++idx;
+    return job;
   }
+};
 
-  // Low-priority batch jobs: sizes log-normal, arrivals spread across the
-  // experiment window, submitted early enough to occupy the cluster before
-  // the production bursts land.
-  const SimDuration window = config.production_period * (high_jobs + 2);
-  for (int j = 0; j < low_jobs; ++j) {
-    const SimTime submit =
-        static_cast<SimTime>(rng.Uniform(0.0, ToSeconds(window) * 0.8) *
-                             static_cast<double>(kSecond));
-    int remaining_jobs = low_jobs - j;
-    const int fair_share = std::max(tasks_left / std::max(remaining_jobs, 1), 8);
-    const int tasks = static_cast<int>(std::clamp(
-        rng.LogNormal(std::log(static_cast<double>(fair_share)), 0.6), 4.0,
-        static_cast<double>(2 * fair_share)));
-    add_job(config.low_priority, tasks, submit);
+}  // namespace
+
+Workload GenerateFacebookWorkload(const FacebookWorkloadConfig& config) {
+  FacebookJobGen gen(config);
+  Workload workload;
+  workload.jobs.reserve(static_cast<size_t>(config.total_jobs));
+  while (!gen.Done()) {
+    workload.jobs.push_back(gen.Next());
   }
-
   workload.SortBySubmitTime();
   return workload;
+}
+
+std::unique_ptr<WorkloadStream> StreamFacebookWorkload(
+    const FacebookWorkloadConfig& config) {
+  return std::make_unique<SnapshotStream<FacebookJobGen>>(
+      FacebookJobGen(config));
 }
 
 }  // namespace ckpt

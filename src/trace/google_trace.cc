@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
+#include "trace/workload_stream.h"
 
 namespace ckpt {
 namespace {
@@ -50,6 +52,59 @@ SimTime SampleSubmitTime(Rng& rng, SimDuration span, double amplitude) {
 double ArrivalAmplitude(int priority) {
   return BandOf(priority) == PriorityBand::kFree ? 0.2 : 0.9;
 }
+
+// Sequential job generator behind both GenerateWorkloadSample (materialized)
+// and StreamWorkloadSample. Single source of truth for the draw sequence, so
+// the two paths cannot drift apart.
+struct SampleJobGen {
+  GoogleTraceGenerator gen;  // carries only config; cheap to copy
+  Rng rng;
+  int j = 0;
+  std::int64_t next_task = 0;
+
+  std::int64_t TotalJobs() const { return gen.config().sample_jobs; }
+  bool Done() const { return j >= gen.config().sample_jobs; }
+
+  JobSpec Next() {
+    const GoogleTraceConfig& config = gen.config();
+    JobSpec job;
+    job.id = JobId(j);
+    job.priority = gen.SamplePriority(rng);
+    job.submit_time =
+        SampleSubmitTime(rng, kDay, ArrivalAmplitude(job.priority));
+
+    // Heavy-tailed tasks-per-job: most jobs are small, a few have
+    // thousands of tasks (mean ~35-40).
+    double n = rng.LogNormal(std::log(5.0), 1.9) * config.sample_task_scale;
+    const int num_tasks = static_cast<int>(std::clamp(n, 1.0, 3000.0));
+
+    const Resources demand = gen.SampleDemand(rng, job.priority);
+    SimDuration duration = gen.SampleDuration(rng, job.priority);
+    // Bound each job's total work: wide jobs run short tasks. Without this
+    // a single 3000-task job of 10-hour tasks would dwarf the rest of the
+    // day's demand, which the real trace's steady >22k-core load rules out.
+    constexpr double kMaxJobCoreSeconds = 300.0 * 3600;
+    if (ToSeconds(duration) * num_tasks > kMaxJobCoreSeconds) {
+      duration = Seconds(kMaxJobCoreSeconds / num_tasks);
+    }
+    job.tasks.reserve(static_cast<size_t>(num_tasks));
+    for (int k = 0; k < num_tasks; ++k) {
+      TaskSpec task;
+      task.id = TaskId(next_task++);
+      task.job = job.id;
+      task.priority = job.priority;
+      task.latency_class = gen.SampleLatencyClass(rng);
+      // Sibling tasks look alike (same binary), with mild jitter.
+      task.duration = static_cast<SimDuration>(
+          static_cast<double>(duration) * rng.Uniform(0.8, 1.25));
+      task.demand = demand;
+      task.memory_write_rate = rng.Uniform(0.002, 0.05);
+      job.tasks.push_back(task);
+    }
+    ++j;
+    return job;
+  }
+};
 
 }  // namespace
 
@@ -235,51 +290,19 @@ EventTrace GoogleTraceGenerator::GenerateEventTrace() {
 }
 
 Workload GoogleTraceGenerator::GenerateWorkloadSample() {
-  Rng rng(config_.seed ^ 0xABCDEF);
+  SampleJobGen gen{*this, Rng(config_.seed ^ 0xABCDEF)};
   Workload workload;
   workload.jobs.reserve(static_cast<size_t>(config_.sample_jobs));
-  std::int64_t next_task = 0;
-
-  for (int j = 0; j < config_.sample_jobs; ++j) {
-    JobSpec job;
-    job.id = JobId(j);
-    job.priority = SamplePriority(rng);
-    job.submit_time =
-        SampleSubmitTime(rng, kDay, ArrivalAmplitude(job.priority));
-
-    // Heavy-tailed tasks-per-job: most jobs are small, a few have
-    // thousands of tasks (mean ~35-40).
-    double n = rng.LogNormal(std::log(5.0), 1.9) * config_.sample_task_scale;
-    const int num_tasks =
-        static_cast<int>(std::clamp(n, 1.0, 3000.0));
-
-    const Resources demand = SampleDemand(rng, job.priority);
-    SimDuration duration = SampleDuration(rng, job.priority);
-    // Bound each job's total work: wide jobs run short tasks. Without this
-    // a single 3000-task job of 10-hour tasks would dwarf the rest of the
-    // day's demand, which the real trace's steady >22k-core load rules out.
-    constexpr double kMaxJobCoreSeconds = 300.0 * 3600;
-    if (ToSeconds(duration) * num_tasks > kMaxJobCoreSeconds) {
-      duration = Seconds(kMaxJobCoreSeconds / num_tasks);
-    }
-    job.tasks.reserve(static_cast<size_t>(num_tasks));
-    for (int k = 0; k < num_tasks; ++k) {
-      TaskSpec task;
-      task.id = TaskId(next_task++);
-      task.job = job.id;
-      task.priority = job.priority;
-      task.latency_class = SampleLatencyClass(rng);
-      // Sibling tasks look alike (same binary), with mild jitter.
-      task.duration = static_cast<SimDuration>(
-          static_cast<double>(duration) * rng.Uniform(0.8, 1.25));
-      task.demand = demand;
-      task.memory_write_rate = rng.Uniform(0.002, 0.05);
-      job.tasks.push_back(task);
-    }
-    workload.jobs.push_back(std::move(job));
+  while (!gen.Done()) {
+    workload.jobs.push_back(gen.Next());
   }
   workload.SortBySubmitTime();
   return workload;
+}
+
+std::unique_ptr<WorkloadStream> GoogleTraceGenerator::StreamWorkloadSample() {
+  return std::make_unique<SnapshotStream<SampleJobGen>>(
+      SampleJobGen{*this, Rng(config_.seed ^ 0xABCDEF)});
 }
 
 }  // namespace ckpt

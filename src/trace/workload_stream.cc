@@ -1,0 +1,16 @@
+#include "trace/workload_stream.h"
+
+namespace ckpt {
+
+Workload MaterializeStream(WorkloadStream* stream) {
+  CKPT_CHECK(stream != nullptr);
+  Workload workload;
+  workload.jobs.reserve(static_cast<size_t>(stream->TotalJobs()));
+  JobSpec job;
+  while (stream->Next(&job)) {
+    workload.jobs.push_back(std::move(job));
+  }
+  return workload;
+}
+
+}  // namespace ckpt

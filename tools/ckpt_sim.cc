@@ -24,6 +24,7 @@
 #include "common/thread_pool.h"
 #include "obs/observability.h"
 #include "scheduler/cluster_scheduler.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
 #include "trace/google_trace.h"
 
@@ -71,6 +72,11 @@ struct Flags {
   std::string sweep_media;
   std::string sweep_seeds;
   int parallel = 1;
+
+  // Single-run mode: drive the run through the deterministic sharded
+  // simulator with this many worker threads (0 = monolithic event loop).
+  // Output is byte-identical for every value >= 1.
+  int shards = 0;
 };
 
 void Usage(const char* argv0) {
@@ -94,7 +100,12 @@ void Usage(const char* argv0) {
       "  --sweep-policies=A,B,..  run every combination of the sweep lists\n"
       "  --sweep-media=X,Y,..     (a missing list reuses the single-run\n"
       "  --sweep-seeds=N,M,..      flag); reports print in cell order\n"
-      "  --parallel=N      worker threads for sweep cells (default 1)\n",
+      "  --parallel=N      worker threads for sweep cells (default 1),\n"
+      "                    clamped to the core count unless\n"
+      "                    CKPT_SWEEP_NO_CLAMP is set\n"
+      "  --shards=N        single-run mode: drain device events on N worker\n"
+      "                    threads via the deterministic sharded driver\n"
+      "                    (0 = monolithic; any N >= 1 is byte-identical)\n",
       argv0);
 }
 
@@ -132,6 +143,9 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(arg, "--parallel", &value)) {
       flags->parallel = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--shards", &value)) {
+      flags->shards = std::atoi(value.c_str());
+      if (flags->shards < 0) flags->shards = 0;
     } else if (ParseFlag(arg, "--fail-node", &value)) {
       flags->fail_node = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--fail-at", &value)) {
@@ -235,7 +249,18 @@ std::string RunCell(const Flags& flags, SchedulerConfig config,
       1, static_cast<int>(core_seconds / ToSeconds(kDay) /
                           (flags.util * cores_per_node) + 0.999));
 
-  Simulator sim;
+  // With --shards=N the run goes through the deterministic sharded driver
+  // (worker count N changes wall-clock only, never output); the workload
+  // stays materialized — cluster sizing above already walked every task.
+  std::unique_ptr<ShardedSimulator> ssim;
+  if (flags.shards > 0) {
+    ShardedSimulator::Options opt;
+    opt.workers = flags.shards;
+    ssim = std::make_unique<ShardedSimulator>(opt);
+    config.sharded = ssim.get();
+  }
+  Simulator own_sim;
+  Simulator& sim = ssim != nullptr ? *ssim->coordinator() : own_sim;
   Cluster cluster(&sim);
   cluster.AddNodes(nodes, Resources{cores_per_node, GiB(64)}, config.medium);
   ClusterScheduler scheduler(&sim, &cluster, config);
@@ -366,7 +391,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<std::string> reports(cells.size());
-  ParallelForIndexed(flags.parallel, static_cast<std::int64_t>(cells.size()),
+  ParallelForIndexed(ClampSweepWorkers(flags.parallel),
+                     static_cast<std::int64_t>(cells.size()),
                      [&](std::int64_t i) {
                        const Cell& cell = cells[static_cast<size_t>(i)];
                        reports[static_cast<size_t>(i)] =
