@@ -123,6 +123,25 @@ for shards in ${BENCH_PERF_SHARDS:-1 2}; do
   parse_scale_stderr "$obs_dir/scale.s$shards.stderr.txt" scale_sharded
 done
 
+# Interference sweep: shared-bandwidth pools + cooperative dump scheduler +
+# periodic Young/Daly checkpoints, replicated over crash phases. The bench
+# does not export obs metrics, so this lane records wall time only — the
+# pool arithmetic runs on the hot path of every dump/restore/transfer, and
+# a regression here means the fair-share bookkeeping got slower.
+# Env: BENCH_INTERFERENCE_JOBS overrides the workload size (default 300).
+interference_jobs="${BENCH_INTERFERENCE_JOBS:-300}"
+for jobs in $jobs_list; do
+  eff="$(effective_jobs "$jobs")"
+  t0="$(now)"
+  "$build_dir/bench/bench_interference" --jobs "$jobs" "$interference_jobs" \
+    > "$obs_dir/interference.j$jobs.stdout.txt"
+  t1="$(now)"
+  seconds="$(python3 -c "print(f'{$t1 - $t0:.3f}')")"
+  echo "bench_perf: interference jobs=$jobs effective_jobs=$eff" \
+       "seconds=$seconds"
+  entries+=("{\"bench\":\"interference\",\"jobs\":$jobs,\"effective_jobs\":$eff,\"seconds\":$seconds}")
+done
+
 # Micro-benchmark: the binary reports events/sec per scenario itself.
 micro_out="$obs_dir/micro.stdout.txt"
 t0="$(now)"

@@ -124,6 +124,31 @@ for policy in kill checkpoint adaptive; do
     "$ref/ckpt_sim.$policy.audit.jsonl" "$par/ckpt_sim.$policy.audit.jsonl"
 done
 
+# Interference lanes: the shared-bandwidth pools, the cooperative dump
+# scheduler, and periodic Young/Daly checkpoints must stay deterministic
+# both across sweep worker counts and across shard counts.
+"$build_dir/bench/bench_interference" --jobs 1 120 \
+  > "$work_dir/interference.serial.txt"
+"$build_dir/bench/bench_interference" --jobs 8 120 \
+  > "$work_dir/interference.parallel.txt"
+compare "bench_interference sweep (1 vs 8 workers)" \
+  "$work_dir/interference.serial.txt" "$work_dir/interference.parallel.txt"
+
+"$build_dir/bench/bench_interference" 120 --shards=1 \
+  > "$work_dir/interference.shards1.txt"
+"$build_dir/bench/bench_interference" 120 --shards=4 \
+  > "$work_dir/interference.shards4.txt"
+compare "bench_interference sharded (1 vs 4 workers)" \
+  "$work_dir/interference.shards1.txt" "$work_dir/interference.shards4.txt"
+
+for shards in 1 4; do
+  "$build_dir/tools/ckpt-sim" --policy=adaptive --jobs=60 \
+    --interference --dump-policy=aware --periodic-mtbf-min=240 \
+    --shards="$shards" > "$work_dir/interference.sim.$shards.txt"
+done
+compare "ckpt-sim --interference sharded stdout (1 vs 4 workers)" \
+  "$work_dir/interference.sim.1.txt" "$work_dir/interference.sim.4.txt"
+
 # Sharded streaming scale lane: bench_scale's deterministic stdout table
 # through the streaming sharded driver, 1 vs 4 workers.
 "$build_dir/bench/bench_scale" --sizes=64,128 --shards=1 2>/dev/null \

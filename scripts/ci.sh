@@ -90,8 +90,9 @@ if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
   cmake -B "$tsan_dir" -S "$repo_root" -DCKPT_SANITIZE=thread
   cmake --build "$tsan_dir" -j "$(nproc)" \
     --target test_thread_pool test_fault test_feasibility_index \
-    test_sharded_simulator test_workload_stream \
-    bench_fig3_trace_sim bench_ext_failure bench_scale ckpt_sim_cli
+    test_sharded_simulator test_workload_stream test_interference \
+    bench_fig3_trace_sim bench_ext_failure bench_scale bench_interference \
+    ckpt_sim_cli
   "$tsan_dir/tests/test_thread_pool"
   # The sharded single-run driver drains shard mailboxes on pool workers;
   # TSan watches the barrier hand-offs, outbox merges, and the parallel
@@ -104,6 +105,11 @@ if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
   # The feasibility index is per-scheduler state; TSan verifies sweep cells
   # never share one (each cell's scheduler owns its index and slab arena).
   "$tsan_dir/tests/test_feasibility_index"
+  # Bandwidth pools and the dump scheduler live on the coordinator but are
+  # reached from sweep cells and shard callbacks; TSan watches the e2e
+  # interference runs (including the sharded worker-count invariance test)
+  # for cross-thread access to pool or admission state.
+  "$tsan_dir/tests/test_interference"
   "$repo_root/scripts/check_determinism.sh" "$tsan_dir"
   echo "ci.sh: TSan lane passed"
 fi

@@ -1,8 +1,10 @@
 #include "checkpoint/checkpoint_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "checkpoint/dump_scheduler.h"
 #include "common/logging.h"
 #include "fault/fault.h"
 #include "obs/observability.h"
@@ -65,10 +67,16 @@ SimDuration CheckpointEngine::EstimateRestoreService(const ProcessState& proc,
 }
 
 SimDuration CheckpointEngine::BackoffDelay(int attempt) const {
-  // Attempt n (1-based) failed; wait backoff * multiplier^(n-1).
+  // Attempt n (1-based) failed; wait backoff * multiplier^(n-1), clamped
+  // to max_backoff so a long retry budget cannot grow the delay
+  // geometrically past simulation end.
+  const double max_delay =
+      static_cast<double>(std::max<SimDuration>(retry_.max_backoff, 1));
   double delay = static_cast<double>(retry_.backoff);
-  for (int i = 1; i < attempt; ++i) delay *= retry_.multiplier;
-  return static_cast<SimDuration>(delay);
+  for (int i = 1; i < attempt && delay < max_delay; ++i) {
+    delay *= retry_.multiplier;
+  }
+  return static_cast<SimDuration>(std::min(delay, max_delay));
 }
 
 void CheckpointEngine::CountRetry(const char* op, SimDuration backoff,
@@ -87,6 +95,49 @@ void CheckpointEngine::Dump(ProcessState& proc, NodeId node,
                             const DumpOptions& opts,
                             std::function<void(DumpResult)> done) {
   DumpAttempt(proc, node, opts, 1, std::move(done));
+}
+
+SimDuration CheckpointEngine::PeriodicInterval(const ProcessState& proc,
+                                               NodeId node,
+                                               SimDuration mtbf) const {
+  return YoungDalyInterval(EstimateDumpService(proc, node, true), mtbf);
+}
+
+void CheckpointEngine::StartPeriodicDumps(
+    ProcessState& proc, NodeId node, SimDuration mtbf, DumpOptions opts,
+    std::function<void(const DumpResult&)> on_dump) {
+  CKPT_CHECK_GT(mtbf, 0);
+  const std::int64_t generation = ++periodic_gen_[proc.task.value()];
+  SchedulePeriodic(proc, node, mtbf, opts, generation, std::move(on_dump));
+}
+
+void CheckpointEngine::StopPeriodicDumps(ProcessState& proc) {
+  ++periodic_gen_[proc.task.value()];
+}
+
+void CheckpointEngine::SchedulePeriodic(
+    ProcessState& proc, NodeId node, SimDuration mtbf, DumpOptions opts,
+    std::int64_t generation, std::function<void(const DumpResult&)> on_dump) {
+  const SimDuration interval = PeriodicInterval(proc, node, mtbf);
+  const std::int64_t task = proc.task.value();
+  sim_->ScheduleAfter(
+      interval, [this, &proc, node, mtbf, opts, generation, task,
+                 on_dump = std::move(on_dump)]() mutable {
+        auto it = periodic_gen_.find(task);
+        if (it == periodic_gen_.end() || it->second != generation) return;
+        Dump(proc, node, opts,
+             [this, &proc, node, mtbf, opts, generation, task,
+              on_dump = std::move(on_dump)](DumpResult result) mutable {
+               if (on_dump) on_dump(result);
+               auto it = periodic_gen_.find(task);
+               if (it == periodic_gen_.end() || it->second != generation) {
+                 return;
+               }
+               ++periodic_dumps_;
+               SchedulePeriodic(proc, node, mtbf, opts, generation,
+                                std::move(on_dump));
+             });
+      });
 }
 
 void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,

@@ -11,13 +11,16 @@ const char* WasteCauseName(WasteCause cause) {
     case WasteCause::kQueueing: return "queueing";
     case WasteCause::kFaultRetry: return "fault_retry";
     case WasteCause::kReReplication: return "rereplication";
+    case WasteCause::kPeriodicDumpOverhead: return "periodic_dump_overhead";
+    case WasteCause::kDumpDeferral: return "dump_deferral";
   }
   return "unknown";
 }
 
 bool WasteCauseIsCoreHours(WasteCause cause) {
   return cause != WasteCause::kFaultRetry &&
-         cause != WasteCause::kReReplication;
+         cause != WasteCause::kReReplication &&
+         cause != WasteCause::kDumpDeferral;
 }
 
 bool WasteCauseReconciles(WasteCause cause) {
@@ -26,6 +29,7 @@ bool WasteCauseReconciles(WasteCause cause) {
     case WasteCause::kDumpOverhead:
     case WasteCause::kRestoreTransfer:
     case WasteCause::kFaultLostWork:
+    case WasteCause::kPeriodicDumpOverhead:
       return true;
     default:
       return false;

@@ -8,12 +8,14 @@
 // invisible in the CPU accounting. Dimensions: per-cause totals, plus
 // per-job and per-node breakdowns, labelled with the run's policy.
 //
-// Reconciliation invariant (tested, surfaced by ckpt-report): the four
-// CPU causes kill_lost_work + dump_overhead + restore_transfer +
-// fault_lost_work sum to the scheduler's wasted_core_hours exactly,
-// which is the run's goodput gap (busy - goodput). The queueing cause
-// (cores held frozen behind a dump queue) and the IO-second causes are
-// extra attribution, deliberately outside the reconciled sum.
+// Reconciliation invariant (tested, surfaced by ckpt-report): the CPU
+// causes kill_lost_work + dump_overhead + restore_transfer +
+// fault_lost_work + periodic_dump_overhead sum to the scheduler's
+// wasted_core_hours exactly, which is the run's goodput gap (busy -
+// goodput). The queueing cause (cores held frozen behind a dump queue)
+// and the IO-second causes (retry backoff, re-replication, dump-scheduler
+// deferral) are extra attribution, deliberately outside the reconciled
+// sum.
 #pragma once
 
 #include <cstdint>
@@ -32,14 +34,16 @@ enum class WasteCause {
   kQueueing,            // core-hours: cores frozen behind a dump device queue
   kFaultRetry,          // io-seconds: checkpoint retry backoff delay
   kReReplication,       // io-seconds: DFS re-replication transfer time
+  kPeriodicDumpOverhead,  // core-hours: cores frozen for Young/Daly dumps
+  kDumpDeferral,        // io-seconds: dumps held back by the dump scheduler
 };
 
-inline constexpr int kNumWasteCauses = 7;
+inline constexpr int kNumWasteCauses = 9;
 
 const char* WasteCauseName(WasteCause cause);
 // CPU causes are measured in core-hours, IO causes in seconds.
 bool WasteCauseIsCoreHours(WasteCause cause);
-// True for the four causes that sum to the scheduler's wasted_core_hours.
+// True for the causes that sum to the scheduler's wasted_core_hours.
 bool WasteCauseReconciles(WasteCause cause);
 
 class WasteLedger {
@@ -58,7 +62,7 @@ class WasteLedger {
            std::int64_t node = -1);
 
   double Total(WasteCause cause) const;
-  // Sum of the four reconciling causes, in core-hours.
+  // Sum of the reconciling causes, in core-hours.
   double ReconcilableCoreHours() const;
   std::int64_t entries() const { return entries_; }
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "obs/observability.h"
 #include "sim/sharded_simulator.h"
+#include "storage/bandwidth_domain.h"
 #include "trace/workload_stream.h"
 
 namespace ckpt {
@@ -62,6 +63,14 @@ struct ClusterScheduler::RtTask {
   // Resubmission backoff: not schedulable before this instant.
   SimTime eligible_at = 0;
 
+  // Interference accounting and periodic checkpointing: when the current
+  // kDumping/kRestoring phase froze the cores (actual-duration charging),
+  // whether that dump is an in-place Young/Daly dump, and the dump
+  // scheduler's admission ticket for it (-1 when none).
+  SimTime frozen_at = -1;
+  bool periodic_dump = false;
+  std::int64_t dump_ticket = -1;
+
   // VictimCheckpointOverhead memo, valid while (now, attempt, epoch) all
   // match; the epoch covers inputs the attempt counter does not (device
   // backlogs, image state of other tasks).
@@ -92,6 +101,18 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
   CKPT_CHECK(sim != nullptr);
   CKPT_CHECK(cluster != nullptr);
   CKPT_CHECK_GT(cluster->size(), 0);
+  if (config_.interference.enabled) {
+    // Fold the interference model into the network (receiver charging +
+    // rack uplink domains); the DFS-ingest pool is separate, attached to
+    // the node devices below, so device writes and network transfers never
+    // double-charge one shared stage.
+    config_.network.charge_receiver = config_.interference.charge_receiver;
+    if (config_.interference.rack_size > 0 &&
+        config_.interference.rack_uplink_bw > 0) {
+      config_.network.rack_size = config_.interference.rack_size;
+      config_.network.rack_uplink_bw = config_.interference.rack_uplink_bw;
+    }
+  }
   network_ = std::make_unique<NetworkModel>(sim_, config_.network);
   task_arena_ = std::make_unique<SlabArena<RtTask>>();
   running_.resize(static_cast<size_t>(cluster->size()));
@@ -122,6 +143,21 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
       node->storage().set_shard_channel(
           config_.sharded->ChannelFor(node->id().value()));
     }
+  }
+  if (config_.interference.enabled) {
+    if (config_.checkpoint_to_dfs && config_.interference.shared_bw > 0) {
+      ingest_domain_ = std::make_unique<BandwidthDomain>(
+          sim_, "dfs.ingest", config_.interference.shared_bw);
+      for (Node* node : cluster_->nodes()) {
+        node->storage().set_bandwidth_domain(ingest_domain_.get());
+      }
+    }
+    DumpSchedulerConfig dump_config = config_.dump_scheduler;
+    if (dump_config.shared_bw <= 0) {
+      dump_config.shared_bw = config_.interference.shared_bw;
+    }
+    dump_scheduler_ = std::make_unique<DumpScheduler>(sim_, dump_config,
+                                                      config_.obs);
   }
   if (config_.obs != nullptr) {
     config_.obs->waste().set_policy(PolicyName(config_.policy));
@@ -208,6 +244,10 @@ SimulationResult ClusterScheduler::Run() {
   if (fault_ != nullptr) {
     result_.faults_injected = fault_->faults_injected();
   }
+  if (dump_scheduler_ != nullptr) {
+    result_.dumps_deferred = dump_scheduler_->deferred();
+    result_.dump_defer_time = dump_scheduler_->total_defer_time();
+  }
   if (config_.obs != nullptr) {
     MetricsRegistry& m = config_.obs->metrics();
     m.GetGauge("sim.events_processed")
@@ -225,6 +265,33 @@ SimulationResult ClusterScheduler::Run() {
         ->Set(static_cast<double>(result_.sched_decisions));
     m.GetGauge("index.leaves_recomputed")
         ->Set(static_cast<double>(index_leaves_recomputed_));
+    if (dump_scheduler_ != nullptr) {
+      const char* policy = DumpPolicyName(config_.dump_scheduler.policy);
+      m.GetGauge("dump_sched.admitted", {{"policy", policy}})
+          ->Set(static_cast<double>(dump_scheduler_->admitted()));
+      m.GetGauge("dump_sched.deferred", {{"policy", policy}})
+          ->Set(static_cast<double>(dump_scheduler_->deferred()));
+      m.GetGauge("dump_sched.forced", {{"policy", policy}})
+          ->Set(static_cast<double>(dump_scheduler_->forced()));
+      m.GetGauge("dump_sched.bypassed", {{"policy", policy}})
+          ->Set(static_cast<double>(dump_scheduler_->bypassed()));
+      m.GetGauge("dump_sched.defer_seconds", {{"policy", policy}})
+          ->Set(ToSeconds(dump_scheduler_->total_defer_time()));
+      m.GetGauge("dump_sched.peak_active", {{"policy", policy}})
+          ->Set(static_cast<double>(dump_scheduler_->peak_active()));
+    }
+    auto export_domain = [&m](const BandwidthDomain& d) {
+      m.GetGauge("bw_domain.bytes", {{"domain", d.name()}})
+          ->Set(static_cast<double>(d.total_bytes()));
+      m.GetGauge("bw_domain.busy_seconds", {{"domain", d.name()}})
+          ->Set(ToSeconds(d.busy_time()));
+      m.GetGauge("bw_domain.peak_flows", {{"domain", d.name()}})
+          ->Set(static_cast<double>(d.peak_flows()));
+      m.GetGauge("bw_domain.flows", {{"domain", d.name()}})
+          ->Set(static_cast<double>(d.flows_completed()));
+    };
+    if (ingest_domain_ != nullptr) export_domain(*ingest_domain_);
+    if (network_ != nullptr) network_->ForEachDomain(export_domain);
     config_.obs->FinalizeRun();
   }
   return result_;
@@ -527,6 +594,7 @@ void ClusterScheduler::StartTask(RtTask* task, Node* node) {
   const int attempt = task->attempt;
   sim_->ScheduleAfter(remaining,
                       [this, task, attempt] { OnTaskComplete(task, attempt); });
+  MaybeSchedulePeriodicDump(task);
 }
 
 void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
@@ -558,13 +626,21 @@ void ClusterScheduler::BeginRestore(RtTask* task, Node* node, bool remote) {
             static_cast<Bytes>(config_.lazy_eager_fraction *
                                static_cast<double>(bytes));
   }
-  SimDuration service = src.EstimateRead(bytes);
-  if (remote) service += network_->EstimateTransfer(bytes);
-  result_.total_restore_time += service;
-  result_.overhead_core_hours += ToHours(service) * task->spec->demand.cpus;
-  result_.wasted_core_hours += ToHours(service) * task->spec->demand.cpus;
-  ChargeWaste(WasteCause::kRestoreTransfer,
-              ToHours(service) * task->spec->demand.cpus, task);
+  if (InterferenceOn()) {
+    // Actual-duration accounting: the restore drains shared domains whose
+    // contention is unknowable at submit, so the overhead charge waits for
+    // completion (OnRestoreDone/OnRestoreFailed) and covers the real
+    // elapsed freeze time.
+    task->frozen_at = sim_->Now();
+  } else {
+    SimDuration service = src.EstimateRead(bytes);
+    if (remote) service += network_->EstimateTransfer(bytes);
+    result_.total_restore_time += service;
+    result_.overhead_core_hours += ToHours(service) * task->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(service) * task->spec->demand.cpus;
+    ChargeWaste(WasteCause::kRestoreTransfer,
+                ToHours(service) * task->spec->demand.cpus, task);
+  }
   auto finish = [this, task, attempt](bool ok) {
     if (task->attempt != attempt ||
         task->state != RtTask::State::kRestoring) {
@@ -601,6 +677,16 @@ void ClusterScheduler::OnRestoreFailed(RtTask* task) {
   result_.restore_failures++;
   task->restore_failures++;
   task->attempt++;
+  if (InterferenceOn() && task->frozen_at >= 0) {
+    // The failed attempt still froze the container for its real duration.
+    const SimDuration held = sim_->Now() - task->frozen_at;
+    result_.total_restore_time += held;
+    result_.overhead_core_hours += ToHours(held) * task->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(held) * task->spec->demand.cpus;
+    ChargeWaste(WasteCause::kRestoreTransfer,
+                ToHours(held) * task->spec->demand.cpus, task);
+    task->frozen_at = -1;
+  }
   cluster_->node(task->node).ReleaseSuspended(task->spec->demand);
   TouchNode(task->node);
   BumpOverheadEpoch();
@@ -628,6 +714,17 @@ void ClusterScheduler::OnRestoreFailed(RtTask* task) {
 
 void ClusterScheduler::OnRestoreDone(RtTask* task, int attempt) {
   CKPT_CHECK_EQ(task->attempt, attempt);
+  if (InterferenceOn() && task->frozen_at >= 0) {
+    // Single reconciling charge covering the real queue + service + shared
+    // domain drain time the container spent frozen.
+    const SimDuration held = sim_->Now() - task->frozen_at;
+    result_.total_restore_time += held;
+    result_.overhead_core_hours += ToHours(held) * task->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(held) * task->spec->demand.cpus;
+    ChargeWaste(WasteCause::kRestoreTransfer,
+                ToHours(held) * task->spec->demand.cpus, task);
+    task->frozen_at = -1;
+  }
   cluster_->node(task->node).Resume(task->spec->demand);
   // Available() is unchanged, but the task re-enters kRunning and so grows
   // the node's releasable set: its feasibility-index leaf must refresh.
@@ -644,6 +741,7 @@ void ClusterScheduler::OnRestoreDone(RtTask* task, int attempt) {
   sim_->ScheduleAfter(remaining, [this, task, next_attempt] {
     OnTaskComplete(task, next_attempt);
   });
+  MaybeSchedulePeriodicDump(task);
 }
 
 void ClusterScheduler::StopRunning(RtTask* task) {
@@ -769,6 +867,21 @@ SimDuration ClusterScheduler::VictimCheckpointOverhead(
   // Queue term: the node's device backlog (dumps are submitted at freeze
   // time, so the backlog is the sequential checkpoint queue).
   cost.dump_queue_time = cluster_->node(victim->node).storage().QueueDelay();
+  if (InterferenceOn()) {
+    // Algorithm 1's dump term stretches by the ingest fair-share factor
+    // (one more concurrent writer than currently active), and the dump
+    // scheduler's expected admission wait joins the queue term, so the
+    // adaptive kill-vs-checkpoint comparison sees contended reality.
+    if (ingest_domain_ != nullptr) {
+      const double nominal =
+          config_.medium.write_bw * ingest_domain_->ContentionFactor();
+      cost.write_contention =
+          std::max(1.0, nominal / ingest_domain_->capacity());
+    }
+    if (dump_scheduler_ != nullptr) {
+      cost.admit_delay = dump_scheduler_->EstimateAdmitDelay();
+    }
+  }
   const SimDuration overhead = EstimateCheckpointOverhead(cost);
   victim->ovh_time = now;
   victim->ovh_attempt = victim->attempt;
@@ -1139,53 +1252,121 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   if (incremental) result_.incremental_checkpoints++;
   result_.total_checkpoint_bytes_written += dump_bytes;
 
-  StorageDevice& device = node.storage();
-  const SimDuration service = device.EstimateWrite(dump_bytes);
-  result_.total_dump_time += service;
-  result_.overhead_core_hours += ToHours(service) * victim->spec->demand.cpus;
-  result_.wasted_core_hours += ToHours(service) * victim->spec->demand.cpus;
-  if (config_.obs != nullptr) {
-    ChargeWaste(WasteCause::kDumpOverhead,
-                ToHours(service) * victim->spec->demand.cpus, victim);
-    // Queue wait freezes the victim's cores without counting as overhead
-    // in the paper's accounting; attribute it separately.
-    ChargeWaste(WasteCause::kQueueing,
-                ToHours(device.QueueDelay()) * victim->spec->demand.cpus,
-                victim);
+  if (InterferenceOn()) {
+    // Actual-duration accounting: the dump's real cost (queue wait + device
+    // service + shared-domain drain + any admission deferral) is charged
+    // once at completion from this freeze timestamp.
+    victim->frozen_at = sim_->Now();
+  } else {
+    StorageDevice& device = node.storage();
+    const SimDuration service = device.EstimateWrite(dump_bytes);
+    result_.total_dump_time += service;
+    result_.overhead_core_hours += ToHours(service) * victim->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(service) * victim->spec->demand.cpus;
+    if (config_.obs != nullptr) {
+      ChargeWaste(WasteCause::kDumpOverhead,
+                  ToHours(service) * victim->spec->demand.cpus, victim);
+      // Queue wait freezes the victim's cores without counting as overhead
+      // in the paper's accounting; attribute it separately.
+      ChargeWaste(WasteCause::kQueueing,
+                  ToHours(device.QueueDelay()) * victim->spec->demand.cpus,
+                  victim);
+    }
   }
 
   const int attempt = victim->attempt;
-  auto finish = [this, victim, attempt, incremental, dump_bytes](bool ok) {
-    if (!ok) {
-      OnDumpFailed(victim, attempt);
-      return;
-    }
-    OnDumpComplete(victim, attempt, incremental, dump_bytes, 0);
-  };
-  if (config_.checkpoint_to_dfs && config_.dfs_replication > 1 &&
-      cluster_->size() > 1) {
-    // Local write, then pipeline one replica to a random peer (the DFS
-    // overhead visible in Fig. 2b).
-    NodeId peer;
-    do {
-      peer = NodeId(rng_.UniformInt(0, cluster_->size() - 1));
-    } while (peer == victim->node);
-    const NodeId src = victim->node;
-    device.SubmitWrite(dump_bytes,
-                       [this, src, peer, dump_bytes,
-                        finish = std::move(finish)](bool ok) mutable {
-                         if (!ok) {
-                           finish(false);
-                           return;
-                         }
-                         network_->Transfer(
-                             src, peer, dump_bytes,
-                             [finish = std::move(finish)] { finish(true); });
-                       });
-  } else {
-    device.SubmitWrite(dump_bytes, std::move(finish));
+  LaunchDump(victim, attempt, dump_bytes,
+             [this, victim, attempt, incremental, dump_bytes](bool ok) {
+               if (!ok) {
+                 OnDumpFailed(victim, attempt);
+                 return;
+               }
+               OnDumpComplete(victim, attempt, incremental, dump_bytes, 0);
+             });
+}
+
+void ClusterScheduler::LaunchDump(RtTask* victim, int attempt,
+                                  Bytes dump_bytes,
+                                  std::function<void(bool)> finish) {
+  // Ticket lives in a shared slot: the value is only known after Request()
+  // returns, but the completion wrapper is built first. Completion releases
+  // the scheduler slot exactly once (Complete is a no-op on a retired
+  // ticket, so a node-failure unwind that already withdrew it is safe).
+  auto ticket = std::make_shared<std::int64_t>(-1);
+  if (dump_scheduler_ != nullptr) {
+    finish = [this, victim, ticket,
+              finish = std::move(finish)](bool ok) mutable {
+      if (*ticket >= 0) {
+        dump_scheduler_->Complete(*ticket);
+        if (victim->dump_ticket == *ticket) victim->dump_ticket = -1;
+        *ticket = -1;
+      }
+      finish(ok);
+    };
   }
-  BumpOverheadEpoch();  // the dump grew the node's device backlog
+
+  auto submit = [this, victim, dump_bytes,
+                 finish = std::move(finish)]() mutable {
+    StorageDevice& device = cluster_->node(victim->node).storage();
+    if (config_.checkpoint_to_dfs && config_.dfs_replication > 1 &&
+        cluster_->size() > 1) {
+      // Local write, then pipeline one replica to a random peer (the DFS
+      // overhead visible in Fig. 2b).
+      NodeId peer;
+      do {
+        peer = NodeId(rng_.UniformInt(0, cluster_->size() - 1));
+      } while (peer == victim->node);
+      const NodeId src = victim->node;
+      device.SubmitWrite(dump_bytes,
+                         [this, src, peer, dump_bytes,
+                          finish = std::move(finish)](bool ok) mutable {
+                           if (!ok) {
+                             finish(false);
+                             return;
+                           }
+                           network_->Transfer(
+                               src, peer, dump_bytes,
+                               [finish = std::move(finish)] { finish(true); });
+                         });
+    } else {
+      device.SubmitWrite(dump_bytes, std::move(finish));
+    }
+    BumpOverheadEpoch();  // the dump grew the node's device backlog
+  };
+
+  if (dump_scheduler_ == nullptr) {
+    submit();
+    return;
+  }
+  *ticket = dump_scheduler_->Request(
+      victim->node.value(), victim->spec->id.value(), dump_bytes,
+      [this, victim, attempt, ticket, submit = std::move(submit)]() mutable {
+        if (victim->attempt != attempt ||
+            victim->state != RtTask::State::kDumping) {
+          // Unwound while waiting for admission: release the slot instead
+          // of submitting I/O for a dead dump (no-op if the unwind already
+          // withdrew the ticket).
+          if (*ticket >= 0) {
+            dump_scheduler_->Complete(*ticket);
+            if (victim->dump_ticket == *ticket) victim->dump_ticket = -1;
+            *ticket = -1;
+          }
+          return;
+        }
+        if (config_.obs != nullptr) {
+          // Queue wait at admission time: separately attributed, as in the
+          // non-interference path (the reconciling freeze charge lands at
+          // completion).
+          ChargeWaste(WasteCause::kQueueing,
+                      ToHours(cluster_->node(victim->node)
+                                  .storage()
+                                  .QueueDelay()) *
+                          victim->spec->demand.cpus,
+                      victim);
+        }
+        submit();
+      });
+  victim->dump_ticket = *ticket;
 }
 
 void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
@@ -1194,6 +1375,18 @@ void ClusterScheduler::OnDumpComplete(RtTask* victim, int attempt,
   if (victim->attempt != attempt ||
       victim->state != RtTask::State::kDumping) {
     return;
+  }
+  if (InterferenceOn() && victim->frozen_at >= 0) {
+    // Single reconciling charge covering everything the freeze actually
+    // cost: admission deferral, device queue + service, and the shared
+    // ingest/network drain under contention.
+    const SimDuration held = sim_->Now() - victim->frozen_at;
+    result_.total_dump_time += held;
+    result_.overhead_core_hours += ToHours(held) * victim->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(held) * victim->spec->demand.cpus;
+    ChargeWaste(WasteCause::kDumpOverhead,
+                ToHours(held) * victim->spec->demand.cpus, victim);
+    victim->frozen_at = -1;
   }
   UnindexPendingDump(victim);
   victim->saved_work = victim->work_done;
@@ -1238,6 +1431,16 @@ void ClusterScheduler::OnDumpFailed(RtTask* victim, int attempt) {
   result_.dump_failures++;
   victim->dump_failures++;
   victim->attempt++;
+  if (InterferenceOn() && victim->frozen_at >= 0) {
+    // The failed attempt still froze the victim for its real duration.
+    const SimDuration held = sim_->Now() - victim->frozen_at;
+    result_.total_dump_time += held;
+    result_.overhead_core_hours += ToHours(held) * victim->spec->demand.cpus;
+    result_.wasted_core_hours += ToHours(held) * victim->spec->demand.cpus;
+    ChargeWaste(WasteCause::kDumpOverhead,
+                ToHours(held) * victim->spec->demand.cpus, victim);
+    victim->frozen_at = -1;
+  }
   UnindexPendingDump(victim);
   if (config_.enforce_checkpoint_capacity && victim->pending_dump_bytes > 0) {
     cluster_->node(victim->pending_dump_node)
@@ -1266,6 +1469,183 @@ void ClusterScheduler::OnDumpFailed(RtTask* victim, int attempt) {
     dump_beneficiary_.erase(it);
   }
   TrySchedule();
+}
+
+void ClusterScheduler::ReleaseDumpTicket(RtTask* task) {
+  if (task->dump_ticket >= 0 && dump_scheduler_ != nullptr) {
+    dump_scheduler_->Complete(task->dump_ticket);
+  }
+  task->dump_ticket = -1;
+  task->periodic_dump = false;
+  task->frozen_at = -1;
+}
+
+// --- Periodic Young/Daly checkpointing ---------------------------------------
+
+void ClusterScheduler::MaybeSchedulePeriodicDump(RtTask* task) {
+  if (config_.periodic_ckpt_mtbf <= 0) return;
+  // Young/Daly period sqrt(2 * C * MTBF), C the current estimated dump
+  // service time; clamped below so cheap incremental dumps cannot thrash.
+  const Bytes bytes = DumpBytes(task, CanIncrement(task));
+  const SimDuration cost =
+      cluster_->node(task->node).storage().EstimateWrite(bytes);
+  const SimDuration interval =
+      std::max(YoungDalyInterval(cost, config_.periodic_ckpt_mtbf),
+               config_.periodic_ckpt_min_interval);
+  const SimDuration remaining = task->spec->duration - task->work_done;
+  if (remaining <= interval) return;  // completion beats the next dump
+  const int attempt = task->attempt;
+  sim_->ScheduleAfter(interval, [this, task, attempt] {
+    if (task->attempt != attempt || task->state != RtTask::State::kRunning) {
+      return;  // preempted / finished / crashed since the timer was armed
+    }
+    StartPeriodicDump(task);
+  });
+}
+
+void ClusterScheduler::StartPeriodicDump(RtTask* task) {
+  const bool incremental = CanIncrement(task);
+  const Bytes dump_bytes = DumpBytes(task, incremental);
+  Node& node = cluster_->node(task->node);
+  StorageDevice& image_device =
+      incremental ? cluster_->node(task->image_node).storage()
+                  : node.storage();
+  if (config_.enforce_checkpoint_capacity &&
+      !image_device.Reserve(dump_bytes)) {
+    // No room for the image: skip this cycle, try again one period later.
+    MaybeSchedulePeriodicDump(task);
+    return;
+  }
+  // A full dump replaces (and releases) any previous image; the window
+  // until the new dump commits restarts from scratch on a crash.
+  if (!incremental && task->has_image) ReleaseImage(task);
+
+  StopRunning(task);
+  task->attempt++;  // invalidate the scheduled completion
+  task->state = RtTask::State::kDumping;
+  task->periodic_dump = true;
+  node.Suspend(task->spec->demand);
+  TouchNode(task->node);
+  task->pending_dump_bytes = dump_bytes;
+  task->pending_dump_node = incremental ? task->image_node : task->node;
+  IndexPendingDump(task);
+  result_.periodic_checkpoints++;
+  result_.total_checkpoint_bytes_written += dump_bytes;
+
+  const double cpus = task->spec->demand.cpus;
+  if (InterferenceOn()) {
+    task->frozen_at = sim_->Now();
+  } else {
+    StorageDevice& device = node.storage();
+    const SimDuration service = device.EstimateWrite(dump_bytes);
+    result_.total_dump_time += service;
+    result_.overhead_core_hours += ToHours(service) * cpus;
+    result_.wasted_core_hours += ToHours(service) * cpus;
+    if (config_.obs != nullptr) {
+      ChargeWaste(WasteCause::kPeriodicDumpOverhead, ToHours(service) * cpus,
+                  task);
+      ChargeWaste(WasteCause::kQueueing,
+                  ToHours(device.QueueDelay()) * cpus, task);
+    }
+  }
+
+  const SimTime frozen_at = sim_->Now();
+  const int attempt = task->attempt;
+  LaunchDump(task, attempt, dump_bytes,
+             [this, task, attempt, incremental, dump_bytes,
+              frozen_at](bool ok) {
+               if (!ok) {
+                 OnPeriodicDumpFailed(task, attempt, frozen_at);
+                 return;
+               }
+               OnPeriodicDumpComplete(task, attempt, incremental, dump_bytes,
+                                      frozen_at);
+             });
+}
+
+void ClusterScheduler::OnPeriodicDumpComplete(RtTask* task, int attempt,
+                                              bool incremental,
+                                              Bytes dump_bytes,
+                                              SimTime /*frozen_at*/) {
+  if (task->attempt != attempt || task->state != RtTask::State::kDumping ||
+      !task->periodic_dump) {
+    return;  // a node failure already unwound this dump
+  }
+  const double cpus = task->spec->demand.cpus;
+  if (InterferenceOn() && task->frozen_at >= 0) {
+    const SimDuration held = sim_->Now() - task->frozen_at;
+    result_.total_dump_time += held;
+    result_.overhead_core_hours += ToHours(held) * cpus;
+    result_.wasted_core_hours += ToHours(held) * cpus;
+    ChargeWaste(WasteCause::kPeriodicDumpOverhead, ToHours(held) * cpus,
+                task);
+    task->frozen_at = -1;
+  }
+  UnindexPendingDump(task);
+  task->saved_work = task->work_done;
+  task->unsynced_run = 0;
+  task->has_image = true;
+  task->dump_failures = 0;
+  task->pending_dump_bytes = 0;
+  if (!incremental) task->image_node = task->node;
+  task->stored_bytes += dump_bytes;
+  IndexImage(task);
+  current_checkpoint_bytes_ += dump_bytes;
+  result_.peak_checkpoint_bytes =
+      std::max(result_.peak_checkpoint_bytes, current_checkpoint_bytes_);
+  ResumeAfterPeriodicDump(task);
+}
+
+void ClusterScheduler::OnPeriodicDumpFailed(RtTask* task, int attempt,
+                                            SimTime /*frozen_at*/) {
+  if (task->attempt != attempt || task->state != RtTask::State::kDumping ||
+      !task->periodic_dump) {
+    return;  // a node failure already unwound this dump
+  }
+  result_.dump_failures++;
+  result_.periodic_checkpoint_failures++;
+  task->dump_failures++;
+  const double cpus = task->spec->demand.cpus;
+  if (InterferenceOn() && task->frozen_at >= 0) {
+    // The failed attempt still froze the task for its real duration.
+    const SimDuration held = sim_->Now() - task->frozen_at;
+    result_.total_dump_time += held;
+    result_.overhead_core_hours += ToHours(held) * cpus;
+    result_.wasted_core_hours += ToHours(held) * cpus;
+    ChargeWaste(WasteCause::kPeriodicDumpOverhead, ToHours(held) * cpus,
+                task);
+    task->frozen_at = -1;
+  }
+  UnindexPendingDump(task);
+  if (config_.enforce_checkpoint_capacity && task->pending_dump_bytes > 0) {
+    cluster_->node(task->pending_dump_node)
+        .storage()
+        .Release(task->pending_dump_bytes);
+  }
+  task->pending_dump_bytes = 0;
+  // No live work is lost: the task resumes in place from its running state.
+  // A failed *full* dump did retire the previous image at freeze time, so
+  // the crash-restart exposure grows until the next successful dump.
+  ResumeAfterPeriodicDump(task);
+}
+
+void ClusterScheduler::ResumeAfterPeriodicDump(RtTask* task) {
+  task->attempt++;
+  task->periodic_dump = false;
+  task->frozen_at = -1;
+  cluster_->node(task->node).Resume(task->spec->demand);
+  // Available() is unchanged but the task re-enters kRunning, growing the
+  // node's releasable set: refresh its feasibility-index leaf.
+  TouchNode(task->node);
+  task->state = RtTask::State::kRunning;
+  task->run_start = sim_->Now();
+  BumpOverheadEpoch();
+  SimDuration remaining = task->spec->duration - task->work_done;
+  if (remaining < 1) remaining = 1;
+  const int attempt = task->attempt;
+  sim_->ScheduleAfter(remaining,
+                      [this, task, attempt] { OnTaskComplete(task, attempt); });
+  MaybeSchedulePeriodicDump(task);
 }
 
 // --- Failure injection --------------------------------------------------------
@@ -1308,8 +1688,11 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
         break;
       }
       case RtTask::State::kRestoring: {
-        // Abort the restore; the image is untouched.
+        // Abort the restore; the image is untouched. The node's cores died
+        // with it, so the interference freeze span is not charged as
+        // overhead.
         task->attempt++;
+        task->frozen_at = -1;
         node.ReleaseSuspended(task->spec->demand);
         auto& bucket = RunningOn(node_id);
         bucket.erase(std::find(bucket.begin(), bucket.end(), task));
@@ -1320,6 +1703,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
         // The in-flight dump dies with the node: unwind its reservation and
         // fall back to kill semantics (progress since the last image dies).
         task->attempt++;
+        ReleaseDumpTicket(task);
         UnindexPendingDump(task);
         if (config_.enforce_checkpoint_capacity &&
             task->pending_dump_bytes > 0) {
@@ -1363,6 +1747,7 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
   for (RtTask* task : doomed_dumps) {
     CKPT_CHECK(task->state == RtTask::State::kDumping);
     task->attempt++;
+    ReleaseDumpTicket(task);
     UnindexPendingDump(task);
     if (config_.enforce_checkpoint_capacity && task->pending_dump_bytes > 0) {
       cluster_->node(node_id).storage().Release(task->pending_dump_bytes);

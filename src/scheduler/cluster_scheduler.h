@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "checkpoint/dump_scheduler.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "common/slab.h"
@@ -31,10 +32,31 @@
 
 namespace ckpt {
 
+class BandwidthDomain;
 class Observability;
 class ShardedSimulator;
+class StorageDevice;
 class WorkloadStream;
 enum class WasteCause;
+
+// Shared-bandwidth interference model (ROADMAP item 3, Herault et al.'s
+// interfering checkpoints). Off by default; when enabled, checkpoint
+// dumps/restores drain a cluster-wide DFS-ingest BandwidthDomain after
+// their device stage (N concurrent dumps each see ~1/N), network
+// transfers contend at the receiver and cross rack-uplink domains, and
+// dump/restore overhead is charged from actual elapsed freeze time
+// instead of the submit-time estimate.
+struct InterferenceConfig {
+  bool enabled = false;
+  // Cluster-wide DFS ingest/backbone pool that every checkpoint write to a
+  // DFS-backed device drains (fair-shared).
+  Bandwidth shared_bw = GBps(1);
+  // Per-rack uplink domains for cross-rack transfers (restores,
+  // replication); rack_size <= 0 disables the rack layer.
+  int rack_size = 16;
+  Bandwidth rack_uplink_bw = GBps(2.5);
+  bool charge_receiver = true;
+};
 
 struct SchedulerConfig {
   PreemptionPolicy policy = PreemptionPolicy::kKill;
@@ -97,6 +119,19 @@ struct SchedulerConfig {
   // falls back to killing it instead of checkpointing again.
   int max_checkpoint_failures = 3;
 
+  // Shared-bandwidth checkpoint interference; see InterferenceConfig.
+  InterferenceConfig interference;
+  // Cooperative dump admission (naive = admit-all, byte-identical to no
+  // scheduler). Only consulted when interference.enabled.
+  DumpSchedulerConfig dump_scheduler;
+  // Periodic Young/Daly checkpointing: with a positive MTBF, running tasks
+  // dump in place every sqrt(2 * dump_cost * MTBF) (clamped below by
+  // periodic_ckpt_min_interval) so a node crash loses at most ~one
+  // interval of work instead of everything since the last preemption.
+  // Zero disables; independent of interference.enabled.
+  SimDuration periodic_ckpt_mtbf = 0;
+  SimDuration periodic_ckpt_min_interval = Minutes(2);
+
   std::uint64_t seed = 7;
 
   // Optional metrics/trace sink; not owned, null disables all recording.
@@ -134,6 +169,12 @@ struct SimulationResult {
   std::int64_t kills = 0;
   std::int64_t checkpoints = 0;
   std::int64_t incremental_checkpoints = 0;
+  // Young/Daly in-place dumps (not counted in `checkpoints`).
+  std::int64_t periodic_checkpoints = 0;
+  std::int64_t periodic_checkpoint_failures = 0;
+  // Cooperative dump-scheduler admission outcomes.
+  std::int64_t dumps_deferred = 0;
+  SimDuration dump_defer_time = 0;
   std::int64_t local_restores = 0;
   std::int64_t remote_restores = 0;
   std::int64_t restarts_from_scratch = 0;  // killed work re-run
@@ -242,6 +283,25 @@ class ClusterScheduler {
   void OnDumpComplete(RtTask* victim, int attempt, bool incremental,
                       Bytes dump_bytes, SimTime dump_started);
   void OnDumpFailed(RtTask* victim, int attempt);
+  // Interference-aware accounting switch: actual elapsed freeze durations
+  // instead of submit-time estimates.
+  bool InterferenceOn() const { return config_.interference.enabled; }
+  // Submit a frozen victim's dump I/O, optionally through the cooperative
+  // dump scheduler: the device write (and DFS replication transfer) start
+  // at admission; `finish(ok)` runs on completion with the scheduler slot
+  // already released.
+  void LaunchDump(RtTask* victim, int attempt, Bytes dump_bytes,
+                  std::function<void(bool)> finish);
+  // Periodic Young/Daly checkpointing of running tasks.
+  void MaybeSchedulePeriodicDump(RtTask* task);
+  void StartPeriodicDump(RtTask* task);
+  void OnPeriodicDumpComplete(RtTask* task, int attempt, bool incremental,
+                              Bytes dump_bytes, SimTime frozen_at);
+  void OnPeriodicDumpFailed(RtTask* task, int attempt, SimTime frozen_at);
+  void ResumeAfterPeriodicDump(RtTask* task);
+  // Unwind bookkeeping for an abandoned dump: withdraw/release any dump-
+  // scheduler ticket and clear the interference freeze fields.
+  void ReleaseDumpTicket(RtTask* task);
   void OnRestoreFailed(RtTask* task);
   void StopRunning(RtTask* task);  // fold progress, detach from node
   void DetachFromNode(RtTask* task);
@@ -278,6 +338,11 @@ class ClusterScheduler {
   Rng rng_;
   std::unique_ptr<NetworkModel> network_;
   std::unique_ptr<FaultInjector> fault_;
+  // Shared-bandwidth interference plumbing (null unless enabled): the
+  // DFS-ingest pool every node device drains, and the cooperative dump
+  // admission scheduler.
+  std::unique_ptr<BandwidthDomain> ingest_domain_;
+  std::unique_ptr<DumpScheduler> dump_scheduler_;
 
   std::vector<std::unique_ptr<RtJob>> jobs_;
 

@@ -17,9 +17,15 @@ const char* PolicyName(PreemptionPolicy policy) {
 SimDuration EstimateCheckpointOverhead(const CheckpointCost& cost) {
   CKPT_CHECK_GE(cost.dump_bytes, 0);
   CKPT_CHECK_GE(cost.restore_bytes, 0);
-  return TransferTime(cost.dump_bytes, cost.write_bw) +
-         TransferTime(cost.restore_bytes, cost.read_bw) +
-         cost.dump_queue_time;
+  CKPT_CHECK_GE(cost.write_contention, 1.0);
+  // The write term stretches by the shared-domain fair-share factor; the
+  // defaults (contention 1.0, no admit delay) reproduce the paper's
+  // Algorithm 1 term exactly.
+  const SimDuration write_term = static_cast<SimDuration>(
+      static_cast<double>(TransferTime(cost.dump_bytes, cost.write_bw)) *
+      cost.write_contention);
+  return write_term + TransferTime(cost.restore_bytes, cost.read_bw) +
+         cost.dump_queue_time + cost.admit_delay;
 }
 
 PreemptAction DecidePreemption(SimDuration unsaved_progress,

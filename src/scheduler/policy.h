@@ -47,6 +47,12 @@ struct CheckpointCost {
   Bandwidth write_bw = 0;
   Bandwidth read_bw = 0;
   SimDuration dump_queue_time = 0;  // wait behind other checkpoint ops
+  // Interference-aware terms (defaults are neutral / byte-identical).
+  // Fair-share slowdown the dump would see on the shared ingest domain
+  // (>= 1; stretches the write term).
+  double write_contention = 1.0;
+  // Expected wait for a cooperative dump-scheduler admission slot.
+  SimDuration admit_delay = 0;
 };
 
 // Total suspend-resume overhead as Algorithm 1 estimates it.

@@ -5,11 +5,12 @@
 
 #include "fault/fault.h"
 #include "sim/sharded_simulator.h"
+#include "storage/bandwidth_domain.h"
 
 namespace ckpt {
 
-SimTime StorageDevice::Enqueue(SimDuration service, bool ok,
-                               std::function<void(bool)> done) {
+SimTime StorageDevice::Enqueue(SimDuration service, Bytes bytes, bool is_write,
+                               bool ok, std::function<void(bool)> done) {
   if (fault_ != nullptr) {
     const double factor = fault_->ServiceTimeFactor(node_, sim_->Now());
     if (factor > 1.0) {
@@ -21,55 +22,111 @@ SimTime StorageDevice::Enqueue(SimDuration service, bool ok,
   busy_time_ += service;
   ++pending_ops_;
   const StorageOpId op = next_op_id_++;
-  live_ops_.insert(op);
-  const SimTime completion = busy_until_;
+  PendingOp& record = ops_[op];
+  record.service = service;
+  record.bytes = bytes;
+  record.is_write = is_write;
+  record.ok = ok;
+  record.start = start;
+  record.completion = busy_until_;
+  record.done = std::move(done);
+  ScheduleCompletion(op);
+  return record.completion;
+}
+
+void StorageDevice::ScheduleCompletion(StorageOpId id) {
+  const PendingOp& op = ops_.at(id);
+  const int generation = op.generation;
+  auto fire = [this, id, generation] { OnOpComplete(id, generation); };
   if (channel_ != nullptr) {
     // Sharded path: device bookkeeping fires as a shard-local event (this
     // device belongs to exactly one logical shard); the caller's `done`
     // runs on the coordinator at the same instant, delivered through the
-    // shard outbox in deterministic (when, shard, post order).
-    channel_->ScheduleLocal(
-        completion, [this, op, ok, completion, done = std::move(done)]() mutable {
-          --pending_ops_;
-          ++ops_completed_;
-          if (!ok) ++ops_failed_;
-          live_ops_.erase(op);
-          if (canceled_ops_.erase(op) > 0) return;
-          if (done) {
-            channel_->PostGlobal(completion,
-                                 [ok, done = std::move(done)] { done(ok); });
-          }
-        });
-    return completion;
+    // shard outbox in deterministic (when, shard, post) order.
+    channel_->ScheduleLocal(op.completion, std::move(fire));
+  } else {
+    sim_->ScheduleAt(op.completion, std::move(fire));
   }
-  sim_->ScheduleAt(completion, [this, op, ok, done = std::move(done)]() {
-    --pending_ops_;
-    ++ops_completed_;
-    if (!ok) ++ops_failed_;
-    live_ops_.erase(op);
-    if (canceled_ops_.erase(op) > 0) return;
-    if (done) done(ok);
-  });
-  return completion;
+}
+
+void StorageDevice::OnOpComplete(StorageOpId id, int generation) {
+  auto it = ops_.find(id);
+  if (it == ops_.end() || it->second.generation != generation) {
+    return;  // stale timer: the op was reclaimed or rescheduled earlier
+  }
+  PendingOp op = std::move(it->second);
+  ops_.erase(it);
+  --pending_ops_;
+  ++ops_completed_;
+  if (!op.ok) ++ops_failed_;
+  if (op.canceled || !op.done) return;
+  auto deliver = [this, ok = op.ok, bytes = op.bytes,
+                  done = std::move(op.done)]() mutable {
+    if (domain_ != nullptr && ok) {
+      domain_->StartFlow(bytes,
+                         [ok, done = std::move(done)] { done(ok); });
+    } else {
+      done(ok);
+    }
+  };
+  if (channel_ != nullptr) {
+    channel_->PostGlobal(op.completion, std::move(deliver));
+  } else {
+    deliver();
+  }
 }
 
 SimTime StorageDevice::SubmitWrite(Bytes size, std::function<void(bool)> done) {
   CKPT_CHECK_GE(size, 0);
   bytes_written_ += size;
   const bool ok = fault_ == nullptr || !fault_->ShouldFailWrite(label_);
-  return Enqueue(medium_.WriteTime(size), ok, std::move(done));
+  return Enqueue(medium_.WriteTime(size), size, /*is_write=*/true, ok,
+                 std::move(done));
 }
 
 SimTime StorageDevice::SubmitRead(Bytes size, std::function<void(bool)> done) {
   CKPT_CHECK_GE(size, 0);
   bytes_read_ += size;
   const bool ok = fault_ == nullptr || !fault_->ShouldFailRead(label_);
-  return Enqueue(medium_.ReadTime(size), ok, std::move(done));
+  return Enqueue(medium_.ReadTime(size), size, /*is_write=*/false, ok,
+                 std::move(done));
 }
 
 bool StorageDevice::CancelOp(StorageOpId id) {
-  if (live_ops_.count(id) == 0) return false;
-  return canceled_ops_.insert(id).second;
+  auto it = ops_.find(id);
+  if (it == ops_.end()) return false;
+  PendingOp& op = it->second;
+  if (op.canceled) return false;
+  if (op.start <= sim_->Now()) {
+    // Already in service: the hardware finishes the request; drop only the
+    // completion callback so queue timing for later ops is untouched.
+    op.canceled = true;
+    op.done = nullptr;
+    return true;
+  }
+  // Still queued: remove it and reclaim its service time. Every later op
+  // (strictly later id — FIFO order) was going to start at or after this
+  // op's completion, so shifting them all earlier by `service` keeps their
+  // relative order and stays in the future (their new start is no earlier
+  // than this op's start, which is > now).
+  const SimDuration service = op.service;
+  if (op.is_write) {
+    bytes_written_ -= op.bytes;
+  } else {
+    bytes_read_ -= op.bytes;
+  }
+  ops_.erase(it);
+  --pending_ops_;
+  busy_until_ -= service;
+  busy_time_ -= service;
+  for (auto later = ops_.upper_bound(id); later != ops_.end(); ++later) {
+    PendingOp& shifted = later->second;
+    shifted.start -= service;
+    shifted.completion -= service;
+    ++shifted.generation;
+    ScheduleCompletion(later->first);
+  }
+  return true;
 }
 
 bool StorageDevice::Reserve(Bytes size) {

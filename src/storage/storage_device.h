@@ -10,15 +10,18 @@
 // succeeds; with one attached (set_fault_injector), transient failures
 // consume the op's full service time and then complete ok=false, and
 // degraded-bandwidth windows stretch the service time. CancelOp()
-// suppresses a pending completion (the device still performs the op, its
-// result is simply discarded), which lets callers abandon I/O whose
-// initiator died without perturbing queue timing for later ops.
+// abandons a pending op: if the device already started servicing it the
+// completion is merely suppressed (the hardware finishes the request and
+// discards the result), but an op still waiting in the queue is removed
+// outright — its service time is reclaimed and every op queued behind it
+// shifts earlier, so canceled work no longer inflates QueueDelay() or
+// total_busy_time().
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_set>
 
 #include "common/ids.h"
 #include "common/logging.h"
@@ -28,6 +31,7 @@
 
 namespace ckpt {
 
+class BandwidthDomain;
 class FaultInjector;
 class ShardChannel;
 
@@ -62,6 +66,16 @@ class StorageDevice {
   // monotone, so shard events never precede one already fired).
   void set_shard_channel(ShardChannel* channel) { channel_ = channel; }
 
+  // Attach a shared bandwidth pool (null detaches). Successful ops then
+  // drain their bytes through the pool after the device stage, fair-shared
+  // with every concurrent flow from other devices, before `done(ok)` fires
+  // — the DFS-ingest interference model. Failed ops skip the pool (nothing
+  // reached the shared medium). The pool's events live on the coordinator
+  // Simulator, so in sharded runs the drain starts from the deferred
+  // coordinator callback, keeping the merge order worker-count-invariant.
+  void set_bandwidth_domain(BandwidthDomain* domain) { domain_ = domain; }
+  BandwidthDomain* bandwidth_domain() const { return domain_; }
+
   // Enqueue a sequential write of `size` bytes; `done(ok)` fires at
   // completion. Returns the simulated completion time.
   SimTime SubmitWrite(Bytes size, std::function<void(bool)> done);
@@ -70,10 +84,13 @@ class StorageDevice {
   // Id of the op most recently submitted, for CancelOp().
   StorageOpId last_op_id() const { return next_op_id_ - 1; }
 
-  // Drop the completion of a still-pending op: `done` is never invoked and
-  // the caller owns any cleanup. Device timing/stats are unchanged (the
-  // hardware still services the request). Returns false when the op
-  // already completed, was already canceled, or never existed.
+  // Abandon a still-pending op: `done` is never invoked and the caller
+  // owns any cleanup. An op already in service keeps its timing (the
+  // hardware finishes the request; only the completion is suppressed). An
+  // op still queued is removed: its service time, byte counters, and
+  // busy-time charge are rolled back and every later op's start/completion
+  // shifts earlier deterministically. Returns false when the op already
+  // completed, was already canceled, or never existed.
   bool CancelOp(StorageOpId id);
 
   // Pure service time (no queueing, no degradation).
@@ -102,20 +119,41 @@ class StorageDevice {
   Bytes peak_used() const { return peak_used_; }
 
  private:
-  SimTime Enqueue(SimDuration service, bool ok, std::function<void(bool)> done);
+  // One in-flight op. Kept in a map ordered by id, which is also FIFO
+  // service order: later ids never start before earlier ones.
+  struct PendingOp {
+    SimDuration service = 0;
+    Bytes bytes = 0;
+    bool is_write = false;
+    bool ok = true;
+    SimTime start = 0;
+    SimTime completion = 0;
+    // Bumped when a cancellation shifts this op earlier; the completion
+    // event captures the generation it was scheduled under and goes stale
+    // on mismatch (shard queues cannot cancel events, so stale timers must
+    // no-op on both the monolithic and sharded paths).
+    int generation = 0;
+    bool canceled = false;  // started-then-canceled: suppress `done` only
+    std::function<void(bool)> done;
+  };
+
+  SimTime Enqueue(SimDuration service, Bytes bytes, bool is_write, bool ok,
+                  std::function<void(bool)> done);
+  void ScheduleCompletion(StorageOpId id);
+  void OnOpComplete(StorageOpId id, int generation);
 
   Simulator* sim_;
   StorageMedium medium_;
   std::string label_;
   FaultInjector* fault_ = nullptr;
   ShardChannel* channel_ = nullptr;
+  BandwidthDomain* domain_ = nullptr;
   NodeId node_;
 
   SimTime busy_until_ = 0;
   int pending_ops_ = 0;
   StorageOpId next_op_id_ = 1;
-  std::unordered_set<StorageOpId> live_ops_;
-  std::unordered_set<StorageOpId> canceled_ops_;
+  std::map<StorageOpId, PendingOp> ops_;
 
   Bytes used_ = 0;
   Bytes peak_used_ = 0;

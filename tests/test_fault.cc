@@ -247,6 +247,28 @@ TEST_F(EngineFaultTest, ExhaustedRetryBudgetReportsDumpFailure) {
   EXPECT_EQ(dfs_->current_stored(), 0);
 }
 
+TEST_F(EngineFaultTest, RetryBackoffIsClampedToMaxBackoff) {
+  // 12 failing attempts with backoff 2 s x4 each retry would wait
+  // 2 * (4^11 - 1) / 3 s (~776 hours) unclamped; with max_backoff = 5 s the
+  // waits are 2 + 10 * 5 = 52 s total, so the whole budget drains in under
+  // a simulated minute.
+  FaultPlan plan;
+  plan.storage_write_fail_prob = 1.0;
+  AttachInjector(plan);
+  RetryPolicy retry;
+  retry.max_attempts = 12;
+  retry.backoff = Seconds(2);
+  retry.multiplier = 4.0;
+  retry.max_backoff = Seconds(5);
+  engine_->set_retry_policy(retry);
+  ProcessState proc(TaskId(1), MiB(64), kMiB);
+  const DumpResult result = DumpSync(proc, NodeId(0), false);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(engine_->dump_retries(), 11);
+  EXPECT_GE(sim_.Now(), Seconds(52));  // exponential ramp did happen...
+  EXPECT_LT(sim_.Now(), Seconds(60));  // ...but the clamp held it at 5 s
+}
+
 TEST_F(EngineFaultTest, RetryBudgetRecoversTransientDumpFailures) {
   FaultPlan plan;
   // Deterministic given plan.seed: the first write draw fails, a later

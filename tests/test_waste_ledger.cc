@@ -18,13 +18,20 @@ TEST(WasteCause, TaxonomyNamesAndUnits) {
   EXPECT_TRUE(WasteCauseIsCoreHours(WasteCause::kQueueing));
   EXPECT_FALSE(WasteCauseIsCoreHours(WasteCause::kFaultRetry));
   EXPECT_FALSE(WasteCauseIsCoreHours(WasteCause::kReReplication));
-  // Exactly the four CPU causes that mirror wasted_core_hours reconcile.
+  EXPECT_STREQ(WasteCauseName(WasteCause::kPeriodicDumpOverhead),
+               "periodic_dump_overhead");
+  EXPECT_STREQ(WasteCauseName(WasteCause::kDumpDeferral), "dump_deferral");
+  EXPECT_TRUE(WasteCauseIsCoreHours(WasteCause::kPeriodicDumpOverhead));
+  EXPECT_FALSE(WasteCauseIsCoreHours(WasteCause::kDumpDeferral));
+  // Exactly the five CPU causes that mirror wasted_core_hours reconcile.
   int reconciling = 0;
   for (int c = 0; c < kNumWasteCauses; ++c) {
     if (WasteCauseReconciles(static_cast<WasteCause>(c))) ++reconciling;
   }
-  EXPECT_EQ(reconciling, 4);
+  EXPECT_EQ(reconciling, 5);
   EXPECT_FALSE(WasteCauseReconciles(WasteCause::kQueueing));
+  EXPECT_FALSE(WasteCauseReconciles(WasteCause::kDumpDeferral));
+  EXPECT_TRUE(WasteCauseReconciles(WasteCause::kPeriodicDumpOverhead));
 }
 
 TEST(WasteLedger, AddAccumulatesPerCauseAndDimension) {

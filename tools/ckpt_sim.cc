@@ -66,6 +66,13 @@ struct Flags {
   double fail_at_min = -1;
   double fail_down_min = 5;
 
+  // Shared-bandwidth interference model + cooperative dump scheduling +
+  // periodic Young/Daly checkpointing (all off by default; outputs are
+  // byte-identical to a build without the feature when off).
+  bool interference = false;
+  std::string dump_policy = "naive";
+  double periodic_mtbf_min = 0;
+
   // Sweep mode: cartesian product of the comma-separated lists (empty list
   // means "just the single-run flag above").
   std::string sweep_policies;
@@ -97,6 +104,11 @@ void Usage(const char* argv0) {
       "  --resubmit=SECS   preempted-task backoff (default 15)\n"
       "  --seed=N          workload seed\n"
       "  --fail-node=I --fail-at=MIN [--fail-down=MIN]  inject a crash\n"
+      "  --interference    shared-bandwidth checkpoint interference model\n"
+      "  --dump-policy=naive|staggered|aware  cooperative dump admission\n"
+      "                    (consulted only with --interference)\n"
+      "  --periodic-mtbf-min=M  Young/Daly periodic checkpointing against\n"
+      "                    a node MTBF of M minutes (0 = off)\n"
       "  --sweep-policies=A,B,..  run every combination of the sweep lists\n"
       "  --sweep-media=X,Y,..     (a missing list reuses the single-run\n"
       "  --sweep-seeds=N,M,..      flag); reports print in cell order\n"
@@ -152,6 +164,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->fail_at_min = std::atof(value.c_str());
     } else if (ParseFlag(arg, "--fail-down", &value)) {
       flags->fail_down_min = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--dump-policy", &flags->dump_policy)) {
+      continue;
+    } else if (ParseFlag(arg, "--periodic-mtbf-min", &value)) {
+      flags->periodic_mtbf_min = std::atof(value.c_str());
+    } else if (std::strcmp(arg, "--interference") == 0) {
+      flags->interference = true;
     } else if (std::strcmp(arg, "--no-incremental") == 0) {
       flags->incremental = false;
     } else if (std::strcmp(arg, "--no-dfs") == 0) {
@@ -214,6 +232,13 @@ bool BuildConfig(const Flags& flags, SchedulerConfig* config) {
   config->shadow_buffering = flags.shadow;
   config->lazy_restore = flags.lazy;
   config->resubmit_delay = Seconds(flags.resubmit_sec);
+  config->interference.enabled = flags.interference;
+  if (!ParseDumpPolicy(flags.dump_policy, &config->dump_scheduler.policy)) {
+    return false;
+  }
+  if (flags.periodic_mtbf_min > 0) {
+    config->periodic_ckpt_mtbf = Minutes(flags.periodic_mtbf_min);
+  }
   return true;
 }
 
@@ -306,6 +331,17 @@ std::string RunCell(const Flags& flags, SchedulerConfig config,
          static_cast<long long>(result.tasks_interrupted_by_failure),
          static_cast<long long>(result.images_lost_to_failure),
          static_cast<long long>(result.images_survived_failure));
+  if (flags.interference || flags.periodic_mtbf_min > 0) {
+    // Gated so feature-off output stays byte-identical to the seed.
+    Append(&report,
+           "dump_policy=%s periodic_checkpoints=%lld periodic_failures=%lld "
+           "dumps_deferred=%lld defer_h=%.2f\n",
+           flags.dump_policy.c_str(),
+           static_cast<long long>(result.periodic_checkpoints),
+           static_cast<long long>(result.periodic_checkpoint_failures),
+           static_cast<long long>(result.dumps_deferred),
+           ToHours(result.dump_defer_time));
+  }
   return report;
 }
 

@@ -26,6 +26,12 @@ struct Flags {
   double guarantee = 0.5;
   double threshold = 1.0;
   bool incremental = true;
+  // Shared-bandwidth network contention (off by default; when off, output
+  // is byte-identical to a build without the feature).
+  double net_aggregate_gbps = 0;
+  double rack_uplink_gbps = 0;
+  int rack_size = 0;
+  bool charge_receiver = false;
 };
 
 void Usage(const char* argv0) {
@@ -39,7 +45,10 @@ void Usage(const char* argv0) {
       "  --jobs=N --tasks=N               Facebook-derived workload size\n"
       "  --nodes=N --containers=N         cluster shape\n"
       "  --threshold=K                    Algorithm 1 knob\n"
-      "  --no-incremental                 full dumps only\n",
+      "  --no-incremental                 full dumps only\n"
+      "  --net-aggregate-gbps=F  fair-shared network backbone pool (0=off)\n"
+      "  --rack-size=N --rack-uplink-gbps=F  per-rack uplink domains\n"
+      "  --net-charge-receiver   serialize transfers at the receiver NIC\n",
       argv0);
 }
 
@@ -76,6 +85,14 @@ int main(int argc, char** argv) {
       flags.guarantee = std::atof(value.c_str());
     } else if (ParseFlag(arg, "--threshold", &value)) {
       flags.threshold = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--net-aggregate-gbps", &value)) {
+      flags.net_aggregate_gbps = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--rack-uplink-gbps", &value)) {
+      flags.rack_uplink_gbps = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--rack-size", &value)) {
+      flags.rack_size = std::atoi(value.c_str());
+    } else if (std::strcmp(arg, "--net-charge-receiver") == 0) {
+      flags.charge_receiver = true;
     } else if (std::strcmp(arg, "--no-incremental") == 0) {
       flags.incremental = false;
     } else {
@@ -108,6 +125,14 @@ int main(int argc, char** argv) {
   config.containers_per_node = flags.containers;
   config.adaptive_threshold = flags.threshold;
   config.incremental_checkpoints = flags.incremental;
+  if (flags.net_aggregate_gbps > 0) {
+    config.network.aggregate_bw = GBps(flags.net_aggregate_gbps);
+  }
+  if (flags.rack_size > 0 && flags.rack_uplink_gbps > 0) {
+    config.network.rack_size = flags.rack_size;
+    config.network.rack_uplink_bw = GBps(flags.rack_uplink_gbps);
+  }
+  config.network.charge_receiver = flags.charge_receiver;
 
   FacebookWorkloadConfig fb;
   fb.total_jobs = flags.jobs;
