@@ -98,11 +98,13 @@ struct CellResult {
   SimulationResult result;
   std::int64_t events = 0;
   double seconds = 0;
+  std::int64_t barriers = 0;         // sharded cells only; 0 for legacy
+  double events_per_window = 0.0;    // shard events / barriers
   std::string metrics_entry;
 };
 
 CellResult RunCell(int nodes, PreemptionPolicy policy, bool use_index,
-                   int shards, Observability* obs) {
+                   int shards, bool batch, Observability* obs) {
   CellResult cell;
   if (shards > 0) {
     // Sharded driver + streaming submission. Results are identical for
@@ -110,6 +112,7 @@ CellResult RunCell(int nodes, PreemptionPolicy policy, bool use_index,
     // distinct, equally deterministic serialization from the legacy path.
     ShardedSimulator::Options opt;
     opt.workers = shards;
+    opt.batch_windows = batch;
     ShardedSimulator ssim(opt);
     Simulator& sim = *ssim.coordinator();
     Cluster cluster(&sim);
@@ -130,6 +133,8 @@ CellResult RunCell(int nodes, PreemptionPolicy policy, bool use_index,
     const auto t1 = std::chrono::steady_clock::now();
     cell.seconds = std::chrono::duration<double>(t1 - t0).count();
     cell.events = ssim.EventsProcessed();
+    cell.barriers = ssim.Barriers();
+    cell.events_per_window = ssim.EventsPerWindow();
     RecordProcessGauges(obs);
     return cell;
   }
@@ -161,6 +166,7 @@ int main(int argc, char** argv) {
   // Scheduling decisions vs sweep workers are orthogonal here: cells run
   // serially so the stderr wall-clock numbers are honest.
   bool use_index = true;
+  bool batch = true;  // safe-window batching in the sharded driver
   int shards = 0;  // 0 = legacy monolithic driver
   std::vector<int> sizes{1000, 4000, 10000};
   for (int i = 1; i < argc; ++i) {
@@ -169,6 +175,10 @@ int main(int argc, char** argv) {
       use_index = false;
     } else if (arg == "--index=on") {
       use_index = true;
+    } else if (arg == "--batch=off") {
+      batch = false;
+    } else if (arg == "--batch=on") {
+      batch = true;
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards = std::atoi(arg.c_str() + 9);
       if (shards < 0) shards = 0;
@@ -183,7 +193,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--index=on|off] [--shards=N] [--sizes=N,M,...]\n",
+                   "usage: %s [--index=on|off] [--shards=N] [--batch=on|off] "
+                   "[--sizes=N,M,...]\n",
                    argv[0]);
       return 2;
     }
@@ -218,7 +229,7 @@ int main(int argc, char** argv) {
   for (int nodes : sizes) {
     for (const PolicyRow& row : policies) {
       Observability obs;
-      CellResult cell = RunCell(nodes, row.policy, use_index, shards,
+      CellResult cell = RunCell(nodes, row.policy, use_index, shards, batch,
                                 obs_enabled ? &obs : nullptr);
       table.push_back(
           {std::to_string(nodes), row.name,
@@ -233,7 +244,8 @@ int main(int argc, char** argv) {
           stderr,
           "bench_scale: nodes=%d policy=%s index=%s shards=%d seconds=%.3f "
           "events=%lld events_per_sec=%.0f decisions=%lld "
-          "decisions_per_sec=%.0f peak_rss_bytes=%lld\n",
+          "decisions_per_sec=%.0f peak_rss_bytes=%lld "
+          "barriers=%lld events_per_window=%.1f\n",
           nodes, row.name, use_index ? "on" : "off", shards, cell.seconds,
           static_cast<long long>(cell.events),
           cell.seconds > 0 ? static_cast<double>(cell.events) / cell.seconds
@@ -242,7 +254,8 @@ int main(int argc, char** argv) {
           cell.seconds > 0
               ? static_cast<double>(cell.result.sched_decisions) / cell.seconds
               : 0.0,
-          PeakRssBytes());
+          PeakRssBytes(), static_cast<long long>(cell.barriers),
+          cell.events_per_window);
       if (obs_enabled) {
         if (!first_cell) metrics_json += ",";
         first_cell = false;

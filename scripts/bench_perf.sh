@@ -6,12 +6,19 @@
 #
 # Usage: scripts/bench_perf.sh [build-dir] [out-file]
 # Env:   BENCH_PERF_JOBS  worker counts to time the sweeps at (default "1 4")
+#        BENCH_PERF_REPS  repetitions per wall-clock-timed lane (default 3).
+#                         The recorded time is the best (minimum) rep: the
+#                         runs are deterministic, so the fastest rep is the
+#                         one least perturbed by other tenants of the
+#                         machine, and min-of-N is the standard estimator
+#                         for that.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_file="${2:-$repo_root/BENCH_PERF.json}"
 jobs_list="${BENCH_PERF_JOBS:-1 4}"
+reps="${BENCH_PERF_REPS:-3}"
 
 obs_dir="$(mktemp -d)"
 trap 'rm -rf "$obs_dir"' EXIT
@@ -47,13 +54,16 @@ run_sweep_bench() {
   local name="$1" binary="$2" metrics_file="$3"
   shift 3
   for jobs in $jobs_list; do
-    local t0 t1 seconds events eff
+    local t0 t1 seconds events eff rep
     eff="$(effective_jobs "$jobs")"
-    t0="$(now)"
-    CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$binary" --jobs "$jobs" "$@" \
-      > "$obs_dir/$name.j$jobs.stdout.txt"
-    t1="$(now)"
-    seconds="$(python3 -c "print(f'{$t1 - $t0:.3f}')")"
+    seconds=""
+    for ((rep = 0; rep < reps; ++rep)); do
+      t0="$(now)"
+      CKPT_OBS=1 CKPT_OBS_DIR="$obs_dir" "$binary" --jobs "$jobs" "$@" \
+        > "$obs_dir/$name.j$jobs.stdout.txt"
+      t1="$(now)"
+      seconds="$(python3 -c "print(f'{min($t1 - $t0, ${seconds:-1e30}):.3f}')")"
+    done
     events="$(sum_events "$obs_dir/$metrics_file")"
     local eps
     eps="$(python3 -c "print(f'{$events / $seconds:.0f}')")"
@@ -80,16 +90,19 @@ declare -A scale_dps
 # streaming sharded driver).
 parse_scale_stderr() {
   local stderr_file="$1" bench="$2"
-  while read -r _ nodes policy index shards seconds events eps decisions dps rss; do
+  while read -r _ nodes policy index shards seconds events eps decisions dps rss barriers epw; do
     nodes="${nodes#nodes=}"; policy="${policy#policy=}"
     index="${index#index=}"; shards="${shards#shards=}"
     seconds="${seconds#seconds=}"; events="${events#events=}"
     eps="${eps#events_per_sec=}"; decisions="${decisions#decisions=}"
     dps="${dps#decisions_per_sec=}"; rss="${rss#peak_rss_bytes=}"
+    barriers="${barriers#barriers=}"; epw="${epw#events_per_window=}"
+    barriers="${barriers:-0}"; epw="${epw:-0}"
     echo "bench_perf: $bench nodes=$nodes policy=$policy index=$index" \
          "shards=$shards seconds=$seconds events_per_sec=$eps" \
-         "decisions_per_sec=$dps peak_rss_bytes=$rss"
-    entries+=("{\"bench\":\"$bench\",\"nodes\":$nodes,\"policy\":\"$policy\",\"index\":\"$index\",\"shards\":$shards,\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps,\"decisions\":$decisions,\"decisions_per_sec\":$dps,\"peak_rss_bytes\":$rss}")
+         "decisions_per_sec=$dps peak_rss_bytes=$rss" \
+         "barriers=$barriers events_per_window=$epw"
+    entries+=("{\"bench\":\"$bench\",\"nodes\":$nodes,\"policy\":\"$policy\",\"index\":\"$index\",\"shards\":$shards,\"seconds\":$seconds,\"events\":$events,\"events_per_sec\":$eps,\"decisions\":$decisions,\"decisions_per_sec\":$dps,\"peak_rss_bytes\":$rss,\"barriers\":$barriers,\"events_per_window\":$epw}")
     scale_dps["$index.$nodes.$policy"]="$dps"
   done < <(grep '^bench_scale:' "$stderr_file")
 }
@@ -110,16 +123,45 @@ for policy in kill checkpoint adaptive; do
 done
 
 # Sharded single-run lane: the streaming sharded driver at 40k nodes, at
-# each worker count in BENCH_PERF_SHARDS. One run per worker count — the
-# cells must be byte-identical (check_determinism.sh enforces that), so
-# this lane only measures wall time, rates, and peak RSS.
+# each worker count in BENCH_PERF_SHARDS. The cells must be byte-identical
+# across reps and worker counts (check_determinism.sh enforces that), so
+# this lane only measures wall time, rates, and peak RSS — best-of-reps
+# per cell, like the wall-clock sweep lanes above.
 # Env: BENCH_SCALE_SHARD_SIZES overrides the sizes (default 40000),
 #      BENCH_PERF_SHARDS the worker counts (default "1 2").
 shard_sizes="${BENCH_SCALE_SHARD_SIZES:-40000}"
-for shards in ${BENCH_PERF_SHARDS:-1 2}; do
-  "$build_dir/bench/bench_scale" "--sizes=$shard_sizes" "--shards=$shards" \
-    > "$obs_dir/scale.s$shards.stdout.txt" \
-    2> "$obs_dir/scale.s$shards.stderr.txt"
+shards_list="${BENCH_PERF_SHARDS:-1 2}"
+for shards in $shards_list; do
+  : > "$obs_dir/scale.s$shards.stderr.all.txt"
+done
+# Interleave the worker counts across reps (1,2,1,2,... not 1,1,1,2,2,2)
+# so a transient load spike perturbs both sides of the 1-vs-N comparison
+# instead of biasing whichever group it lands on.
+for ((rep = 0; rep < reps; ++rep)); do
+  for shards in $shards_list; do
+    "$build_dir/bench/bench_scale" "--sizes=$shard_sizes" "--shards=$shards" \
+      > "$obs_dir/scale.s$shards.stdout.txt" \
+      2>> "$obs_dir/scale.s$shards.stderr.all.txt"
+  done
+done
+for shards in $shards_list; do
+  # Keep, per cell, the rep with the smallest wall time.
+  python3 - "$obs_dir/scale.s$shards.stderr.all.txt" \
+    > "$obs_dir/scale.s$shards.stderr.txt" <<'EOF'
+import sys
+best, order = {}, []
+for line in open(sys.argv[1]):
+    if not line.startswith("bench_scale:"):
+        continue
+    fields = dict(f.split("=", 1) for f in line.split()[1:])
+    key = (fields["nodes"], fields["policy"], fields["index"], fields["shards"])
+    if key not in best:
+        order.append(key)
+    if key not in best or float(fields["seconds"]) < float(best[key][0]):
+        best[key] = (fields["seconds"], line)
+for key in order:
+    sys.stdout.write(best[key][1])
+EOF
   parse_scale_stderr "$obs_dir/scale.s$shards.stderr.txt" scale_sharded
 done
 
@@ -132,11 +174,14 @@ done
 interference_jobs="${BENCH_INTERFERENCE_JOBS:-300}"
 for jobs in $jobs_list; do
   eff="$(effective_jobs "$jobs")"
-  t0="$(now)"
-  "$build_dir/bench/bench_interference" --jobs "$jobs" "$interference_jobs" \
-    > "$obs_dir/interference.j$jobs.stdout.txt"
-  t1="$(now)"
-  seconds="$(python3 -c "print(f'{$t1 - $t0:.3f}')")"
+  seconds=""
+  for ((rep = 0; rep < reps; ++rep)); do
+    t0="$(now)"
+    "$build_dir/bench/bench_interference" --jobs "$jobs" "$interference_jobs" \
+      > "$obs_dir/interference.j$jobs.stdout.txt"
+    t1="$(now)"
+    seconds="$(python3 -c "print(f'{min($t1 - $t0, ${seconds:-1e30}):.3f}')")"
+  done
   echo "bench_perf: interference jobs=$jobs effective_jobs=$eff" \
        "seconds=$seconds"
   entries+=("{\"bench\":\"interference\",\"jobs\":$jobs,\"effective_jobs\":$eff,\"seconds\":$seconds}")

@@ -104,6 +104,20 @@ def main():
     regressions = []
     compared = 0
     for key in sorted(common, key=fmt_key):
+        # Batching telemetry (sharded entries only): informational, never
+        # gated — a barrier-count change explains a rate change but is not
+        # itself a regression.
+        info = []
+        for field in ("barriers", "events_per_window"):
+            if field not in current[key]:
+                continue
+            if field in baseline[key]:
+                info.append(f"{field}={baseline[key][field]} -> "
+                            f"{current[key][field]}")
+            else:
+                info.append(f"{field}={current[key][field]}")
+        if info:
+            print(f"bench_perf_diff: {fmt_key(key)} [info] {', '.join(info)}")
         for metric in RATE_METRICS:
             if metric not in baseline[key] or metric not in current[key]:
                 continue

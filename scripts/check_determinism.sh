@@ -158,4 +158,43 @@ compare "ckpt-sim --interference sharded stdout (1 vs 4 workers)" \
 compare "bench_scale sharded streaming (1 vs 4 workers)" \
   "$work_dir/scale.shards1.txt" "$work_dir/scale.shards4.txt"
 
+# Batched safe-window lanes. Amortized window batching changes only HOW a
+# window's events are drained and merged, never which events run in which
+# window — so every artifact, including the sim.barriers /
+# sim.events_per_window telemetry, must be byte-identical with batching on
+# vs off, and (with batching pinned on) across worker counts.
+for batch in on off; do
+  dir="$work_dir/batch.$batch"
+  mkdir -p "$dir"
+  CKPT_OBS=1 CKPT_OBS_DIR="$dir" \
+    "$build_dir/tools/ckpt-sim" --policy=adaptive --jobs=60 \
+    --shards=4 --batch="$batch" > "$dir/stdout.txt"
+  normalize_metrics "$dir/ckpt_sim.adaptive.metrics.json"
+done
+compare "ckpt-sim batched windows (on vs off) stdout" \
+  "$work_dir/batch.on/stdout.txt" "$work_dir/batch.off/stdout.txt"
+compare "ckpt-sim batched windows (on vs off) metrics" \
+  "$work_dir/batch.on/ckpt_sim.adaptive.metrics.json" \
+  "$work_dir/batch.off/ckpt_sim.adaptive.metrics.json"
+compare "ckpt-sim batched windows (on vs off) audit log" \
+  "$work_dir/batch.on/ckpt_sim.adaptive.audit.jsonl" \
+  "$work_dir/batch.off/ckpt_sim.adaptive.audit.jsonl"
+
+for shards in 1 4; do
+  dir="$work_dir/batchshards.$shards"
+  mkdir -p "$dir"
+  CKPT_OBS=1 CKPT_OBS_DIR="$dir" \
+    "$build_dir/tools/ckpt-sim" --policy=adaptive --jobs=60 \
+    --batch=on --shards="$shards" > "$dir/stdout.txt"
+  normalize_metrics "$dir/ckpt_sim.adaptive.metrics.json"
+done
+compare "ckpt-sim batching-on sharded stdout (1 vs 4 workers)" \
+  "$work_dir/batchshards.1/stdout.txt" "$work_dir/batchshards.4/stdout.txt"
+compare "ckpt-sim batching-on sharded metrics (1 vs 4 workers)" \
+  "$work_dir/batchshards.1/ckpt_sim.adaptive.metrics.json" \
+  "$work_dir/batchshards.4/ckpt_sim.adaptive.metrics.json"
+compare "ckpt-sim batching-on sharded audit log (1 vs 4 workers)" \
+  "$work_dir/batchshards.1/ckpt_sim.adaptive.audit.jsonl" \
+  "$work_dir/batchshards.4/ckpt_sim.adaptive.audit.jsonl"
+
 exit "$fail"

@@ -24,6 +24,14 @@ CheckpointEngine::CheckpointEngine(Simulator* sim, CheckpointStore* store,
   CKPT_CHECK(store != nullptr);
 }
 
+CheckpointEngine::NodeObs& CheckpointEngine::ObsFor(NodeId node) {
+  const size_t i = static_cast<size_t>(node.value());
+  if (node_obs_.size() <= i) node_obs_.resize(i + 1);
+  NodeObs& h = node_obs_[i];
+  if (h.track.empty()) h.track = Observability::NodeTrack(node);
+  return h;
+}
+
 std::string CheckpointEngine::ImagePath(const ProcessState& proc) const {
   return "/checkpoints/task-" + std::to_string(proc.task.value()) + "-img" +
          std::to_string(next_image_);
@@ -160,7 +168,7 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
   Tracer::SpanId span = Tracer::kInvalidSpan;
   if (obs_ != nullptr) {
     span = obs_->tracer().BeginSpan(
-        "ckpt.dump", "ckpt", Observability::NodeTrack(node), started,
+        "ckpt.dump", "ckpt", ObsFor(node).track, started,
         {TraceArg::Num("task", static_cast<double>(proc.task.value())),
          TraceArg::Num("bytes", static_cast<double>(bytes)),
          TraceArg::Num("incremental", can_increment ? 1 : 0)});
@@ -192,19 +200,27 @@ void CheckpointEngine::DumpAttempt(ProcessState& proc, NodeId node,
     if (obs_ != nullptr) {
       obs_->tracer().EndSpan(span, sim_->Now(),
                              {TraceArg::Num("ok", ok ? 1 : 0)});
-      const std::string node_label = Observability::NodeLabel(node);
-      obs_->metrics()
-          .GetCounter("ckpt.dump.count",
-                      {{"node", node_label},
-                       {"mode", can_increment ? "incremental" : "full"}})
-          ->Inc();
-      obs_->metrics()
-          .GetHistogram("ckpt.dump.seconds", {{"node", node_label}},
-                        kIoSecondsBounds)
-          ->Observe(ToSeconds(result.duration));
-      obs_->metrics()
-          .GetCounter("ckpt.dump.bytes", {{"node", node_label}})
-          ->Inc(result.bytes_written);
+      NodeObs& h = ObsFor(node);
+      Counter*& count =
+          can_increment ? h.dump_count_incremental : h.dump_count_full;
+      if (count == nullptr) {
+        count = obs_->metrics().GetCounter(
+            "ckpt.dump.count",
+            {{"node", Observability::NodeLabel(node)},
+             {"mode", can_increment ? "incremental" : "full"}});
+      }
+      count->Inc();
+      if (h.dump_seconds == nullptr) {
+        h.dump_seconds = obs_->metrics().GetHistogram(
+            "ckpt.dump.seconds", {{"node", Observability::NodeLabel(node)}},
+            kIoSecondsBounds);
+      }
+      h.dump_seconds->Observe(ToSeconds(result.duration));
+      if (h.dump_bytes == nullptr) {
+        h.dump_bytes = obs_->metrics().GetCounter(
+            "ckpt.dump.bytes", {{"node", Observability::NodeLabel(node)}});
+      }
+      h.dump_bytes->Inc(result.bytes_written);
     }
     if (proc.io_epoch != epoch) {
       // The caller unwound this dump (node failure, kill) while the I/O was
@@ -284,7 +300,7 @@ void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
   Tracer::SpanId span = Tracer::kInvalidSpan;
   if (obs_ != nullptr) {
     span = obs_->tracer().BeginSpan(
-        "ckpt.restore", "ckpt", Observability::NodeTrack(node), started,
+        "ckpt.restore", "ckpt", ObsFor(node).track, started,
         {TraceArg::Num("task", static_cast<double>(proc.task.value())),
          TraceArg::Num("bytes", static_cast<double>(bytes)),
          TraceArg::Num("remote", remote ? 1 : 0)});
@@ -302,7 +318,7 @@ void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
         // Integrity check, like CRIU verifying image magic/checksums after
         // the read: a corrupt image is only discovered once loaded.
         if (ok && live && fault_ != nullptr &&
-            fault_->ShouldCorruptImage(Observability::NodeTrack(node))) {
+            fault_->ShouldCorruptImage(ObsFor(node).track)) {
           ok = false;
           result.ok = false;
           result.corrupt = true;
@@ -315,19 +331,28 @@ void CheckpointEngine::RestoreAttempt(ProcessState& proc, NodeId node,
         if (obs_ != nullptr) {
           obs_->tracer().EndSpan(span, sim_->Now(),
                                  {TraceArg::Num("ok", ok ? 1 : 0)});
-          const std::string node_label = Observability::NodeLabel(node);
-          obs_->metrics()
-              .GetCounter("ckpt.restore.count",
-                          {{"node", node_label},
-                           {"locality", remote ? "remote" : "local"}})
-              ->Inc();
-          obs_->metrics()
-              .GetHistogram("ckpt.restore.seconds", {{"node", node_label}},
-                            kIoSecondsBounds)
-              ->Observe(ToSeconds(result.duration));
-          obs_->metrics()
-              .GetCounter("ckpt.restore.bytes", {{"node", node_label}})
-              ->Inc(result.bytes_read);
+          NodeObs& h = ObsFor(node);
+          Counter*& count =
+              remote ? h.restore_count_remote : h.restore_count_local;
+          if (count == nullptr) {
+            count = obs_->metrics().GetCounter(
+                "ckpt.restore.count",
+                {{"node", Observability::NodeLabel(node)},
+                 {"locality", remote ? "remote" : "local"}});
+          }
+          count->Inc();
+          if (h.restore_seconds == nullptr) {
+            h.restore_seconds = obs_->metrics().GetHistogram(
+                "ckpt.restore.seconds",
+                {{"node", Observability::NodeLabel(node)}}, kIoSecondsBounds);
+          }
+          h.restore_seconds->Observe(ToSeconds(result.duration));
+          if (h.restore_bytes == nullptr) {
+            h.restore_bytes = obs_->metrics().GetCounter(
+                "ckpt.restore.bytes",
+                {{"node", Observability::NodeLabel(node)}});
+          }
+          h.restore_bytes->Inc(result.bytes_read);
         }
         if (!live) {
           // Canceled while the read was in flight: report failure without

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/ids.h"
 #include "common/units.h"
@@ -21,7 +22,9 @@
 
 namespace ckpt {
 
+class Counter;
 class FaultInjector;
+class Histogram;
 class Observability;
 
 // The checkpointable view of one running task's process tree.
@@ -178,6 +181,23 @@ class CheckpointEngine {
                         DumpOptions opts, std::int64_t generation,
                         std::function<void(const DumpResult&)> on_dump);
 
+  // Per-node observability handles, resolved lazily one series at a time so
+  // the emitted series set stays exactly what the run actually touched, but
+  // each dump/restore completion stops re-building label maps and series
+  // keys. `track` is the cached "node/N" tracer-track spelling.
+  struct NodeObs {
+    std::string track;
+    Counter* dump_count_full = nullptr;
+    Counter* dump_count_incremental = nullptr;
+    Histogram* dump_seconds = nullptr;
+    Counter* dump_bytes = nullptr;
+    Counter* restore_count_local = nullptr;
+    Counter* restore_count_remote = nullptr;
+    Histogram* restore_seconds = nullptr;
+    Counter* restore_bytes = nullptr;
+  };
+  NodeObs& ObsFor(NodeId node);
+
   Simulator* sim_;
   CheckpointStore* store_;
   Observability* obs_;
@@ -194,6 +214,7 @@ class CheckpointEngine {
   // pending timer or completion with an older generation retires itself.
   std::map<std::int64_t, std::int64_t> periodic_gen_;
   std::int64_t corrupt_images_ = 0;
+  std::vector<NodeObs> node_obs_;  // indexed by node id (dense)
   Bytes dump_bytes_ = 0;
   Bytes restore_bytes_ = 0;
   SimDuration dump_time_ = 0;

@@ -21,10 +21,18 @@ namespace json {
 // Escape a string for embedding inside double quotes in JSON output.
 std::string Escape(const std::string& s);
 
+// Append-style Escape: identical bytes, no temporary string. The common
+// all-clean case is a single bulk append; hot writers (audit log, tracer)
+// use this so serialization stops allocating per field.
+void AppendEscaped(const std::string& s, std::string* out);
+
 // Canonical number spelling shared by every JSON writer in the repo:
 // integers print without a decimal point, everything else with up to
 // 15 significant digits (round-trippable for the values we emit).
 std::string FormatNumber(double value);
+
+// Append-style FormatNumber: identical bytes, no temporary string.
+void AppendNumber(double value, std::string* out);
 
 class Value;
 using ValuePtr = std::shared_ptr<Value>;

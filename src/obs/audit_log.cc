@@ -1,5 +1,8 @@
 #include "obs/audit_log.h"
 
+#include <charconv>
+#include <utility>
+
 #include "common/json.h"
 
 namespace ckpt {
@@ -13,45 +16,59 @@ void AppendArgsObject(const TraceArgs& args, std::string* out) {
     if (!first) out->push_back(',');
     first = false;
     out->push_back('"');
-    *out += json::Escape(arg.key);
+    json::AppendEscaped(arg.key, out);
     *out += "\":";
     if (arg.is_string) {
       out->push_back('"');
-      *out += json::Escape(arg.str);
+      json::AppendEscaped(arg.str, out);
       out->push_back('"');
     } else {
-      *out += json::FormatNumber(arg.num);
+      json::AppendNumber(arg.num, out);
     }
   }
   out->push_back('}');
 }
 
+void AppendInt(std::int64_t v, std::string* out) {
+  char buf[24];
+  const char* end = std::to_chars(buf, buf + sizeof(buf), v).ptr;
+  out->append(buf, static_cast<std::size_t>(end - buf));
+}
+
 }  // namespace
 
 AuditLog::AuditLog(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  // Do not reserve capacity_ up front: most runs retire far fewer records
+  // than the ring bound, and short-lived sweep cells each own a log.
+}
 
-void AuditLog::Append(AuditRecord record) {
-  record.seq = next_seq_++;
-  if (ring_.size() >= capacity_) {
-    ring_.pop_front();
-    ++dropped_;
+void AuditLog::AppendSwap(AuditRecord* record) {
+  record->seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(*record));
+    return;
   }
-  ring_.push_back(std::move(record));
+  // Full: overwrite the oldest slot by swapping, handing its buffers back
+  // to the caller for reuse.
+  std::swap(ring_[head_], *record);
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
 }
 
 std::string AuditLog::ToJsonl() const {
   std::string out;
   out.reserve(ring_.size() * 160);
-  for (const AuditRecord& rec : ring_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const AuditRecord& rec = record(i);
     out += "{\"seq\":";
-    out += std::to_string(rec.seq);
+    AppendInt(rec.seq, &out);
     out += ",\"t\":";
-    out += std::to_string(rec.t);
+    AppendInt(rec.t, &out);
     out += ",\"kind\":\"";
-    out += json::Escape(rec.kind);
+    json::AppendEscaped(rec.kind, &out);
     out += "\",\"track\":\"";
-    out += json::Escape(rec.track);
+    json::AppendEscaped(rec.track, &out);
     out += "\",\"args\":";
     AppendArgsObject(rec.args, &out);
     if (!rec.candidates.empty()) {

@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -47,7 +46,15 @@ class AuditLog {
 
   // Appends a record, stamping its sequence number. Oldest records fall
   // out when the ring is full.
-  void Append(AuditRecord record);
+  void Append(AuditRecord record) { AppendSwap(&record); }
+
+  // Allocation-recycling append for hot decision paths: *record is swapped
+  // into the ring, and once the ring has wrapped, the evicted record's
+  // buffers (kind/track strings, args and candidates vectors with their
+  // element capacity) come back in *record. A caller that keeps a scratch
+  // AuditRecord and rebuilds it in place therefore stops allocating per
+  // decision in steady state.
+  void AppendSwap(AuditRecord* record);
 
   // Convenience for records with no candidate list.
   void Event(std::string kind, std::string track, SimTime now,
@@ -64,7 +71,10 @@ class AuditLog {
   std::size_t capacity() const { return capacity_; }
   std::int64_t dropped() const { return dropped_; }
   std::int64_t total_appended() const { return next_seq_; }
-  const std::deque<AuditRecord>& records() const { return ring_; }
+  // i-th retained record in insertion order (0 = oldest).
+  const AuditRecord& record(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
 
   // One JSON object per line, in insertion order:
   //   {"seq":N,"t":T,"kind":"...","track":"...","args":{...},
@@ -75,7 +85,11 @@ class AuditLog {
 
  private:
   std::size_t capacity_;
-  std::deque<AuditRecord> ring_;
+  // Flat ring: grows to capacity_, then wraps (head_ = oldest slot).
+  // Vector, not deque: eviction swaps buffers out instead of destroying
+  // them, and iteration is index arithmetic over contiguous storage.
+  std::vector<AuditRecord> ring_;
+  std::size_t head_ = 0;
   std::int64_t next_seq_ = 0;
   std::int64_t dropped_ = 0;
 };

@@ -69,20 +69,24 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
   CKPT_CHECK_GT(capacity, 0u);
 }
 
-void Tracer::Push(TraceRecord event) {
-  if (ring_.size() >= capacity_) {
-    ring_.pop_front();
-    if (dropped_ == 0) {
-      // Warn exactly once per tracer; the final count is exported as the
-      // tracer.dropped_events gauge. stderr keeps stdout byte-identical.
-      std::fprintf(stderr,
-                   "ckpt-obs: trace ring full (capacity %zu), dropping "
-                   "oldest events; raise trace_capacity for complete traces\n",
-                   capacity_);
-    }
-    ++dropped_;
+void Tracer::Push(TraceRecord* event) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(*event));
+    return;
   }
-  ring_.push_back(std::move(event));
+  if (dropped_ == 0) {
+    // Warn exactly once per tracer; the final count is exported as the
+    // tracer.dropped_events gauge. stderr keeps stdout byte-identical.
+    std::fprintf(stderr,
+                 "ckpt-obs: trace ring full (capacity %zu), dropping "
+                 "oldest events; raise trace_capacity for complete traces\n",
+                 capacity_);
+  }
+  // Full: overwrite the oldest slot by swapping, handing its buffers back
+  // to the caller (InstantSwap callers reuse them; others discard).
+  std::swap(ring_[head_], *event);
+  head_ = (head_ + 1) % ring_.size();
+  ++dropped_;
 }
 
 Tracer::SpanId Tracer::BeginSpan(std::string name, std::string category,
@@ -109,7 +113,7 @@ void Tracer::EndSpan(SpanId id, SimTime now, TraceArgs extra_args) {
   CKPT_CHECK_GE(now, event.start);
   event.duration = now - event.start;
   for (TraceArg& arg : extra_args) event.args.push_back(std::move(arg));
-  Push(std::move(event));
+  Push(&event);
 }
 
 void Tracer::Instant(std::string name, std::string category, std::string track,
@@ -122,11 +126,21 @@ void Tracer::Instant(std::string name, std::string category, std::string track,
   event.start = now;
   event.seq = next_seq_++;
   event.args = std::move(args);
-  Push(std::move(event));
+  Push(&event);
+}
+
+void Tracer::InstantSwap(TraceRecord* record, SimTime now) {
+  record->phase = 'i';
+  record->start = now;
+  record->duration = 0;
+  record->seq = next_seq_++;
+  Push(record);
 }
 
 std::vector<TraceRecord> Tracer::SortedEvents() const {
-  std::vector<TraceRecord> events(ring_.begin(), ring_.end());
+  std::vector<TraceRecord> events;
+  events.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) events.push_back(record(i));
   std::sort(events.begin(), events.end(),
             [](const TraceRecord& a, const TraceRecord& b) {
               if (a.start != b.start) return a.start < b.start;

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -73,6 +72,13 @@ class Tracer {
   void Instant(std::string name, std::string category, std::string track,
                SimTime now, TraceArgs args = {});
 
+  // Allocation-recycling instant for per-event hot sites: the caller fills
+  // *record's name/category/track/args (rebuilding a member scratch record
+  // in place); phase, start and seq are stamped here. Once the ring has
+  // wrapped, the evicted record's buffers come back in *record, so
+  // steady-state emission allocates nothing.
+  void InstantSwap(TraceRecord* record, SimTime now);
+
   std::size_t size() const { return ring_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::size_t open_spans() const { return open_.size(); }
@@ -89,10 +95,20 @@ class Tracer {
   std::string ToJsonl() const;
 
  private:
-  void Push(TraceRecord event);
+  // Moves *event into the ring; on overflow the oldest record's buffers are
+  // swapped back into *event (see InstantSwap).
+  void Push(TraceRecord* event);
+  // i-th retained record in insertion order (0 = oldest).
+  const TraceRecord& record(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
 
   std::size_t capacity_;
-  std::deque<TraceRecord> ring_;
+  // Flat ring: grows to capacity_, then wraps (head_ = oldest slot).
+  // Vector, not deque: eviction swaps buffers out instead of destroying
+  // them, and there is no per-block allocator churn at capacity.
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;
   std::unordered_map<SpanId, TraceRecord> open_;
   SpanId next_span_ = 1;
   std::int64_t next_seq_ = 0;

@@ -1,5 +1,8 @@
 #include "obs/waste_ledger.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace ckpt {
 
 const char* WasteCauseName(WasteCause cause) {
@@ -41,8 +44,8 @@ void WasteLedger::Add(WasteCause cause, double amount, std::int64_t job,
   if (amount == 0) return;
   const int c = static_cast<int>(cause);
   totals_[c] += amount;
-  if (job >= 0) by_job_[{c, job}] += amount;
-  if (node >= 0) by_node_[{c, node}] += amount;
+  if (job >= 0) by_job_[static_cast<size_t>(c)][job] += amount;
+  if (node >= 0) by_node_[static_cast<size_t>(c)][node] += amount;
   ++entries_;
 }
 
@@ -70,25 +73,34 @@ void WasteLedger::SnapshotTo(MetricsRegistry& metrics) const {
   }
   metrics.GetGauge("waste.reconcilable_core_hours", {{"policy", policy_}})
       ->Set(ReconcilableCoreHours());
-  for (const auto& [key, amount] : by_job_) {
-    const auto cause = static_cast<WasteCause>(key.first);
-    const char* name = WasteCauseIsCoreHours(cause) ? "waste.by_job.core_hours"
-                                                    : "waste.by_job.io_seconds";
-    metrics
-        .GetGauge(name, {{"cause", WasteCauseName(cause)},
-                         {"job", std::to_string(key.second)}})
-        ->Set(amount);
-  }
-  for (const auto& [key, amount] : by_node_) {
-    const auto cause = static_cast<WasteCause>(key.first);
-    const char* name = WasteCauseIsCoreHours(cause)
-                           ? "waste.by_node.core_hours"
-                           : "waste.by_node.io_seconds";
-    metrics
-        .GetGauge(name, {{"cause", WasteCauseName(cause)},
-                         {"node", std::to_string(key.second)}})
-        ->Set(amount);
-  }
+  // The hashed tables iterate in arbitrary order; sort ids per cause so the
+  // snapshot emits the same deterministic (cause, id) sequence as always.
+  std::vector<std::int64_t> ids;
+  auto emit_sorted = [&metrics, &ids](
+                         const std::array<IdAmounts, kNumWasteCauses>& table,
+                         const char* ch_name, const char* io_name,
+                         const char* id_label) {
+    for (int c = 0; c < kNumWasteCauses; ++c) {
+      const IdAmounts& amounts = table[static_cast<size_t>(c)];
+      if (amounts.empty()) continue;
+      const auto cause = static_cast<WasteCause>(c);
+      const char* name = WasteCauseIsCoreHours(cause) ? ch_name : io_name;
+      ids.clear();
+      ids.reserve(amounts.size());
+      for (const auto& [id, amount] : amounts) ids.push_back(id);
+      std::sort(ids.begin(), ids.end());
+      for (const std::int64_t id : ids) {
+        metrics
+            .GetGauge(name, {{"cause", WasteCauseName(cause)},
+                             {id_label, std::to_string(id)}})
+            ->Set(amounts.at(id));
+      }
+    }
+  };
+  emit_sorted(by_job_, "waste.by_job.core_hours", "waste.by_job.io_seconds",
+              "job");
+  emit_sorted(by_node_, "waste.by_node.core_hours", "waste.by_node.io_seconds",
+              "node");
 }
 
 }  // namespace ckpt

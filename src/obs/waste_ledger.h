@@ -18,9 +18,10 @@
 // sum.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 
 #include "obs/metrics_registry.h"
 
@@ -77,9 +78,13 @@ class WasteLedger {
  private:
   std::string policy_ = "unknown";
   double totals_[kNumWasteCauses] = {};
-  // (cause, id) -> amount; std::map keeps snapshots deterministic.
-  std::map<std::pair<int, std::int64_t>, double> by_job_;
-  std::map<std::pair<int, std::int64_t>, double> by_node_;
+  // id -> amount, one hashed table per cause: Add is on the schedulers'
+  // per-decision path, so charging must not pay an ordered-map walk.
+  // SnapshotTo sorts ids cause by cause, reproducing the (cause, id)
+  // emission order of the ordered layout it replaced.
+  using IdAmounts = std::unordered_map<std::int64_t, double>;
+  std::array<IdAmounts, kNumWasteCauses> by_job_;
+  std::array<IdAmounts, kNumWasteCauses> by_node_;
   std::int64_t entries_ = 0;
 };
 

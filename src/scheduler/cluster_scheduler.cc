@@ -165,6 +165,12 @@ ClusterScheduler::ClusterScheduler(Simulator* sim, Cluster* cluster,
     prof_run_ = prof.slot("scheduler.run");
     prof_pass_ = prof.slot("scheduler.pass");
     prof_preempt_ = prof.slot("scheduler.preempt_scan");
+    // Count-only event-loop sites (too hot for a clock read per call; a
+    // bare increment keeps them free). self.calls says how often each site
+    // runs per event, self.wall_seconds stays 0 for them.
+    prof_place_ = prof.slot("scheduler.try_place");
+    prof_index_flush_ = prof.slot("scheduler.index_flush");
+    prof_waste_charge_ = prof.slot("scheduler.waste_charge");
   }
 }
 
@@ -254,6 +260,18 @@ SimulationResult ClusterScheduler::Run() {
         ->Set(static_cast<double>(config_.sharded != nullptr
                                       ? config_.sharded->EventsProcessed()
                                       : sim_->EventsProcessed()));
+    if (config_.sharded != nullptr) {
+      // Safe-window density gauges: functions of the logical protocol, so
+      // identical at every worker count and with batching on or off.
+      m.GetGauge("sim.barriers")
+          ->Set(static_cast<double>(config_.sharded->Barriers()));
+      m.GetGauge("sim.messages_merged")
+          ->Set(static_cast<double>(config_.sharded->MessagesMerged()));
+      m.GetGauge("sim.windows_coalesced")
+          ->Set(static_cast<double>(config_.sharded->WindowsCoalesced()));
+      m.GetGauge("sim.events_per_window")
+          ->Set(config_.sharded->EventsPerWindow());
+    }
     m.GetGauge("sched.busy_core_hours")->Set(result_.total_busy_core_hours);
     m.GetGauge("sched.wasted_core_hours")->Set(result_.wasted_core_hours);
     m.GetGauge("sched.lost_work_core_hours")
@@ -392,6 +410,7 @@ void ClusterScheduler::TouchNode(NodeId node) {
 }
 
 void ClusterScheduler::FlushFeasibilityIndex() {
+  if (prof_index_flush_ != nullptr) ++prof_index_flush_->calls;
   index_leaves_recomputed_ +=
       static_cast<std::int64_t>(index_stale_list_.size());
   // Big flushes (cluster-wide invalidations at scale) fan the pure
@@ -485,6 +504,7 @@ Node* ClusterScheduler::ProbeFitCached(const Resources& demand) {
 }
 
 bool ClusterScheduler::TryPlace(RtTask* task) {
+  if (prof_place_ != nullptr) ++prof_place_->calls;
   if (task->eligible_at > sim_->Now()) return false;  // backoff pending
   const Resources& demand = task->spec->demand;
 
@@ -507,14 +527,26 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
   }
 
   const StorageDevice& src = image_node->storage();
+  // Restore-cost terms, computed lazily: only the adaptive policy and the
+  // audit record consume them, so the fixed policies (and the no-obs fast
+  // path) skip the device/network queue probes entirely. The probes are
+  // pure reads, so deferring them changes no simulation state.
   RestoreCost cost;
-  cost.image_bytes = task->stored_bytes;
-  cost.read_bw = src.medium().read_bw;
-  cost.net_bw = network_->config().link_bw;
-  cost.local_queue_time = src.QueueDelay();
-  cost.remote_queue_time = src.QueueDelay() + network_->QueueDelay(task->image_node);
-  const SimDuration local_overhead = EstimateLocalRestore(cost);
-  const SimDuration remote_overhead = EstimateRemoteRestore(cost);
+  SimDuration local_overhead = 0;
+  SimDuration remote_overhead = 0;
+  bool cost_computed = false;
+  auto compute_cost = [&] {
+    if (cost_computed) return;
+    cost_computed = true;
+    cost.image_bytes = task->stored_bytes;
+    cost.read_bw = src.medium().read_bw;
+    cost.net_bw = network_->config().link_bw;
+    cost.local_queue_time = src.QueueDelay();
+    cost.remote_queue_time =
+        cost.local_queue_time + network_->QueueDelay(task->image_node);
+    local_overhead = EstimateLocalRestore(cost);
+    remote_overhead = EstimateRemoteRestore(cost);
+  };
 
   // Audit Algorithm 2's inputs whenever a restore actually begins; failed
   // placements leave no record (they recur every pass and carry no
@@ -522,6 +554,7 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
   auto audit_restore = [&](const Node* node, bool remote) {
     Observability* obs = config_.obs;
     if (obs == nullptr) return;
+    compute_cost();
     const char* policy_name =
         config_.restore_policy == RestorePolicy::kAlwaysLocal
             ? "always_local"
@@ -529,7 +562,7 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
                   ? "always_remote"
                   : "adaptive";
     obs->audit().Event(
-        "restore_decision", Observability::NodeTrack(node->id()), sim_->Now(),
+        "restore_decision", NodeTrackCached(node->id()), sim_->Now(),
         {TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
          TraceArg::Num("job", static_cast<double>(task->job->spec.id.value())),
          TraceArg::Num("image_node",
@@ -559,6 +592,7 @@ bool ClusterScheduler::TryPlace(RtTask* task) {
       return true;
     }
     case RestorePolicy::kAdaptive: {
+      compute_cost();
       const RestoreChoice choice =
           DecideRestore(true, local_overhead, remote_overhead);
       if (choice == RestoreChoice::kLocal && local_fits) {
@@ -924,8 +958,17 @@ const char* ActionName(PreemptAction action) {
 void ClusterScheduler::ChargeWaste(WasteCause cause, double amount,
                                    const RtTask* task) {
   if (config_.obs == nullptr) return;
+  if (prof_waste_charge_ != nullptr) ++prof_waste_charge_->calls;
   config_.obs->waste().Add(cause, amount, task->job->spec.id.value(),
                            task->node.valid() ? task->node.value() : -1);
+}
+
+const std::string& ClusterScheduler::NodeTrackCached(NodeId node) const {
+  const size_t i = static_cast<size_t>(node.value());
+  if (node_tracks_.size() <= i) node_tracks_.resize(i + 1);
+  std::string& track = node_tracks_[i];
+  if (track.empty()) track = Observability::NodeTrack(node);
+  return track;
 }
 
 void ClusterScheduler::RecordVictimDecision(const RtTask* victim,
@@ -935,24 +978,54 @@ void ClusterScheduler::RecordVictimDecision(const RtTask* victim,
   const char* name = ActionName(action);
   const SimDuration queue =
       cluster_->node(victim->node).storage().QueueDelay();
-  obs->tracer().Instant(
-      "policy.decision", "policy", Observability::NodeTrack(victim->node),
-      sim_->Now(),
-      {TraceArg::Num("task", static_cast<double>(victim->spec->id.value())),
-       TraceArg::Num("unsaved_progress_s", ToSeconds(UnsavedProgress(victim))),
-       TraceArg::Num("dump_queue_s", ToSeconds(queue)),
-       TraceArg::Num("overhead_s",
-                     ToSeconds(VictimCheckpointOverhead(victim))),
-       TraceArg::Num("threshold", config_.adaptive_threshold),
-       TraceArg::Str("action", name)});
-  obs->metrics()
-      .GetCounter("policy.decisions",
-                  {{"policy", PolicyName(config_.policy)}, {"action", name}})
-      ->Inc();
+  // Rebuild the scratch record in place: assign() and the fixed arg shape
+  // reuse whatever buffers InstantSwap recycled from the ring, so the
+  // per-decision instant allocates nothing in steady state.
+  TraceRecord& rec = decision_trace_;
+  rec.name.assign("policy.decision");
+  rec.category.assign("policy");
+  rec.track = NodeTrackCached(victim->node);
+  if (rec.args.size() != 6) {
+    rec.args.clear();
+    rec.args.resize(6);
+  }
+  auto set_num = [](TraceArg& a, const char* key, double v) {
+    a.key.assign(key);
+    a.is_string = false;
+    a.num = v;
+    a.str.clear();
+  };
+  set_num(rec.args[0], "task",
+          static_cast<double>(victim->spec->id.value()));
+  set_num(rec.args[1], "unsaved_progress_s",
+          ToSeconds(UnsavedProgress(victim)));
+  set_num(rec.args[2], "dump_queue_s", ToSeconds(queue));
+  set_num(rec.args[3], "overhead_s",
+          ToSeconds(VictimCheckpointOverhead(victim)));
+  set_num(rec.args[4], "threshold", config_.adaptive_threshold);
+  TraceArg& act = rec.args[5];
+  act.key.assign("action");
+  act.is_string = true;
+  act.num = 0;
+  act.str.assign(name);
+  obs->tracer().InstantSwap(&rec, sim_->Now());
+  // Counter handles are series-stable; resolving them on first use (not at
+  // construction) keeps the emitted series set identical to the per-call
+  // lookup this replaces.
+  Counter*& decisions = decision_counters_[static_cast<size_t>(action)];
+  if (decisions == nullptr) {
+    decisions = obs->metrics().GetCounter(
+        "policy.decisions",
+        {{"policy", PolicyName(config_.policy)}, {"action", name}});
+  }
+  decisions->Inc();
 }
 
 bool ClusterScheduler::TryPreemptFor(RtTask* task) {
-  ScopedWallTimer preempt_timer(prof_preempt_);
+  // Count-only: most scans exit via the dominance cache in well under the
+  // cost of two clock reads, so timing each one would dominate the slot it
+  // measures. Wall attribution stays with the enclosing scheduler.pass.
+  if (prof_preempt_ != nullptr) ++prof_preempt_->calls;
   const Resources& demand = task->spec->demand;
   const int priority = task->spec->priority;
 
@@ -1036,24 +1109,52 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
   }
   // Decision-level audit envelope; only filled when obs is attached.
   // Dominance-cache skips above leave no record (they repeat a failure
-  // already audited this pass); every real scan lands here.
+  // already audited this pass); every real scan lands here. The record is
+  // the member scratch: AppendSwap below recycles the evicted ring slot's
+  // buffers into it, so steady-state scans rebuild in place.
   Observability* obs = config_.obs;
-  AuditRecord audit;
+  AuditRecord& audit = preempt_audit_;
+  // In-place slot writers: `assign` reuses the existing key/value buffer
+  // capacity that AppendSwap recycled back from the ring, so steady-state
+  // scans build the record without touching the allocator.
+  auto set_num = [](TraceArg& a, const char* key, double v) {
+    a.key.assign(key);
+    a.is_string = false;
+    a.num = v;
+    a.str.clear();
+  };
+  auto set_str = [](TraceArg& a, const char* key, const char* v) {
+    a.key.assign(key);
+    a.is_string = true;
+    a.num = 0;
+    a.str.assign(v);
+  };
+  // How many candidate slots this scan has filled; the surplus from a
+  // larger recycled record is trimmed just before AppendSwap.
+  size_t cand_used = 0;
   if (obs != nullptr) {
-    audit.kind = "preempt_scan";
+    audit.kind.assign("preempt_scan");
+    audit.track.clear();
     audit.t = sim_->Now();
-    audit.args = {
-        TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
-        TraceArg::Num("job", static_cast<double>(task->job->spec.id.value())),
-        TraceArg::Num("priority", static_cast<double>(priority)),
-        TraceArg::Num("demand_cpus", demand.cpus),
-        TraceArg::Num("demand_memory",
-                      static_cast<double>(demand.memory)),
-        TraceArg::Num("image_bound", image_bound ? 1 : 0),
-        TraceArg::Num("index_enabled", config_.use_feasibility_index ? 1 : 0),
-        TraceArg::Num("index_leaves_recomputed",
-                      static_cast<double>(index_leaves_recomputed_)),
-    };
+    // The envelope always carries exactly these ten args (eight scan
+    // inputs plus the chosen_node/outcome tail filled per branch below).
+    if (audit.args.size() != 10) {
+      audit.args.clear();
+      audit.args.resize(10);
+    }
+    set_num(audit.args[0], "task",
+            static_cast<double>(task->spec->id.value()));
+    set_num(audit.args[1], "job",
+            static_cast<double>(task->job->spec.id.value()));
+    set_num(audit.args[2], "priority", static_cast<double>(priority));
+    set_num(audit.args[3], "demand_cpus", demand.cpus);
+    set_num(audit.args[4], "demand_memory",
+            static_cast<double>(demand.memory));
+    set_num(audit.args[5], "image_bound", image_bound ? 1 : 0);
+    set_num(audit.args[6], "index_enabled",
+            config_.use_feasibility_index ? 1 : 0);
+    set_num(audit.args[7], "index_leaves_recomputed",
+            static_cast<double>(index_leaves_recomputed_));
   }
 
   if (chosen == nullptr) {
@@ -1065,10 +1166,11 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
       preempt_fail_priority_ = priority;
     }
     if (obs != nullptr) {
-      audit.track = "scheduler";
-      audit.args.push_back(TraceArg::Num("chosen_node", -1));
-      audit.args.push_back(TraceArg::Str("outcome", "no_node"));
-      obs->audit().Append(std::move(audit));
+      audit.track.assign("scheduler");
+      set_num(audit.args[8], "chosen_node", -1);
+      set_str(audit.args[9], "outcome", "no_node");
+      audit.candidates.clear();
+      obs->audit().AppendSwap(&audit);
     }
     return false;
   }
@@ -1099,17 +1201,23 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
   // must run before PreemptVictim mutates the victim's progress counters.
   auto audit_candidate = [&](const RtTask* victim, const char* action,
                              const char* reason) {
-    audit.candidates.push_back(
-        {TraceArg::Num("task", static_cast<double>(victim->spec->id.value())),
-         TraceArg::Num("job", static_cast<double>(victim->job->spec.id.value())),
-         TraceArg::Num("priority", static_cast<double>(victim->spec->priority)),
-         TraceArg::Num("cpus", victim->spec->demand.cpus),
-         TraceArg::Num("unsaved_progress_s",
-                       ToSeconds(UnsavedProgress(victim))),
-         TraceArg::Num("overhead_s",
-                       ToSeconds(VictimCheckpointOverhead(victim))),
-         TraceArg::Num("has_image", victim->has_image ? 1 : 0),
-         TraceArg::Str("action", action), TraceArg::Str("reason", reason)});
+    if (audit.candidates.size() <= cand_used) audit.candidates.emplace_back();
+    TraceArgs& cand = audit.candidates[cand_used++];
+    if (cand.size() != 9) {
+      cand.clear();
+      cand.resize(9);
+    }
+    set_num(cand[0], "task", static_cast<double>(victim->spec->id.value()));
+    set_num(cand[1], "job", static_cast<double>(victim->job->spec.id.value()));
+    set_num(cand[2], "priority",
+            static_cast<double>(victim->spec->priority));
+    set_num(cand[3], "cpus", victim->spec->demand.cpus);
+    set_num(cand[4], "unsaved_progress_s", ToSeconds(UnsavedProgress(victim)));
+    set_num(cand[5], "overhead_s",
+            ToSeconds(VictimCheckpointOverhead(victim)));
+    set_num(cand[6], "has_image", victim->has_image ? 1 : 0);
+    set_str(cand[7], "action", action);
+    set_str(cand[8], "reason", reason);
   };
 
   Resources freed = chosen->Available();
@@ -1148,11 +1256,12 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
     }
   }
   if (obs != nullptr) {
-    audit.track = Observability::NodeTrack(chosen->id());
-    audit.args.push_back(
-        TraceArg::Num("chosen_node", static_cast<double>(chosen->id().value())));
-    audit.args.push_back(TraceArg::Str("outcome", "preempted"));
-    obs->audit().Append(std::move(audit));
+    audit.track = NodeTrackCached(chosen->id());
+    set_num(audit.args[8], "chosen_node",
+            static_cast<double>(chosen->id().value()));
+    set_str(audit.args[9], "outcome", "preempted");
+    audit.candidates.resize(cand_used);
+    obs->audit().AppendSwap(&audit);
   }
   // Kills freed resources: earlier failures no longer bound releasable.
   preempt_fail_valid_ = false;
@@ -1212,7 +1321,7 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
     result_.capacity_fallback_kills++;
     if (config_.obs != nullptr) {
       config_.obs->audit().Event(
-          "capacity_fallback", Observability::NodeTrack(victim->node),
+          "capacity_fallback", NodeTrackCached(victim->node),
           sim_->Now(),
           {TraceArg::Num("task",
                          static_cast<double>(victim->spec->id.value())),

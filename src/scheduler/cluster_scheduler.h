@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "checkpoint/dump_scheduler.h"
+#include "obs/audit_log.h"
 #include "cluster/cluster.h"
 #include "common/rng.h"
 #include "common/slab.h"
@@ -308,6 +310,9 @@ class ClusterScheduler {
   void ReleaseImage(RtTask* task);
   PreemptAction DecideVictimAction(RtTask* victim) const;
   void RecordVictimDecision(const RtTask* victim, PreemptAction action) const;
+  // Canonical "node/N" track spelling from a lazily filled per-node cache
+  // (node ids are dense), so hot audit/trace sites stop re-formatting it.
+  const std::string& NodeTrackCached(NodeId node) const;
   // Mirror of a result_ waste increment into the ledger (no-op without
   // obs); `amount` is in the cause's unit, attribution from the task.
   void ChargeWaste(WasteCause cause, double amount, const RtTask* task);
@@ -409,6 +414,19 @@ class ClusterScheduler {
   std::vector<RtTask*> preempt_local_scratch_;
   std::vector<RtTask*> victim_candidates_;
 
+  // Scratch audit record for TryPreemptFor, handed to AuditLog::AppendSwap,
+  // which returns the evicted ring slot's buffers — steady-state preempt
+  // scans rebuild it in place instead of allocating a record per decision.
+  AuditRecord preempt_audit_;
+  // Scratch trace record for RecordVictimDecision's policy.decision
+  // instant, cycled through Tracer::InstantSwap the same way.
+  mutable TraceRecord decision_trace_;
+  // Per-node "node/N" spellings (see NodeTrackCached) and policy.decisions
+  // counter handles resolved on first use per action; mutable because the
+  // const decision-recording paths fill them.
+  mutable std::vector<std::string> node_tracks_;
+  mutable std::array<Counter*, 3> decision_counters_{};
+
   // Scratch for the sharded parallel feasibility flush (aggregates computed
   // on workers, applied serially in stale-list order).
   std::vector<FeasibilityAgg> flush_scratch_;
@@ -422,6 +440,11 @@ class ClusterScheduler {
   SelfProfile::Slot* prof_run_ = nullptr;
   SelfProfile::Slot* prof_pass_ = nullptr;
   SelfProfile::Slot* prof_preempt_ = nullptr;
+  // Count-only per-site slots (no timer — the sites are per-event hot):
+  // self.calls reports how often each site ran, wall stays 0.
+  SelfProfile::Slot* prof_place_ = nullptr;
+  SelfProfile::Slot* prof_index_flush_ = nullptr;
+  SelfProfile::Slot* prof_waste_charge_ = nullptr;
 };
 
 }  // namespace ckpt

@@ -34,9 +34,65 @@
 
 namespace ckpt {
 
+// Thread-local size-class pool for SimCallback captures too big for the
+// inline buffer: 64-byte-granularity classes up to kMaxSize, free blocks
+// linked through their first 8 bytes, backed by ::operator new. Acquire and
+// Release are lock-free (each thread owns its lists); a block acquired on
+// the coordinator and released on a drain worker simply migrates to the
+// worker's list and is reused there. Every thread's lists are walked and
+// freed at thread exit, so nothing leaks when pool workers join.
+class SimCallbackPool {
+ public:
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kMaxSize = 256;
+  static constexpr int kClasses =
+      static_cast<int>(kMaxSize / kGranularity);  // 128/192/256 (0 unused)
+
+  static constexpr int ClassFor(std::size_t bytes) {
+    return static_cast<int>((bytes + kGranularity - 1) / kGranularity) - 1;
+  }
+
+  static void* Acquire(int cls) {
+    FreeLists& fl = lists();
+    void* block = fl.head[cls];
+    if (block != nullptr) {
+      fl.head[cls] = *static_cast<void**>(block);
+      return block;
+    }
+    return ::operator new(static_cast<std::size_t>(cls + 1) * kGranularity);
+  }
+
+  static void Release(void* block, int cls) {
+    FreeLists& fl = lists();
+    *static_cast<void**>(block) = fl.head[cls];
+    fl.head[cls] = block;
+  }
+
+ private:
+  struct FreeLists {
+    void* head[kClasses] = {};
+    ~FreeLists() {
+      for (void*& h : head) {
+        while (h != nullptr) {
+          void* next = *static_cast<void**>(h);
+          ::operator delete(h);
+          h = next;
+        }
+      }
+    }
+  };
+
+  static FreeLists& lists() {
+    static thread_local FreeLists fl;
+    return fl;
+  }
+};
+
 // Move-only callable with small-buffer optimization. The inline capacity is
 // sized for the largest capture the simulator schedules on its hot paths
 // (the YARN RM's [client, Container] allocation callback, 64 bytes).
+// Captures up to SimCallbackPool::kMaxSize draw pooled blocks instead of
+// paying a malloc per event; only larger ones hit the global heap.
 class SimCallback {
  public:
   static constexpr std::size_t kInlineSize = 64;
@@ -53,6 +109,13 @@ class SimCallback {
                   alignof(Fn) <= alignof(std::max_align_t)) {
       ::new (static_cast<void*>(storage_.buf)) Fn(std::forward<F>(f));
       ops_ = &InlineOps<Fn>::vtable;
+    } else if constexpr (sizeof(Fn) <= SimCallbackPool::kMaxSize &&
+                         alignof(Fn) <= alignof(std::max_align_t)) {
+      void* block =
+          SimCallbackPool::Acquire(SimCallbackPool::ClassFor(sizeof(Fn)));
+      ::new (block) Fn(std::forward<F>(f));
+      storage_.ptr = block;
+      ops_ = &PooledOps<Fn>::vtable;
     } else {
       storage_.ptr = new Fn(std::forward<F>(f));
       ops_ = &HeapOps<Fn>::vtable;
@@ -109,6 +172,21 @@ class SimCallback {
       Get(src)->~Fn();
     }
     static void Destroy(Storage* s) { Get(s)->~Fn(); }
+    static constexpr VTable vtable{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct PooledOps {
+    static void Invoke(Storage* s) { (*static_cast<Fn*>(s->ptr))(); }
+    static void Relocate(Storage* dst, Storage* src) {
+      dst->ptr = src->ptr;
+      src->ptr = nullptr;
+    }
+    static void Destroy(Storage* s) {
+      static_cast<Fn*>(s->ptr)->~Fn();
+      SimCallbackPool::Release(s->ptr,
+                               SimCallbackPool::ClassFor(sizeof(Fn)));
+    }
     static constexpr VTable vtable{&Invoke, &Relocate, &Destroy};
   };
 

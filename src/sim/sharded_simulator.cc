@@ -15,7 +15,10 @@ void ShardChannel::PostGlobal(SimTime when, SimCallback cb) {
 }
 
 ShardedSimulator::ShardedSimulator(Options options)
-    : workers_(std::max(options.workers, 1)),
+    : batch_windows_(options.batch_windows),
+      workers_(options.clamp_workers
+                   ? ClampSweepWorkers(std::max(options.workers, 1))
+                   : std::max(options.workers, 1)),
       parallel_threshold_(std::max<std::int64_t>(options.parallel_threshold, 0)) {
   shards_ = std::vector<Shard>(kLogicalShards);
   channels_.resize(kLogicalShards);
@@ -37,7 +40,9 @@ void ShardedSimulator::ScheduleLocal(int shard, SimTime when, SimCallback cb) {
   // and per-device FIFO completion times are monotone, so it can never
   // precede an event this shard already fired either.
   CKPT_CHECK_GE(when, coordinator_.Now());
-  shards_[static_cast<size_t>(shard)].queue.Push(when, std::move(cb));
+  Shard& s = shards_[static_cast<size_t>(shard)];
+  s.queue.Push(when, std::move(cb));
+  s.head = std::min(s.head, when);
   min_shard_head_ = std::min(min_shard_head_, when);
 }
 
@@ -48,6 +53,11 @@ void ShardedSimulator::PostGlobal(int shard, SimTime when, SimCallback cb) {
 
 SimTime ShardedSimulator::MinShardHead() {
   SimTime min = Simulator::kMaxTime;
+  if (batch_windows_) {
+    // Cached heads (kMaxTime when empty): 64 loads, no heap probes.
+    for (const Shard& shard : shards_) min = std::min(min, shard.head);
+    return min;
+  }
   for (Shard& shard : shards_) {
     if (!shard.queue.empty()) min = std::min(min, shard.queue.NextWhen());
   }
@@ -72,7 +82,11 @@ std::int64_t ShardedSimulator::Run() {
     const SimTime window =
         coordinator_.Empty() ? Simulator::kMaxTime : coordinator_.NextWhen();
     DrainShards(window);
-    MergeOutboxes();
+    if (batch_windows_) {
+      MergeDrained();
+    } else {
+      MergeOutboxes();
+    }
     ++barriers_;
     min_shard_head_ = MinShardHead();
   }
@@ -83,7 +97,11 @@ void ShardedSimulator::DrainShards(SimTime horizon) {
   std::int64_t pending = 0;
   for (int s = 0; s < kLogicalShards; ++s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
-    if (!shard.queue.empty() && shard.queue.NextWhen() < horizon) {
+    const bool has_work = batch_windows_
+                              ? shard.head < horizon
+                              : !shard.queue.empty() &&
+                                    shard.queue.NextWhen() < horizon;
+    if (has_work) {
       drain_list_.push_back(s);
       pending += shard.queue.size();  // upper bound; cheap heuristic
     }
@@ -109,6 +127,9 @@ void ShardedSimulator::DrainOne(Shard& shard, SimTime horizon) {
     node->cb();
     shard.queue.Recycle(node);
   }
+  // Each worker refreshes only the shard it was handed, so the cached
+  // heads are coherent without synchronization beyond the barrier.
+  shard.head = shard.queue.empty() ? Simulator::kMaxTime : shard.queue.NextWhen();
 }
 
 void ShardedSimulator::MergeOutboxes() {
@@ -120,6 +141,15 @@ void ShardedSimulator::MergeOutboxes() {
     shard.outbox.clear();
   }
   if (merge_scratch_.empty()) return;
+  // Count the rounds the batched path would have coalesced (the gauge must
+  // not depend on which path ran), then sort unconditionally — this is the
+  // reference implementation.
+  if (std::is_sorted(merge_scratch_.begin(), merge_scratch_.end(),
+                     [](const Message& a, const Message& b) {
+                       return a.when < b.when;
+                     })) {
+    ++windows_coalesced_;
+  }
   // Each outbox is already when-nondecreasing (heap pop order), so a
   // stable sort of the shard-order concatenation realizes the canonical
   // (when, shard, emission seq) merge order.
@@ -136,8 +166,68 @@ void ShardedSimulator::MergeOutboxes() {
   merge_scratch_.clear();
 }
 
+void ShardedSimulator::MergeDrained() {
+  // Only shards drained this round can have posted messages (outboxes are
+  // always cleared on merge), so sweep drain_list_ instead of all 64.
+  Shard* single = nullptr;
+  int contributors = 0;
+  for (const int s : drain_list_) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    if (!shard.outbox.empty()) {
+      ++contributors;
+      single = &shard;
+    }
+  }
+  if (contributors == 0) return;
+  if (contributors == 1) {
+    // One contributing shard: its outbox (when-nondecreasing by heap pop
+    // order) already *is* the canonical (when, shard, emission seq) order.
+    // Coalesce the window into a direct append — no scratch, no sort.
+    ++windows_coalesced_;
+    for (Message& msg : single->outbox) {
+      coordinator_.ScheduleAt(msg.when, std::move(msg.cb));
+      ++messages_merged_;
+    }
+    single->outbox.clear();
+    return;
+  }
+  merge_scratch_.clear();
+  for (const int s : drain_list_) {
+    Shard& shard = shards_[static_cast<size_t>(s)];
+    for (Message& msg : shard.outbox) {
+      merge_scratch_.push_back(std::move(msg));
+    }
+    shard.outbox.clear();
+  }
+  const auto by_when = [](const Message& a, const Message& b) {
+    return a.when < b.when;
+  };
+  // The shard-order concatenation of when-nondecreasing outboxes realizes
+  // the canonical order directly whenever it is already globally
+  // nondecreasing; a stable sort of a sorted range is the identity, so
+  // eliding it cannot change the merge.
+  if (std::is_sorted(merge_scratch_.begin(), merge_scratch_.end(), by_when)) {
+    ++windows_coalesced_;
+  } else {
+    std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(), by_when);
+  }
+  for (Message& msg : merge_scratch_) {
+    // Fresh coordinator sequence numbers slot the message after any
+    // already-pending coordinator event at the same instant.
+    coordinator_.ScheduleAt(msg.when, std::move(msg.cb));
+    ++messages_merged_;
+  }
+  merge_scratch_.clear();
+}
+
 std::int64_t ShardedSimulator::EventsProcessed() const {
   std::int64_t total = coordinator_.EventsProcessed();
+  for (const Shard& shard : shards_) total += shard.processed;
+  return total;
+}
+
+std::int64_t ShardedSimulator::ShardEventsProcessed() const {
+  std::int64_t total = 0;
   for (const Shard& shard : shards_) total += shard.processed;
   return total;
 }

@@ -89,6 +89,23 @@ struct ShardedSimulatorOptions {
   // workers available: a thread-pool round trip costs more than popping
   // a handful of events. Purely a latency knob; results are identical.
   std::int64_t parallel_threshold = 128;
+  // Amortized safe-window batching: serve the per-round head scan from an
+  // incrementally maintained per-shard head cache instead of probing all
+  // 64 queues, sweep only the shards that actually drained when merging
+  // outboxes, and elide the canonical stable sort whenever the
+  // concatenated outbox is already in (when, shard, emission seq) order —
+  // the common single-active-shard case. Off runs the original
+  // probe-everything / sort-always round, kept as the determinism
+  // reference: output is byte-identical either way
+  // (scripts/check_determinism.sh diffs the two).
+  bool batch_windows = true;
+  // Clamp `workers` to the machine's hardware concurrency (see
+  // ClampSweepWorkers): oversubscribing cores turns every barrier into
+  // futex round trips that cost more than the parallelism they buy.
+  // CKPT_SWEEP_NO_CLAMP overrides, and tests that must exercise the
+  // multi-threaded drain on small CI machines set this to false. Purely a
+  // wall-time knob; results are identical at any effective worker count.
+  bool clamp_workers = true;
 };
 
 class ShardedSimulator {
@@ -121,7 +138,24 @@ class ShardedSimulator {
   // at every worker count.
   std::int64_t EventsProcessed() const;
 
+  // Safe-window gauges, identical at every worker count (they describe the
+  // logical protocol, not the thread schedule). `WindowsCoalesced` counts
+  // merge rounds whose concatenated outbox was already in canonical
+  // (when, shard, emission seq) order, so the batched path folded the
+  // window into a direct append with no stable sort; the reference path
+  // counts the same rounds without taking the shortcut.
   std::int64_t Barriers() const { return barriers_; }
+  std::int64_t MessagesMerged() const { return messages_merged_; }
+  std::int64_t WindowsCoalesced() const { return windows_coalesced_; }
+  // Shard-side events only (excludes coordinator events); divided by
+  // Barriers() this is the events-per-window density the batching targets.
+  std::int64_t ShardEventsProcessed() const;
+  double EventsPerWindow() const {
+    return barriers_ > 0
+               ? static_cast<double>(ShardEventsProcessed()) /
+                     static_cast<double>(barriers_)
+               : 0.0;
+  }
 
   // Deterministic parallel-for over [0, n) on the drain pool: fn(i) must
   // write only slot i of its output. Runs inline when workers == 1 or n is
@@ -145,6 +179,12 @@ class ShardedSimulator {
     EventQueue queue;
     std::vector<Message> outbox;
     std::int64_t processed = 0;
+    // Cached queue head (kMaxTime when empty). Exact by construction:
+    // pushes happen only through ScheduleLocal (which lowers it) and pops
+    // only inside DrainOne (which recomputes it) — shard queues never see
+    // Cancel. Lets the batched head scan read 64 cached times instead of
+    // probing 64 heaps.
+    SimTime head = Simulator::kMaxTime;
   };
 
   void ScheduleLocal(int shard, SimTime when, SimCallback cb);
@@ -152,7 +192,8 @@ class ShardedSimulator {
   SimTime MinShardHead();          // exact scan over all shard queues
   void DrainShards(SimTime horizon);
   void DrainOne(Shard& shard, SimTime horizon);
-  void MergeOutboxes();
+  void MergeOutboxes();            // reference: sweep all shards, always sort
+  void MergeDrained();             // batched: drained shards only, sort elision
 
   Simulator coordinator_;
   std::vector<Shard> shards_;
@@ -163,7 +204,9 @@ class ShardedSimulator {
   SimTime min_shard_head_ = Simulator::kMaxTime;
   std::int64_t messages_merged_ = 0;
   std::int64_t barriers_ = 0;
+  std::int64_t windows_coalesced_ = 0;
 
+  bool batch_windows_ = true;
   int workers_ = 1;
   std::int64_t parallel_threshold_ = 128;
   std::unique_ptr<ThreadPool> pool_;  // null when workers_ == 1

@@ -1,6 +1,7 @@
 #include "yarn/app_master.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/logging.h"
 #include "obs/observability.h"
@@ -267,39 +268,92 @@ void DistributedShellAm::RecordPolicyDecision(TaskRt* task, bool can_increment,
   const SimDuration restore =
       engine_->EstimateRestore(*task->proc, node, /*local=*/true);
   const SimDuration unsaved = UnsavedProgress(task);
-  obs->tracer().Instant(
-      "policy.decision", "policy", Observability::NodeTrack(node), sim_->Now(),
-      {TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
-       TraceArg::Num("container",
-                     static_cast<double>(task->container.id.value())),
-       TraceArg::Num("unsaved_progress_s", ToSeconds(unsaved)),
-       TraceArg::Num("dump_queue_s", ToSeconds(queue)),
-       TraceArg::Num("dump_service_s", ToSeconds(dump_service)),
-       TraceArg::Num("restore_s", ToSeconds(restore)),
-       TraceArg::Num("overhead_s", ToSeconds(queue + dump_service + restore)),
-       TraceArg::Num("threshold", config_.adaptive_threshold),
-       TraceArg::Num("incremental_available", can_increment ? 1 : 0),
-       TraceArg::Str("action", action)});
-  obs->metrics()
-      .GetCounter("policy.decisions", {{"policy", PolicyName(config_.policy)},
-                                       {"action", action}})
-      ->Inc();
-  obs->audit().Event(
-      "am_decision", Observability::NodeTrack(node), sim_->Now(),
-      {TraceArg::Num("task", static_cast<double>(task->spec->id.value())),
-       TraceArg::Num("job", static_cast<double>(job_.id.value())),
-       TraceArg::Num("container",
-                     static_cast<double>(task->container.id.value())),
-       TraceArg::Num("node", static_cast<double>(node.value())),
-       TraceArg::Num("unsaved_progress_s", ToSeconds(unsaved)),
-       TraceArg::Num("dump_queue_s", ToSeconds(queue)),
-       TraceArg::Num("dump_service_s", ToSeconds(dump_service)),
-       TraceArg::Num("restore_s", ToSeconds(restore)),
-       TraceArg::Num("overhead_s", ToSeconds(queue + dump_service + restore)),
-       TraceArg::Num("threshold", config_.adaptive_threshold),
-       TraceArg::Num("incremental_available", can_increment ? 1 : 0),
-       TraceArg::Str("policy", PolicyName(config_.policy)),
-       TraceArg::Str("action", action)});
+  // Build both records in the member scratch buffers: the ring swap hands
+  // evicted buffers back, so steady-state decisions rebuild in place with
+  // no per-decision allocation and no series-key re-resolution.
+  auto set_num = [](TraceArg& a, const char* key, double v) {
+    a.key.assign(key);
+    a.is_string = false;
+    a.num = v;
+    a.str.clear();
+  };
+  auto set_str = [](TraceArg& a, const char* key, const char* v) {
+    a.key.assign(key);
+    a.is_string = true;
+    a.num = 0;
+    a.str.assign(v);
+  };
+  const std::string& track = NodeTrackCached(node);
+  TraceRecord& rec = decision_trace_;
+  rec.name.assign("policy.decision");
+  rec.category.assign("policy");
+  rec.track = track;
+  if (rec.args.size() != 10) {
+    rec.args.clear();
+    rec.args.resize(10);
+  }
+  set_num(rec.args[0], "task", static_cast<double>(task->spec->id.value()));
+  set_num(rec.args[1], "container",
+          static_cast<double>(task->container.id.value()));
+  set_num(rec.args[2], "unsaved_progress_s", ToSeconds(unsaved));
+  set_num(rec.args[3], "dump_queue_s", ToSeconds(queue));
+  set_num(rec.args[4], "dump_service_s", ToSeconds(dump_service));
+  set_num(rec.args[5], "restore_s", ToSeconds(restore));
+  set_num(rec.args[6], "overhead_s",
+          ToSeconds(queue + dump_service + restore));
+  set_num(rec.args[7], "threshold", config_.adaptive_threshold);
+  set_num(rec.args[8], "incremental_available", can_increment ? 1 : 0);
+  set_str(rec.args[9], "action", action);
+  obs->tracer().InstantSwap(&rec, sim_->Now());
+  // Per-action counter handle, resolved on first use only so the emitted
+  // series set matches the per-call lookup exactly.
+  Counter* counter = nullptr;
+  for (const auto& [known, handle] : decision_counters_) {
+    if (known == action || std::strcmp(known, action) == 0) {
+      counter = handle;
+      break;
+    }
+  }
+  if (counter == nullptr) {
+    counter = obs->metrics().GetCounter(
+        "policy.decisions",
+        {{"policy", PolicyName(config_.policy)}, {"action", action}});
+    decision_counters_.emplace_back(action, counter);
+  }
+  counter->Inc();
+  AuditRecord& audit = decision_audit_;
+  audit.kind.assign("am_decision");
+  audit.track = track;
+  audit.t = sim_->Now();
+  audit.candidates.clear();
+  if (audit.args.size() != 13) {
+    audit.args.clear();
+    audit.args.resize(13);
+  }
+  set_num(audit.args[0], "task", static_cast<double>(task->spec->id.value()));
+  set_num(audit.args[1], "job", static_cast<double>(job_.id.value()));
+  set_num(audit.args[2], "container",
+          static_cast<double>(task->container.id.value()));
+  set_num(audit.args[3], "node", static_cast<double>(node.value()));
+  set_num(audit.args[4], "unsaved_progress_s", ToSeconds(unsaved));
+  set_num(audit.args[5], "dump_queue_s", ToSeconds(queue));
+  set_num(audit.args[6], "dump_service_s", ToSeconds(dump_service));
+  set_num(audit.args[7], "restore_s", ToSeconds(restore));
+  set_num(audit.args[8], "overhead_s",
+          ToSeconds(queue + dump_service + restore));
+  set_num(audit.args[9], "threshold", config_.adaptive_threshold);
+  set_num(audit.args[10], "incremental_available", can_increment ? 1 : 0);
+  set_str(audit.args[11], "policy", PolicyName(config_.policy));
+  set_str(audit.args[12], "action", action);
+  obs->audit().AppendSwap(&audit);
+}
+
+const std::string& DistributedShellAm::NodeTrackCached(NodeId node) {
+  const size_t i = static_cast<size_t>(node.value());
+  if (node_tracks_.size() <= i) node_tracks_.resize(i + 1);
+  std::string& track = node_tracks_[i];
+  if (track.empty()) track = Observability::NodeTrack(node);
+  return track;
 }
 
 void DistributedShellAm::HandlePreempt(TaskRt* task) {

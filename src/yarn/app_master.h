@@ -13,11 +13,14 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "checkpoint/checkpoint_engine.h"
 #include "common/rng.h"
+#include "obs/audit_log.h"
 #include "scheduler/policy.h"
 #include "sim/simulator.h"
 #include "trace/workload.h"
@@ -27,6 +30,7 @@
 namespace ckpt {
 
 enum class WasteCause;
+class Counter;
 
 struct AmStats {
   std::int64_t tasks_total = 0;
@@ -92,6 +96,8 @@ class DistributedShellAm final : public AppClient {
   // for `task`, and the chosen action.
   void RecordPolicyDecision(TaskRt* task, bool can_increment,
                             const char* action);
+  // Cached "node/N" tracer-track spelling, built once per node.
+  const std::string& NodeTrackCached(NodeId node);
   // Mirror an AmStats waste increment into the obs waste ledger (no-op
   // without obs); `sim_lost` converts at the container's CPU width.
   void ChargeWaste(WasteCause cause, SimDuration sim_lost, NodeId node);
@@ -111,6 +117,15 @@ class DistributedShellAm final : public AppClient {
 
   AmStats stats_;
   SimTime finish_time_ = -1;
+
+  // Per-decision obs scratch: the trace/audit rings swap evicted buffers
+  // back into these records, so RecordPolicyDecision rebuilds them in
+  // place. decision_counters_ maps each action literal to its resolved
+  // policy.decisions handle (first use only — the series set is unchanged).
+  TraceRecord decision_trace_;
+  AuditRecord decision_audit_;
+  std::vector<std::pair<const char*, Counter*>> decision_counters_;
+  std::vector<std::string> node_tracks_;
 };
 
 }  // namespace ckpt

@@ -298,6 +298,14 @@ void ResourceManager::RankVictims(
   }
 }
 
+const std::string& ResourceManager::NodeTrackCached(NodeId node) {
+  const size_t i = static_cast<size_t>(node.value());
+  if (node_tracks_.size() <= i) node_tracks_.resize(i + 1);
+  std::string& track = node_tracks_[i];
+  if (track.empty()) track = Observability::NodeTrack(node);
+  return track;
+}
+
 void ResourceManager::DispatchPreempts(std::vector<const Container*> victims,
                                        std::int64_t count) {
   // Per-node cap on concurrent vacating containers: checkpoints on a node
@@ -312,23 +320,45 @@ void ResourceManager::DispatchPreempts(std::vector<const Container*> victims,
   // Audit envelope: which ranked victims the monitor examined this round
   // and why each was dispatched or passed over.
   Observability* obs = config_.obs;
-  AuditRecord audit;
+  // Member scratch + in-place slot writers: the audit/trace rings swap
+  // evicted buffers back, so steady-state dispatch rounds rebuild their
+  // records without allocating.
+  auto set_num = [](TraceArg& a, const char* key, double v) {
+    a.key.assign(key);
+    a.is_string = false;
+    a.num = v;
+    a.str.clear();
+  };
+  auto set_str = [](TraceArg& a, const char* key, const char* v) {
+    a.key.assign(key);
+    a.is_string = true;
+    a.num = 0;
+    a.str.assign(v);
+  };
+  AuditRecord& audit = dispatch_audit_;
+  size_t cand_used = 0;
   std::int64_t dispatched = 0;
   if (obs != nullptr) {
-    audit.kind = "rm_preempt_dispatch";
-    audit.track = "rm";
+    audit.kind.assign("rm_preempt_dispatch");
+    audit.track.assign("rm");
     audit.t = sim_->Now();
   }
   auto audit_victim = [&](const Container* victim, const char* action,
                           const char* reason) {
     if (obs == nullptr) return;
-    audit.candidates.push_back(
-        {TraceArg::Num("container", static_cast<double>(victim->id.value())),
-         TraceArg::Num("app", static_cast<double>(victim->app.value())),
-         TraceArg::Num("node", static_cast<double>(victim->node.value())),
-         TraceArg::Num("priority", victim->priority),
-         TraceArg::Num("cost_s", ToSeconds(VictimCost(*victim))),
-         TraceArg::Str("action", action), TraceArg::Str("reason", reason)});
+    if (audit.candidates.size() <= cand_used) audit.candidates.emplace_back();
+    TraceArgs& cand = audit.candidates[cand_used++];
+    if (cand.size() != 7) {
+      cand.clear();
+      cand.resize(7);
+    }
+    set_num(cand[0], "container", static_cast<double>(victim->id.value()));
+    set_num(cand[1], "app", static_cast<double>(victim->app.value()));
+    set_num(cand[2], "node", static_cast<double>(victim->node.value()));
+    set_num(cand[3], "priority", victim->priority);
+    set_num(cand[4], "cost_s", ToSeconds(VictimCost(*victim)));
+    set_str(cand[5], "action", action);
+    set_str(cand[6], "reason", reason);
   };
 
   for (const Container* victim : victims) {
@@ -355,35 +385,53 @@ void ResourceManager::DispatchPreempts(std::vector<const Container*> victims,
     --count;
     if (obs != nullptr) {
       const SimDuration queue_delay = DumpQueueDelay(victim->node);
-      obs->tracer().Instant(
-          "rm.preempt_event", "rm", Observability::NodeTrack(victim->node),
-          sim_->Now(),
-          {TraceArg::Num("container", static_cast<double>(victim->id.value())),
-           TraceArg::Num("app", static_cast<double>(victim->app.value())),
-           TraceArg::Num("priority", victim->priority),
-           TraceArg::Num("victim_cost_s", ToSeconds(VictimCost(*victim))),
-           TraceArg::Num("dump_queue_s", ToSeconds(queue_delay))});
-      obs->metrics()
-          .GetCounter("rm.preempt_events",
-                      {{"node", Observability::NodeLabel(victim->node)}})
-          ->Inc();
-      obs->metrics()
-          .GetHistogram("rm.dump_queue_delay_seconds", {},
-                        {0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300})
-          ->Observe(ToSeconds(queue_delay));
+      TraceRecord& rec = preempt_trace_;
+      rec.name.assign("rm.preempt_event");
+      rec.category.assign("rm");
+      rec.track = NodeTrackCached(victim->node);
+      if (rec.args.size() != 5) {
+        rec.args.clear();
+        rec.args.resize(5);
+      }
+      set_num(rec.args[0], "container",
+              static_cast<double>(victim->id.value()));
+      set_num(rec.args[1], "app", static_cast<double>(victim->app.value()));
+      set_num(rec.args[2], "priority", victim->priority);
+      set_num(rec.args[3], "victim_cost_s", ToSeconds(VictimCost(*victim)));
+      set_num(rec.args[4], "dump_queue_s", ToSeconds(queue_delay));
+      obs->tracer().InstantSwap(&rec, sim_->Now());
+      const size_t ni = static_cast<size_t>(victim->node.value());
+      if (preempt_event_counters_.size() <= ni) {
+        preempt_event_counters_.resize(ni + 1);
+      }
+      Counter*& events = preempt_event_counters_[ni];
+      if (events == nullptr) {
+        events = obs->metrics().GetCounter(
+            "rm.preempt_events",
+            {{"node", Observability::NodeLabel(victim->node)}});
+      }
+      events->Inc();
+      if (dump_queue_delay_hist_ == nullptr) {
+        dump_queue_delay_hist_ = obs->metrics().GetHistogram(
+            "rm.dump_queue_delay_seconds", {},
+            {0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300});
+      }
+      dump_queue_delay_hist_->Observe(ToSeconds(queue_delay));
     }
     AppClient* client = app_it->second.client;
     const ContainerId cid = victim->id;
     sim_->ScheduleAfter(config_.rpc_latency,
                         [client, cid] { client->OnPreemptContainer(cid); });
   }
-  if (obs != nullptr && !audit.candidates.empty()) {
-    audit.args = {TraceArg::Num(
-                      "considered",
-                      static_cast<double>(audit.candidates.size())),
-                  TraceArg::Num("dispatched",
-                                static_cast<double>(dispatched))};
-    obs->audit().Append(std::move(audit));
+  if (obs != nullptr && cand_used > 0) {
+    audit.candidates.resize(cand_used);
+    if (audit.args.size() != 2) {
+      audit.args.clear();
+      audit.args.resize(2);
+    }
+    set_num(audit.args[0], "considered", static_cast<double>(cand_used));
+    set_num(audit.args[1], "dispatched", static_cast<double>(dispatched));
+    obs->audit().AppendSwap(&audit);
   }
 }
 

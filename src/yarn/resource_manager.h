@@ -14,16 +14,21 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/audit_log.h"
 #include "sim/simulator.h"
 #include "yarn/container.h"
 #include "yarn/node_manager.h"
 #include "yarn/yarn_config.h"
 
 namespace ckpt {
+
+class Counter;
+class Histogram;
 
 // Callbacks the RM makes into an ApplicationMaster.
 class AppClient {
@@ -106,6 +111,8 @@ class ResourceManager {
   NodeManager* PickNode(NodeId preferred);
   SimDuration VictimCost(const Container& container) const;
   void RankVictims(std::vector<const Container*>& victims) const;
+  // Cached "node/N" tracer-track spelling, built once per node.
+  const std::string& NodeTrackCached(NodeId node);
 
   // Capacity mode: queue index of a priority (0 = batch, 1 = production).
   static int QueueOf(int priority) {
@@ -133,6 +140,14 @@ class ResourceManager {
   std::int64_t node_failures_ = 0;
   bool schedule_scheduled_ = false;
   size_t place_cursor_ = 0;
+
+  // Per-dispatch obs scratch (rebuilt in place via ring buffer recycling)
+  // and lazily-resolved metric handles; indexed by dense node id.
+  AuditRecord dispatch_audit_;
+  TraceRecord preempt_trace_;
+  std::vector<Counter*> preempt_event_counters_;
+  Histogram* dump_queue_delay_hist_ = nullptr;
+  std::vector<std::string> node_tracks_;
 };
 
 }  // namespace ckpt

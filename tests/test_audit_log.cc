@@ -14,10 +14,10 @@ TEST(AuditLog, EventStampsSequenceAndTime) {
   log.Event("preempt_scan", "scheduler", 1000, {TraceArg::Num("task", 7)});
   log.Event("restore_decision", "node/2", 2000, {TraceArg::Num("task", 7)});
   ASSERT_EQ(log.size(), 2u);
-  EXPECT_EQ(log.records()[0].seq, 0);
-  EXPECT_EQ(log.records()[1].seq, 1);
-  EXPECT_EQ(log.records()[1].t, 2000);
-  EXPECT_EQ(log.records()[1].track, "node/2");
+  EXPECT_EQ(log.record(0).seq, 0);
+  EXPECT_EQ(log.record(1).seq, 1);
+  EXPECT_EQ(log.record(1).t, 2000);
+  EXPECT_EQ(log.record(1).track, "node/2");
   EXPECT_EQ(log.dropped(), 0);
   EXPECT_EQ(log.total_appended(), 2);
 }
@@ -32,8 +32,30 @@ TEST(AuditLog, RingWrapDropsOldestAndCounts) {
   EXPECT_EQ(log.dropped(), 5);
   EXPECT_EQ(log.total_appended(), 8);
   // Survivors are the newest three, sequence numbers intact.
-  EXPECT_EQ(log.records().front().seq, 5);
-  EXPECT_EQ(log.records().back().seq, 7);
+  EXPECT_EQ(log.record(0).seq, 5);
+  EXPECT_EQ(log.record(2).seq, 7);
+}
+
+TEST(AuditLog, AppendSwapRecyclesEvictedBuffers) {
+  AuditLog log(/*capacity=*/2);
+  AuditRecord scratch;
+  for (int i = 0; i < 5; ++i) {
+    scratch.kind = "preempt_scan";
+    scratch.track = "node/" + std::to_string(i);
+    scratch.t = i;
+    scratch.args.clear();
+    scratch.args.push_back(TraceArg::Num("task", i));
+    log.AppendSwap(&scratch);
+  }
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 3);
+  EXPECT_EQ(log.record(0).seq, 3);
+  EXPECT_EQ(log.record(0).track, "node/3");
+  EXPECT_EQ(log.record(1).seq, 4);
+  EXPECT_EQ(log.record(1).track, "node/4");
+  // After the ring wrapped, the scratch record carries evicted buffers —
+  // the third append got back the record appended first.
+  EXPECT_EQ(scratch.track, "node/2");
 }
 
 TEST(AuditLog, JsonlShapeAndCandidates) {

@@ -97,6 +97,55 @@ TEST(MemoryImage, ZeroSizedImage) {
   EXPECT_EQ(image.dirty_pages(), 0);
 }
 
+TEST(MemoryImage, TouchRangeZeroLengthIsNoOp) {
+  MemoryImage image(MiB(1));
+  image.StartTracking();
+  image.TouchRange(0, 0);
+  image.TouchRange(MiB(1), 0);  // offset == size is fine when length is 0
+  EXPECT_EQ(image.dirty_pages(), 0);
+  EXPECT_EQ(image.DirtyBytes(), 0);
+}
+
+TEST(MemoryImage, TouchRangeStraddlesFinalPartialPage) {
+  // 2.5 pages: the final page covers only 2 KiB of address space.
+  MemoryImage image(10 * kKiB, 4 * kKiB);
+  EXPECT_EQ(image.num_pages(), 3);
+  image.StartTracking();
+  // Range starts in full page 1 and ends inside the partial final page.
+  image.TouchRange(7 * kKiB, 3 * kKiB);
+  EXPECT_FALSE(image.IsPageDirty(0));
+  EXPECT_TRUE(image.IsPageDirty(1));
+  EXPECT_TRUE(image.IsPageDirty(2));
+  EXPECT_EQ(image.dirty_pages(), 2);
+  // Touching up to exactly the image end lands on the partial page's
+  // last valid byte, not past it.
+  image.TouchRange(10 * kKiB - 1, 1);
+  EXPECT_EQ(image.dirty_pages(), 2);  // already dirty, count unchanged
+}
+
+TEST(MemoryImage, TouchRangeBeforeTrackingKeepsEverythingDirty) {
+  MemoryImage image(16 * kKiB, 4 * kKiB);
+  // Tracking is off: all pages already count as dirty and a touch must
+  // not double-count them.
+  image.TouchRange(0, 8 * kKiB);
+  EXPECT_EQ(image.dirty_pages(), 4);
+  EXPECT_EQ(image.DirtyBytes(), 16 * kKiB);  // full dump still required
+}
+
+TEST(MemoryImage, DirtyCountMatchesPerPageBits) {
+  MemoryImage image(64 * kKiB, 4 * kKiB);
+  image.StartTracking();
+  image.TouchRange(4 * kKiB, 4 * kKiB);
+  image.TouchRange(20 * kKiB, 10 * kKiB);   // pages 5..7
+  image.TouchRange(24 * kKiB, 1);           // page 6 again: no recount
+  std::int64_t bits = 0;
+  for (std::int64_t p = 0; p < image.num_pages(); ++p) {
+    if (image.IsPageDirty(p)) ++bits;
+  }
+  EXPECT_EQ(bits, image.dirty_pages());
+  EXPECT_EQ(bits, 4);
+}
+
 TEST(MemoryImageDeathTest, TouchRangeBeyondSizeAborts) {
   MemoryImage image(MiB(1));
   EXPECT_DEATH(image.TouchRange(MiB(1) - 10, 100), "");

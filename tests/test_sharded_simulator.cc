@@ -75,12 +75,22 @@ struct EngineHarness {
   }
 };
 
-std::string RunEngine(int workers, std::int64_t* events = nullptr) {
+struct EngineGauges {
+  std::int64_t barriers = 0;
+  std::int64_t messages_merged = 0;
+  std::int64_t windows_coalesced = 0;
+};
+
+std::string RunEngine(int workers, std::int64_t* events = nullptr,
+                      bool batch_windows = true,
+                      EngineGauges* gauges = nullptr) {
   EngineHarness h;
   if (workers > 0) {
     ShardedSimulator::Options opt;
     opt.workers = workers;
     opt.parallel_threshold = 1;  // force the pool path when workers > 1
+    opt.clamp_workers = false;   // exercise real threads even on 1-core CI
+    opt.batch_windows = batch_windows;
     h.sharded = std::make_unique<ShardedSimulator>(opt);
     h.sim = h.sharded->coordinator();
   } else {
@@ -98,6 +108,11 @@ std::string RunEngine(int workers, std::int64_t* events = nullptr) {
   }
   const std::int64_t processed = h.Run();
   if (events != nullptr) *events = processed;
+  if (gauges != nullptr && h.sharded != nullptr) {
+    gauges->barriers = h.sharded->Barriers();
+    gauges->messages_merged = h.sharded->MessagesMerged();
+    gauges->windows_coalesced = h.sharded->WindowsCoalesced();
+  }
   EXPECT_GT(h.log.size(), 0u);
   return h.log;
 }
@@ -118,6 +133,28 @@ TEST(ShardedSimulator, MatchesMonolithicReference) {
   // independent: the sharded drivers must produce exactly the monolithic
   // reference's log.
   EXPECT_EQ(RunEngine(0), RunEngine(1));
+}
+
+TEST(ShardedSimulator, BatchedWindowsMatchReferenceRounds) {
+  // The batched fast path (cached heads, drained-shard-only merges, sort
+  // elision) must replay the reference protocol exactly: same log, same
+  // event count, and the same safe-window gauges — including the coalesced-
+  // window count, which the reference path tallies without the shortcut.
+  for (int workers : {1, 4}) {
+    std::int64_t events_ref = 0, events_batched = 0;
+    EngineGauges ref, batched;
+    const std::string log_ref =
+        RunEngine(workers, &events_ref, /*batch_windows=*/false, &ref);
+    const std::string log_batched =
+        RunEngine(workers, &events_batched, /*batch_windows=*/true, &batched);
+    EXPECT_EQ(log_ref, log_batched) << "workers=" << workers;
+    EXPECT_EQ(events_ref, events_batched);
+    EXPECT_EQ(ref.barriers, batched.barriers);
+    EXPECT_EQ(ref.messages_merged, batched.messages_merged);
+    EXPECT_EQ(ref.windows_coalesced, batched.windows_coalesced);
+    EXPECT_GT(batched.barriers, 0);
+    EXPECT_GT(batched.messages_merged, 0);
+  }
 }
 
 TEST(ShardedSimulator, ParallelForIsDeterministic) {
@@ -186,6 +223,7 @@ SimulationResult RunClusterSim(int workers, bool streaming) {
     ShardedSimulator::Options opt;
     opt.workers = workers;
     opt.parallel_threshold = 1;
+    opt.clamp_workers = false;  // exercise real threads even on 1-core CI
     ssim = std::make_unique<ShardedSimulator>(opt);
     sim = ssim->coordinator();
   } else {

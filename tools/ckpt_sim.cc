@@ -84,6 +84,9 @@ struct Flags {
   // simulator with this many worker threads (0 = monolithic event loop).
   // Output is byte-identical for every value >= 1.
   int shards = 0;
+  // Amortized safe-window batching in the sharded driver (on by default;
+  // off runs the reference round machinery — byte-identical either way).
+  bool batch = true;
 };
 
 void Usage(const char* argv0) {
@@ -117,7 +120,10 @@ void Usage(const char* argv0) {
       "                    CKPT_SWEEP_NO_CLAMP is set\n"
       "  --shards=N        single-run mode: drain device events on N worker\n"
       "                    threads via the deterministic sharded driver\n"
-      "                    (0 = monolithic; any N >= 1 is byte-identical)\n",
+      "                    (0 = monolithic; any N >= 1 is byte-identical)\n"
+      "  --batch=on|off    amortized safe-window batching in the sharded\n"
+      "                    driver (default on; off is the reference round\n"
+      "                    machinery — output is byte-identical either way)\n",
       argv0);
 }
 
@@ -158,6 +164,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(arg, "--shards", &value)) {
       flags->shards = std::atoi(value.c_str());
       if (flags->shards < 0) flags->shards = 0;
+    } else if (ParseFlag(arg, "--batch", &value)) {
+      if (value != "on" && value != "off") {
+        std::fprintf(stderr, "bad --batch value: %s\n", value.c_str());
+        return false;
+      }
+      flags->batch = value == "on";
     } else if (ParseFlag(arg, "--fail-node", &value)) {
       flags->fail_node = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--fail-at", &value)) {
@@ -281,6 +293,7 @@ std::string RunCell(const Flags& flags, SchedulerConfig config,
   if (flags.shards > 0) {
     ShardedSimulator::Options opt;
     opt.workers = flags.shards;
+    opt.batch_windows = flags.batch;
     ssim = std::make_unique<ShardedSimulator>(opt);
     config.sharded = ssim.get();
   }
