@@ -187,6 +187,27 @@ for jobs in $jobs_list; do
   entries+=("{\"bench\":\"interference\",\"jobs\":$jobs,\"effective_jobs\":$eff,\"seconds\":$seconds}")
 done
 
+# Service colocation sweep: diurnal traffic evaluation, SLO ticks, and the
+# service-aware adaptive decisions all run inside the scheduler hot loop,
+# so this lane guards the whole service subsystem's wall time (the bench
+# does not export obs metrics; best-of-reps like the interference lane).
+# Env: BENCH_SERVICES_JOBS overrides the batch workload size (default 300).
+services_jobs="${BENCH_SERVICES_JOBS:-300}"
+for jobs in $jobs_list; do
+  eff="$(effective_jobs "$jobs")"
+  seconds=""
+  for ((rep = 0; rep < reps; ++rep)); do
+    t0="$(now)"
+    "$build_dir/bench/bench_services" --jobs "$jobs" "$services_jobs" \
+      > "$obs_dir/services.j$jobs.stdout.txt"
+    t1="$(now)"
+    seconds="$(python3 -c "print(f'{min($t1 - $t0, ${seconds:-1e30}):.3f}')")"
+  done
+  echo "bench_perf: services jobs=$jobs effective_jobs=$eff" \
+       "seconds=$seconds"
+  entries+=("{\"bench\":\"services\",\"jobs\":$jobs,\"effective_jobs\":$eff,\"seconds\":$seconds}")
+done
+
 # Micro-benchmark: the binary reports events/sec per scenario itself.
 micro_out="$obs_dir/micro.stdout.txt"
 t0="$(now)"

@@ -2,7 +2,7 @@
 """Compare a fresh BENCH_PERF.json against a committed baseline.
 
 Entries are matched by their identity fields (bench plus whichever of
-jobs/effective_jobs/nodes/policy/index/shards/scenario/impl the entry
+jobs/effective_jobs/nodes/policy/index/shards/scenario/impl/mix the entry
 carries) and compared on
 the throughput metrics (events_per_sec, decisions_per_sec). An entry that
 regresses by more than --max-regress percent fails the gate; improvements
@@ -27,7 +27,7 @@ import json
 import sys
 
 IDENTITY_FIELDS = ("bench", "jobs", "effective_jobs", "nodes", "policy",
-                   "index", "shards", "scenario", "impl")
+                   "index", "shards", "scenario", "impl", "mix")
 RATE_METRICS = ("events_per_sec", "decisions_per_sec")
 
 

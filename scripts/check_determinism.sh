@@ -149,6 +149,24 @@ done
 compare "ckpt-sim --interference sharded stdout (1 vs 4 workers)" \
   "$work_dir/interference.sim.1.txt" "$work_dir/interference.sim.4.txt"
 
+# Service lanes: the diurnal service fleets, the SLO tick accounting, and
+# the service-aware adaptive decisions must stay deterministic across sweep
+# worker counts and across shard counts (the jitter is hash-keyed, so rate
+# lookups never depend on evaluation order).
+"$build_dir/bench/bench_services" --jobs 1 120 \
+  > "$work_dir/services.serial.txt"
+"$build_dir/bench/bench_services" --jobs 8 120 \
+  > "$work_dir/services.parallel.txt"
+compare "bench_services sweep (1 vs 8 workers)" \
+  "$work_dir/services.serial.txt" "$work_dir/services.parallel.txt"
+
+"$build_dir/bench/bench_services" 120 --shards=1 \
+  > "$work_dir/services.shards1.txt"
+"$build_dir/bench/bench_services" 120 --shards=4 \
+  > "$work_dir/services.shards4.txt"
+compare "bench_services sharded (1 vs 4 workers)" \
+  "$work_dir/services.shards1.txt" "$work_dir/services.shards4.txt"
+
 # Sharded streaming scale lane: bench_scale's deterministic stdout table
 # through the streaming sharded driver, 1 vs 4 workers.
 "$build_dir/bench/bench_scale" --sizes=64,128 --shards=1 2>/dev/null \

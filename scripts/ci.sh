@@ -91,8 +91,9 @@ if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
   cmake --build "$tsan_dir" -j "$(nproc)" \
     --target test_thread_pool test_fault test_feasibility_index \
     test_sharded_simulator test_workload_stream test_interference \
+    test_service \
     bench_fig3_trace_sim bench_ext_failure bench_scale bench_interference \
-    ckpt_sim_cli
+    bench_services ckpt_sim_cli
   "$tsan_dir/tests/test_thread_pool"
   # The sharded single-run driver drains shard mailboxes on pool workers;
   # TSan watches the barrier hand-offs, outbox merges, and the parallel
@@ -110,6 +111,10 @@ if [[ "${CKPT_CI_TSAN:-1}" != "0" && -z "${CKPT_SANITIZE:-}" ]]; then
   # interference runs (including the sharded worker-count invariance test)
   # for cross-thread access to pool or admission state.
   "$tsan_dir/tests/test_interference"
+  # Service ticks and replica hooks run on the coordinator while sweep
+  # cells run on pool workers; TSan watches the service lanes in
+  # check_determinism.sh below for cross-cell manager sharing.
+  "$tsan_dir/tests/test_service"
   "$repo_root/scripts/check_determinism.sh" "$tsan_dir"
   echo "ci.sh: TSan lane passed"
 fi

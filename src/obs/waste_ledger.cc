@@ -16,6 +16,7 @@ const char* WasteCauseName(WasteCause cause) {
     case WasteCause::kReReplication: return "rereplication";
     case WasteCause::kPeriodicDumpOverhead: return "periodic_dump_overhead";
     case WasteCause::kDumpDeferral: return "dump_deferral";
+    case WasteCause::kSloViolation: return "slo_violation";
   }
   return "unknown";
 }
@@ -23,7 +24,8 @@ const char* WasteCauseName(WasteCause cause) {
 bool WasteCauseIsCoreHours(WasteCause cause) {
   return cause != WasteCause::kFaultRetry &&
          cause != WasteCause::kReReplication &&
-         cause != WasteCause::kDumpDeferral;
+         cause != WasteCause::kDumpDeferral &&
+         cause != WasteCause::kSloViolation;
 }
 
 bool WasteCauseReconciles(WasteCause cause) {

@@ -13,9 +13,9 @@
 // fault_lost_work + periodic_dump_overhead sum to the scheduler's
 // wasted_core_hours exactly, which is the run's goodput gap (busy -
 // goodput). The queueing cause (cores held frozen behind a dump queue)
-// and the IO-second causes (retry backoff, re-replication, dump-scheduler
-// deferral) are extra attribution, deliberately outside the reconciled
-// sum.
+// and the second-denominated causes (retry backoff, re-replication,
+// dump-scheduler deferral, service SLO violations) are extra attribution,
+// deliberately outside the reconciled sum.
 #pragma once
 
 #include <array>
@@ -37,9 +37,10 @@ enum class WasteCause {
   kReReplication,       // io-seconds: DFS re-replication transfer time
   kPeriodicDumpOverhead,  // core-hours: cores frozen for Young/Daly dumps
   kDumpDeferral,        // io-seconds: dumps held back by the dump scheduler
+  kSloViolation,        // seconds: service SLO violations (tail over target)
 };
 
-inline constexpr int kNumWasteCauses = 9;
+inline constexpr int kNumWasteCauses = 10;
 
 const char* WasteCauseName(WasteCause cause);
 // CPU causes are measured in core-hours, IO causes in seconds.

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "obs/observability.h"
+#include "service/service.h"
+#include "service/service_manager.h"
 #include "sim/sharded_simulator.h"
 #include "storage/bandwidth_domain.h"
 #include "trace/workload_stream.h"
@@ -23,6 +25,9 @@ struct ClusterScheduler::RtJob {
   // dereference faults loudly instead of reading freed data).
   bool streaming = false;
   std::vector<RtTask*> rt_tasks;
+  // Index into the ServiceManager when this job is a service fleet entry
+  // (SubmitServices); -1 for batch jobs.
+  int service_idx = -1;
 };
 
 struct ClusterScheduler::RtTask {
@@ -53,6 +58,13 @@ struct ClusterScheduler::RtTask {
   // capacity reservation.
   Bytes pending_dump_bytes = 0;
   NodeId pending_dump_node;
+
+  // Service replica identity (-1/-1 for batch tasks): a replica runs until
+  // the absolute `service_end` instant instead of accumulating a fixed
+  // amount of work, and reports up/down transitions to the ServiceManager.
+  int service_idx = -1;
+  int replica_idx = -1;
+  SimTime service_end = 0;
 
   int preempt_count = 0;
   int dump_failures = 0;     // consecutive; reset on a successful dump
@@ -227,6 +239,133 @@ void ClusterScheduler::OnStreamArrival() {
   OnJobArrival(jp);
 }
 
+void ClusterScheduler::SubmitServices(const std::vector<ServiceSpec>& services) {
+  CKPT_CHECK(services_ == nullptr) << "SubmitServices called twice";
+  CKPT_CHECK(!services.empty());
+  CKPT_CHECK_GT(config_.service_tick, 0);
+  services_ = std::make_unique<ServiceManager>(services, config_.service_tick);
+  for (int s = 0; s < static_cast<int>(services.size()); ++s) {
+    const ServiceSpec& spec = services[static_cast<size_t>(s)];
+    CKPT_CHECK(spec.priority >= kMinPriority && spec.priority <= kMaxPriority)
+        << "service " << spec.id << " priority " << spec.priority;
+    CKPT_CHECK_GT(spec.end, spec.start);
+    CKPT_CHECK_GT(spec.replicas, 0);
+    auto job = std::make_unique<RtJob>();
+    job->spec.id = JobId(spec.id);
+    job->spec.submit_time = spec.start;
+    job->spec.priority = spec.priority;
+    job->service_idx = s;
+    job->spec.tasks.reserve(static_cast<size_t>(spec.replicas));
+    for (int r = 0; r < spec.replicas; ++r) {
+      TaskSpec task;
+      // Replica task ids are derived from the service id; SubmitServices
+      // callers keep service ids disjoint from batch job ids, so the *1000
+      // stride keeps replica ids disjoint from batch task ids too.
+      task.id = TaskId(spec.id * 1000 + r);
+      task.job = job->spec.id;
+      // The nominal duration equals the full residency span; the actual
+      // completion is scheduled against the absolute service_end instant,
+      // so preempted replicas do not serve extra time to "catch up".
+      task.duration = spec.end - spec.start;
+      task.demand = spec.demand;
+      task.priority = spec.priority;
+      task.latency_class = spec.latency_class;
+      task.memory_write_rate = spec.memory_write_rate;
+      job->spec.tasks.push_back(task);
+    }
+    job->tasks_left = spec.replicas;
+    RtJob* jp = job.get();
+    jobs_.push_back(std::move(job));
+    sim_->ScheduleAt(spec.start, [this, jp] { OnJobArrival(jp); });
+    // SLO accounting cadence: tick k covers (start+k*tick, start+(k+1)*tick].
+    const SimTime first = spec.start + config_.service_tick;
+    if (first <= spec.end) {
+      sim_->ScheduleAt(first, [this, s] { OnServiceTick(s, 0); });
+    }
+  }
+}
+
+bool ClusterScheduler::IsService(const RtTask* task) const {
+  return task->service_idx >= 0;
+}
+
+void ClusterScheduler::ServiceReplicaUp(const RtTask* task, bool cold) {
+  if (task->service_idx < 0) return;
+  services_->ReplicaUp(task->service_idx, task->replica_idx, sim_->Now(),
+                       cold);
+}
+
+void ClusterScheduler::ServiceReplicaDown(const RtTask* task) {
+  if (task->service_idx < 0) return;
+  services_->ReplicaDown(task->service_idx, task->replica_idx);
+}
+
+void ClusterScheduler::OnServiceTick(int service_idx,
+                                     std::int64_t tick_index) {
+  const ServiceSpec& spec = services_->spec(service_idx);
+  const ServiceManager::TickSample sample =
+      services_->Tick(service_idx, tick_index, sim_->Now());
+  result_.slo_violation_seconds += sample.violation_s;
+  result_.slo_violation_preempt_seconds += sample.preempt_s;
+  result_.slo_violation_organic_seconds += sample.organic_s;
+  if (config_.obs != nullptr) {
+    if (sample.violation_s > 0) {
+      config_.obs->waste().Add(WasteCause::kSloViolation, sample.violation_s,
+                               spec.id, -1);
+    }
+    if (service_p99_hist_.size() <= static_cast<size_t>(service_idx)) {
+      service_p99_hist_.resize(static_cast<size_t>(service_idx) + 1, nullptr);
+    }
+    Histogram*& hist = service_p99_hist_[static_cast<size_t>(service_idx)];
+    if (hist == nullptr) {
+      hist = config_.obs->metrics().GetHistogram("service.p99_ms",
+                                                 {{"service", spec.name}});
+    }
+    hist->Observe(ToSeconds(sample.q.p99) * 1e3);
+  }
+  const SimTime next = spec.start + (tick_index + 2) * config_.service_tick;
+  if (next <= spec.end) {
+    sim_->ScheduleAt(next, [this, service_idx, tick_index] {
+      OnServiceTick(service_idx, tick_index + 1);
+    });
+  }
+}
+
+ServicePreemptCost ClusterScheduler::ServiceVictimCost(
+    const RtTask* victim) const {
+  ServicePreemptCost cost;
+  if (services_ == nullptr || victim->service_idx < 0) return cost;
+  const int s = victim->service_idx;
+  const ServiceSpec& spec = services_->spec(s);
+  const SimTime now = sim_->Now();
+  // Checkpoint: the replica is frozen for the dump (and pays the restore
+  // read-back later), then resumes warm.
+  cost.ckpt_overhead = VictimCheckpointOverhead(victim);
+  cost.ckpt_violation_s =
+      services_->MarginalViolationSeconds(s, now, cost.ckpt_overhead, 1.0);
+  // Kill: the replica is gone until rescheduled (at least the resubmit
+  // backoff; a floor keeps the trade nonzero when backoff is off), then
+  // serves the warmup span at reduced capacity.
+  const SimDuration down =
+      std::max<SimDuration>(config_.resubmit_delay, Seconds(5));
+  cost.kill_violation_s =
+      services_->MarginalViolationSeconds(s, now, down, 1.0) +
+      services_->MarginalViolationSeconds(s, now, spec.warmup,
+                                          1.0 - spec.warmup_factor);
+  return cost;
+}
+
+SimDuration ClusterScheduler::VictimSloPenalty(const RtTask* victim) const {
+  if (services_ == nullptr || victim->service_idx < 0) return 0;
+  const ServicePreemptCost cost = ServiceVictimCost(victim);
+  // The sort sees the damage of the *cheaper* disposition — that is what
+  // the per-victim decision will pick.
+  const double cheaper =
+      std::min(cost.kill_violation_s,
+               cost.ckpt_violation_s + ToSeconds(cost.ckpt_overhead));
+  return Seconds(config_.service_slo_weight * cheaper);
+}
+
 SimulationResult ClusterScheduler::Run() {
   {
     ScopedWallTimer run_timer(prof_run_);
@@ -253,6 +392,11 @@ SimulationResult ClusterScheduler::Run() {
   if (dump_scheduler_ != nullptr) {
     result_.dumps_deferred = dump_scheduler_->deferred();
     result_.dump_defer_time = dump_scheduler_->total_defer_time();
+  }
+  if (services_ != nullptr) {
+    for (int s = 0; s < services_->count(); ++s) {
+      result_.service_cold_starts += services_->totals(s).cold_starts;
+    }
   }
   if (config_.obs != nullptr) {
     MetricsRegistry& m = config_.obs->metrics();
@@ -283,6 +427,32 @@ SimulationResult ClusterScheduler::Run() {
         ->Set(static_cast<double>(result_.sched_decisions));
     m.GetGauge("index.leaves_recomputed")
         ->Set(static_cast<double>(index_leaves_recomputed_));
+    if (services_ != nullptr) {
+      for (int s = 0; s < services_->count(); ++s) {
+        const ServiceSpec& spec = services_->spec(s);
+        const ServiceManager::Totals& t = services_->totals(s);
+        const MetricLabels labels = {{"service", spec.name}};
+        m.GetGauge("service.p50_ms", labels)->Set(t.P50MsMean());
+        m.GetGauge("service.p95_ms", labels)->Set(t.P95MsMean());
+        m.GetGauge("service.p99_ms_mean", labels)->Set(t.P99MsMean());
+        m.GetGauge("service.peak_p99_ms", labels)->Set(t.peak_p99_ms);
+        m.GetGauge("service.slo_violation_seconds",
+                   {{"service", spec.name}, {"cause", "total"}})
+            ->Set(t.violation_s);
+        m.GetGauge("service.slo_violation_seconds",
+                   {{"service", spec.name}, {"cause", "preempt"}})
+            ->Set(t.preempt_s);
+        m.GetGauge("service.slo_violation_seconds",
+                   {{"service", spec.name}, {"cause", "organic"}})
+            ->Set(t.organic_s);
+        m.GetGauge("service.ticks", labels)
+            ->Set(static_cast<double>(t.ticks));
+        m.GetGauge("service.violated_ticks", labels)
+            ->Set(static_cast<double>(t.violated_ticks));
+        m.GetGauge("service.cold_starts", labels)
+            ->Set(static_cast<double>(t.cold_starts));
+      }
+    }
     if (dump_scheduler_ != nullptr) {
       const char* policy = DumpPolicyName(config_.dump_scheduler.policy);
       m.GetGauge("dump_sched.admitted", {{"policy", policy}})
@@ -319,12 +489,19 @@ SimulationResult ClusterScheduler::Run() {
 
 void ClusterScheduler::OnJobArrival(RtJob* job) {
   if (job->streaming) job->rt_tasks.reserve(job->spec.tasks.size());
+  int replica = 0;
   for (const TaskSpec& spec : job->spec.tasks) {
     RtTask* task = task_arena_->New();
     task->spec = &spec;
     task->job = job;
     task->create_idx = static_cast<std::int64_t>(tasks_.size());
     task->submit_time = sim_->Now();
+    if (job->service_idx >= 0) {
+      task->service_idx = job->service_idx;
+      task->replica_idx = replica;
+      task->service_end = services_->spec(job->service_idx).end;
+    }
+    ++replica;
     AddPending(task);
     tasks_.push_back(task);
     if (job->streaming) job->rt_tasks.push_back(task);
@@ -622,8 +799,16 @@ void ClusterScheduler::StartTask(RtTask* task, Node* node) {
   task->run_start = sim_->Now();
   task->attempt++;
   RunningOn(node->id()).push_back(task);
+  // The horizon opens on services already in steady state, so a replica's
+  // first start joins warm; any later StartTask means the process state was
+  // lost (kill, crash, abandoned image) and the restart is cold.
+  ServiceReplicaUp(task, /*cold=*/task->attempt > 1);
 
-  SimDuration remaining = task->spec->duration - task->work_done;
+  // A service replica completes at its absolute retirement instant; a batch
+  // task after its remaining work.
+  SimDuration remaining = IsService(task)
+                              ? task->service_end - sim_->Now()
+                              : task->spec->duration - task->work_done;
   if (remaining < 1) remaining = 1;
   const int attempt = task->attempt;
   sim_->ScheduleAfter(remaining,
@@ -730,7 +915,7 @@ void ClusterScheduler::OnRestoreFailed(RtTask* task) {
     // The image keeps failing to load (Algorithm 1's fallback mirror on the
     // restore side): give up on it and restart from scratch, so a permanent
     // read fault cannot livelock the task in a restore-retry loop.
-    const SimDuration lost = task->saved_work;
+    const SimDuration lost = IsService(task) ? 0 : task->saved_work;
     result_.lost_work_core_hours += ToHours(lost) * task->spec->demand.cpus;
     result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
     ChargeWaste(WasteCause::kFaultLostWork,
@@ -768,8 +953,13 @@ void ClusterScheduler::OnRestoreDone(RtTask* task, int attempt) {
   task->work_done = task->saved_work;
   task->run_start = sim_->Now();
   task->attempt++;
+  // Checkpoint-resumed service replicas come back warm — the asymmetry the
+  // SLO-aware kill-vs-checkpoint decision trades on.
+  ServiceReplicaUp(task, /*cold=*/false);
 
-  SimDuration remaining = task->spec->duration - task->work_done;
+  SimDuration remaining = IsService(task)
+                              ? task->service_end - sim_->Now()
+                              : task->spec->duration - task->work_done;
   if (remaining < 1) remaining = 1;
   const int next_attempt = task->attempt;
   sim_->ScheduleAfter(remaining, [this, task, next_attempt] {
@@ -784,6 +974,9 @@ void ClusterScheduler::StopRunning(RtTask* task) {
   task->work_done += span;
   task->unsynced_run += span;
   task->run_start = -1;
+  // Every exit from kRunning (preempt, dump freeze, crash, retirement)
+  // takes the replica's capacity out of the latency model.
+  ServiceReplicaDown(task);
 }
 
 void ClusterScheduler::DetachFromNode(RtTask* task) {
@@ -798,7 +991,9 @@ void ClusterScheduler::OnTaskComplete(RtTask* task, int attempt) {
     return;  // preempted since this completion was scheduled
   }
   StopRunning(task);
-  CKPT_CHECK_GE(task->work_done, task->spec->duration);
+  if (!IsService(task)) {
+    CKPT_CHECK_GE(task->work_done, task->spec->duration);
+  }
   task->state = RtTask::State::kFinished;
   task->finish_time = sim_->Now();
   task->attempt++;
@@ -806,11 +1001,17 @@ void ClusterScheduler::OnTaskComplete(RtTask* task, int attempt) {
   DetachFromNode(task);
   ReleaseImage(task);
 
-  result_.tasks_completed++;
   result_.makespan = std::max(result_.makespan, sim_->Now());
-  const auto band = static_cast<size_t>(BandOf(task->spec->priority));
-  result_.task_response_by_band[band].Add(
-      ToSeconds(task->finish_time - task->submit_time));
+  if (IsService(task)) {
+    // Retired at the horizon, not "completed": keep service replicas out
+    // of the batch completion counts and response statistics.
+    result_.service_replicas_retired++;
+  } else {
+    result_.tasks_completed++;
+    const auto band = static_cast<size_t>(BandOf(task->spec->priority));
+    result_.task_response_by_band[band].Add(
+        ToSeconds(task->finish_time - task->submit_time));
+  }
 
   task->job->tasks_left--;
   FinishJobIfDone(task->job);
@@ -820,11 +1021,14 @@ void ClusterScheduler::OnTaskComplete(RtTask* task, int attempt) {
 void ClusterScheduler::FinishJobIfDone(RtJob* job) {
   if (job->tasks_left > 0 || job->finish_time >= 0) return;
   job->finish_time = sim_->Now();
-  result_.jobs_completed++;
-  const double response = ToSeconds(job->finish_time - job->spec.submit_time);
-  const auto band = static_cast<size_t>(BandOf(job->spec.priority));
-  result_.job_response_by_band[band].Add(response);
-  result_.all_job_responses.Add(response);
+  if (job->service_idx < 0) {
+    result_.jobs_completed++;
+    const double response =
+        ToSeconds(job->finish_time - job->spec.submit_time);
+    const auto band = static_cast<size_t>(BandOf(job->spec.priority));
+    result_.job_response_by_band[band].Add(response);
+    result_.all_job_responses.Add(response);
+  }
   if (job->streaming) {
     // Release the task specs — the bulk of a streaming run's memory. Spec
     // pointers are nulled so a stale access faults instead of reading the
@@ -936,6 +1140,15 @@ PreemptAction ClusterScheduler::DecideVictimAction(RtTask* victim) const {
       return can_increment ? PreemptAction::kCheckpointIncremental
                            : PreemptAction::kCheckpointFull;
     case PreemptionPolicy::kAdaptive:
+      // Service replicas have no unsaved batch progress to weigh; their
+      // Algorithm 1 branch compares kill's SLO damage (downtime + cold
+      // warmup) against the checkpoint's (freeze at current load, plus the
+      // frozen-core overhead): troughs kill, peaks checkpoint.
+      if (IsService(victim)) {
+        return DecideServicePreemption(ServiceVictimCost(victim),
+                                       can_increment,
+                                       config_.adaptive_threshold);
+      }
       return DecidePreemption(UnsavedProgress(victim),
                               VictimCheckpointOverhead(victim), can_increment,
                               config_.adaptive_threshold);
@@ -1019,6 +1232,27 @@ void ClusterScheduler::RecordVictimDecision(const RtTask* victim,
         {{"policy", PolicyName(config_.policy)}, {"action", name}});
   }
   decisions->Inc();
+}
+
+void ClusterScheduler::RecordServicePreempt(
+    const RtTask* victim, PreemptAction action,
+    const ServicePreemptCost& cost) const {
+  Observability* obs = config_.obs;
+  if (obs == nullptr) return;
+  const int s = victim->service_idx;
+  const ServiceSpec& spec = services_->spec(s);
+  const SimTime now = sim_->Now();
+  obs->audit().Event(
+      "service_preempt", NodeTrackCached(victim->node), now,
+      {TraceArg::Num("service", static_cast<double>(spec.id)),
+       TraceArg::Num("replica", static_cast<double>(victim->replica_idx)),
+       TraceArg::Num("rate_rps", DiurnalRate(spec, now)),
+       TraceArg::Num("effective_replicas",
+                     services_->EffectiveReplicas(s, now)),
+       TraceArg::Num("kill_violation_s", cost.kill_violation_s),
+       TraceArg::Num("ckpt_violation_s", cost.ckpt_violation_s),
+       TraceArg::Num("ckpt_overhead_s", ToSeconds(cost.ckpt_overhead)),
+       TraceArg::Str("action", ActionName(action))});
 }
 
 bool ClusterScheduler::TryPreemptFor(RtTask* task) {
@@ -1177,10 +1411,14 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
 
   switch (config_.victim_order) {
     case VictimOrder::kCostAware:
+      // VictimSloPenalty is exactly 0 for batch tasks (and whenever no
+      // services were submitted), so the order is byte-identical to the
+      // plain checkpoint-cost sort without services. With services, a
+      // replica serving a traffic peak sorts behind idle batch work.
       std::sort(victim_candidates_.begin(), victim_candidates_.end(),
                 [this](RtTask* a, RtTask* b) {
-                  return VictimCheckpointOverhead(a) <
-                         VictimCheckpointOverhead(b);
+                  return VictimCheckpointOverhead(a) + VictimSloPenalty(a) <
+                         VictimCheckpointOverhead(b) + VictimSloPenalty(b);
                 });
       break;
     case VictimOrder::kLowestPriority:
@@ -1271,12 +1509,21 @@ bool ClusterScheduler::TryPreemptFor(RtTask* task) {
 void ClusterScheduler::KillVictim(RtTask* victim) {
   // Unsaved progress is lost and will be re-executed; the task restarts
   // from its last image if one exists (Algorithm 2), else from scratch.
-  const SimDuration lost = victim->work_done - victim->saved_work;
+  // A service replica loses no batch work — its kill cost is SLO-violation
+  // seconds plus the cold restart, accounted by the ServiceManager — so
+  // charging zero here keeps the ledger's reconciliation invariant intact.
+  const SimDuration lost =
+      IsService(victim) ? 0 : victim->work_done - victim->saved_work;
   result_.lost_work_core_hours += ToHours(lost) * victim->spec->demand.cpus;
   result_.wasted_core_hours += ToHours(lost) * victim->spec->demand.cpus;
   ChargeWaste(WasteCause::kKillLostWork,
               ToHours(lost) * victim->spec->demand.cpus, victim);
   result_.kills++;
+  // A killed service replica's process state is gone; any earlier image is
+  // stale, so release it — the next start is cold. Checkpoint preemption
+  // keeping its image (and resuming warm) is exactly the benefit the
+  // service branch of Algorithm 1 weighs.
+  if (IsService(victim)) ReleaseImage(victim);
   if (!victim->has_image) result_.restarts_from_scratch++;
   victim->work_done = victim->saved_work;
   victim->unsynced_run = 0;
@@ -1298,6 +1545,12 @@ void ClusterScheduler::PreemptVictim(RtTask* victim, PreemptAction action) {
   result_.preemptions++;
   result_.sched_decisions++;
   victim->preempt_count++;
+  if (IsService(victim)) {
+    result_.service_preemptions++;
+    // Audit before StopRunning: the cost probe must see the victim's
+    // capacity still counted among the warm replicas.
+    RecordServicePreempt(victim, action, ServiceVictimCost(victim));
+  }
   StopRunning(victim);
   victim->attempt++;  // invalidate the scheduled completion
 
@@ -1557,7 +1810,8 @@ void ClusterScheduler::OnDumpFailed(RtTask* victim, int attempt) {
         .Release(victim->pending_dump_bytes);
   }
   victim->pending_dump_bytes = 0;
-  const SimDuration lost = victim->work_done - victim->saved_work;
+  const SimDuration lost =
+      IsService(victim) ? 0 : victim->work_done - victim->saved_work;
   result_.lost_work_core_hours += ToHours(lost) * victim->spec->demand.cpus;
   result_.wasted_core_hours += ToHours(lost) * victim->spec->demand.cpus;
   ChargeWaste(WasteCause::kFaultLostWork,
@@ -1601,7 +1855,9 @@ void ClusterScheduler::MaybeSchedulePeriodicDump(RtTask* task) {
   const SimDuration interval =
       std::max(YoungDalyInterval(cost, config_.periodic_ckpt_mtbf),
                config_.periodic_ckpt_min_interval);
-  const SimDuration remaining = task->spec->duration - task->work_done;
+  const SimDuration remaining = IsService(task)
+                                    ? task->service_end - sim_->Now()
+                                    : task->spec->duration - task->work_done;
   if (remaining <= interval) return;  // completion beats the next dump
   const int attempt = task->attempt;
   sim_->ScheduleAfter(interval, [this, task, attempt] {
@@ -1748,8 +2004,12 @@ void ClusterScheduler::ResumeAfterPeriodicDump(RtTask* task) {
   TouchNode(task->node);
   task->state = RtTask::State::kRunning;
   task->run_start = sim_->Now();
+  // The dump captured live process state; the replica resumes warm.
+  ServiceReplicaUp(task, /*cold=*/false);
   BumpOverheadEpoch();
-  SimDuration remaining = task->spec->duration - task->work_done;
+  SimDuration remaining = IsService(task)
+                              ? task->service_end - sim_->Now()
+                              : task->spec->duration - task->work_done;
   if (remaining < 1) remaining = 1;
   const int attempt = task->attempt;
   sim_->ScheduleAfter(remaining,
@@ -1784,7 +2044,8 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
       case RtTask::State::kRunning: {
         StopRunning(task);
         task->attempt++;
-        const SimDuration lost = task->work_done - task->saved_work;
+        const SimDuration lost =
+            IsService(task) ? 0 : task->work_done - task->saved_work;
         result_.lost_work_core_hours +=
             ToHours(lost) * task->spec->demand.cpus;
         result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
@@ -1821,7 +2082,8 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
               .Release(task->pending_dump_bytes);
         }
         task->pending_dump_bytes = 0;
-        const SimDuration lost = task->work_done - task->saved_work;
+        const SimDuration lost =
+            IsService(task) ? 0 : task->work_done - task->saved_work;
         result_.lost_work_core_hours +=
             ToHours(lost) * task->spec->demand.cpus;
         result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
@@ -1862,7 +2124,8 @@ void ClusterScheduler::OnNodeFailure(NodeId node_id, SimDuration down_for) {
       cluster_->node(node_id).storage().Release(task->pending_dump_bytes);
     }
     task->pending_dump_bytes = 0;
-    const SimDuration lost = task->work_done - task->saved_work;
+    const SimDuration lost =
+        IsService(task) ? 0 : task->work_done - task->saved_work;
     result_.lost_work_core_hours += ToHours(lost) * task->spec->demand.cpus;
     result_.wasted_core_hours += ToHours(lost) * task->spec->demand.cpus;
     ChargeWaste(WasteCause::kFaultLostWork,

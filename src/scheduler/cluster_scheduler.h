@@ -35,11 +35,15 @@
 namespace ckpt {
 
 class BandwidthDomain;
+class Histogram;
 class Observability;
+class ServiceManager;
+struct ServiceSpec;
 class ShardedSimulator;
 class StorageDevice;
 class WorkloadStream;
 enum class WasteCause;
+struct ServicePreemptCost;
 
 // Shared-bandwidth interference model (ROADMAP item 3, Herault et al.'s
 // interfering checkpoints). Off by default; when enabled, checkpoint
@@ -136,6 +140,14 @@ struct SchedulerConfig {
 
   std::uint64_t seed = 7;
 
+  // Service workload knobs (only consulted when SubmitServices was called).
+  // Weight converting estimated SLO-violation seconds into the time units
+  // the cost-aware victim order and Algorithm 1's service branch compare
+  // against checkpoint overhead.
+  double service_slo_weight = 1.0;
+  // SLO accounting cadence per service.
+  SimDuration service_tick = Seconds(30);
+
   // Optional metrics/trace sink; not owned, null disables all recording.
   Observability* obs = nullptr;
 
@@ -197,6 +209,15 @@ struct SimulationResult {
   std::int64_t jobs_completed = 0;
   std::int64_t tasks_completed = 0;
 
+  // Service workload (SubmitServices): SLO accounting totals across all
+  // services, split by the full-capacity counterfactual attribution.
+  std::int64_t service_replicas_retired = 0;
+  std::int64_t service_preemptions = 0;
+  std::int64_t service_cold_starts = 0;
+  double slo_violation_seconds = 0;
+  double slo_violation_preempt_seconds = 0;
+  double slo_violation_organic_seconds = 0;
+
   // Scheduling decisions taken: task starts, restore starts, and victim
   // preemptions. bench_scale divides this by wall time for decisions/s.
   std::int64_t sched_decisions = 0;
@@ -232,6 +253,18 @@ class ClusterScheduler {
   // so a run is comparable only to other SubmitStream runs (which are
   // deterministic at every shard count).
   void SubmitStream(WorkloadStream* stream);
+
+  // Register long-running service jobs (one replicated RtJob per spec).
+  // Replicas never "complete" within the horizon — each runs until its
+  // spec's end time — and carry a diurnal traffic curve whose tail latency
+  // is tracked per config.service_tick. Capacity lost to preemption or
+  // checkpoint freezes inflates p99 and accrues SLO-violation seconds
+  // (WasteCause::kSloViolation). Composable with Submit()/SubmitStream();
+  // call at most once, before Run().
+  void SubmitServices(const std::vector<ServiceSpec>& services);
+
+  // Null unless SubmitServices was called; per-service SLO totals.
+  const ServiceManager* services() const { return services_.get(); }
 
   // Failure injection: crash `node` at `at`, recover it `down_for` later
   // (never, when down_for < 0). Tasks on the node are interrupted; with
@@ -310,6 +343,21 @@ class ClusterScheduler {
   void ReleaseImage(RtTask* task);
   PreemptAction DecideVictimAction(RtTask* victim) const;
   void RecordVictimDecision(const RtTask* victim, PreemptAction action) const;
+  // --- Service workload hooks (all no-ops unless SubmitServices ran) ---
+  bool IsService(const RtTask* task) const;
+  // Capacity bookkeeping: a replica comes up cold (fresh start / post-kill
+  // restart, warms up at reduced capacity) or warm (checkpoint resume).
+  void ServiceReplicaUp(const RtTask* task, bool cold);
+  void ServiceReplicaDown(const RtTask* task);
+  // Per-service SLO accounting tick; reschedules itself until spec end.
+  void OnServiceTick(int service_idx, std::int64_t tick_index);
+  // Algorithm 1 service branch inputs for one replica victim.
+  ServicePreemptCost ServiceVictimCost(const RtTask* victim) const;
+  // Cost-aware victim-order penalty: 0 for batch tasks, the weighted
+  // cheaper-action SLO damage for service replicas.
+  SimDuration VictimSloPenalty(const RtTask* victim) const;
+  void RecordServicePreempt(const RtTask* victim, PreemptAction action,
+                            const ServicePreemptCost& cost) const;
   // Canonical "node/N" track spelling from a lazily filled per-node cache
   // (node ids are dense), so hot audit/trace sites stop re-formatting it.
   const std::string& NodeTrackCached(NodeId node) const;
@@ -348,6 +396,11 @@ class ClusterScheduler {
   // admission scheduler.
   std::unique_ptr<BandwidthDomain> ingest_domain_;
   std::unique_ptr<DumpScheduler> dump_scheduler_;
+
+  // Service workload state (null unless SubmitServices was called).
+  std::unique_ptr<ServiceManager> services_;
+  // Per-service p99 histogram handles, resolved lazily under obs.
+  mutable std::vector<Histogram*> service_p99_hist_;
 
   std::vector<std::unique_ptr<RtJob>> jobs_;
 

@@ -39,6 +39,18 @@ PreemptAction DecidePreemption(SimDuration unsaved_progress,
                          : PreemptAction::kCheckpointFull;
 }
 
+PreemptAction DecideServicePreemption(const ServicePreemptCost& cost,
+                                      bool has_prior_image,
+                                      double threshold) {
+  CKPT_CHECK_GT(threshold, 0.0);
+  const double kill_cost = cost.kill_violation_s;
+  const double ckpt_cost =
+      cost.ckpt_violation_s + ToSeconds(cost.ckpt_overhead);
+  if (kill_cost <= threshold * ckpt_cost) return PreemptAction::kKill;
+  return has_prior_image ? PreemptAction::kCheckpointIncremental
+                         : PreemptAction::kCheckpointFull;
+}
+
 SimDuration EstimateLocalRestore(const RestoreCost& cost) {
   return TransferTime(cost.image_bytes, cost.read_bw) + cost.local_queue_time;
 }

@@ -70,6 +70,33 @@ PreemptAction DecidePreemption(SimDuration unsaved_progress,
                                SimDuration overhead, bool has_prior_image,
                                double threshold = 1.0);
 
+// --- Service extension of Algorithm 1 --------------------------------------
+// For a long-running service replica, killing loses no batch work — the
+// costs are SLO-violation seconds (capacity missing while the replica is
+// down or frozen) plus the cores a checkpoint burns. Kill restarts the
+// replica cold (warmup at reduced capacity); checkpoint freezes it for the
+// dump but resumes it warm.
+
+struct ServicePreemptCost {
+  // Estimated SLO damage of a kill: replica down until rescheduled, then a
+  // cold warmup at reduced capacity.
+  double kill_violation_s = 0;
+  // Estimated SLO damage of a checkpoint: replica frozen for the dump (and
+  // the later restore read-back).
+  double ckpt_violation_s = 0;
+  // Frozen-core time the checkpoint burns (EstimateCheckpointOverhead).
+  SimDuration ckpt_overhead = 0;
+};
+
+// Kill iff the kill's violation cost is no worse than `threshold` times the
+// checkpoint's total cost (violation seconds plus frozen-core seconds). In
+// a traffic trough both violation terms are ~0 and the checkpoint still
+// pays its overhead, so troughs kill; near a peak the cold-restart damage
+// dominates the short freeze, so peaks checkpoint.
+PreemptAction DecideServicePreemption(const ServicePreemptCost& cost,
+                                      bool has_prior_image,
+                                      double threshold = 1.0);
+
 // --- Algorithm 2 -----------------------------------------------------------
 
 struct RestoreCost {

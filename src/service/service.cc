@@ -1,0 +1,82 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ckpt {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// splitmix64: the jitter's only source of randomness. Hash-keyed (not a
+// sequential RNG) so rate lookups are random-access deterministic.
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform in (0, 1]: never zero, so log() below is finite.
+double ToUnit(std::uint64_t h) {
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double DiurnalRate(const ServiceSpec& spec, SimTime t) {
+  CKPT_CHECK_GT(spec.period, 0);
+  const double base = std::clamp(spec.base_fraction, 0.0, 1.0);
+  const double cycle = static_cast<double>(t - spec.phase) /
+                       static_cast<double>(spec.period);
+  const double swing = 0.5 * (1.0 + std::sin(2.0 * kPi * cycle));
+  return spec.peak_rps * (base + (1.0 - base) * swing);
+}
+
+double JitteredDiurnalRate(const ServiceSpec& spec, std::int64_t tick_index,
+                           SimTime t) {
+  const double rate = DiurnalRate(spec, t);
+  if (rate <= 0) return 0;
+  // Poisson noise, normal approximation: z ~ N(0,1) via Box-Muller on two
+  // hash streams derived from (seed, tick_index).
+  const std::uint64_t key =
+      spec.seed ^ (static_cast<std::uint64_t>(tick_index) * 0x9e3779b97f4a7c15ULL);
+  const double u1 = ToUnit(SplitMix64(key));
+  const double u2 = ToUnit(SplitMix64(key ^ 0xda942042e4dd58b5ULL));
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+  return std::max(0.0, rate + z * std::sqrt(rate));
+}
+
+SimDuration MmcMeanResponse(double lambda_rps, double mu_rps, double c_eff) {
+  CKPT_CHECK_GT(mu_rps, 0);
+  const SimDuration service = Seconds(1.0 / mu_rps);
+  if (lambda_rps <= 0) return std::min(service, kOverloadResponse);
+  if (c_eff <= 0) return kOverloadResponse;
+  const double rho = lambda_rps / (c_eff * mu_rps);
+  if (rho >= 1.0) return kOverloadResponse;
+  const double exponent = std::sqrt(2.0 * (c_eff + 1.0)) - 1.0;
+  const double wq_s =
+      (1.0 / mu_rps) * std::pow(rho, exponent) / (c_eff * (1.0 - rho));
+  const SimDuration w = Seconds(wq_s + 1.0 / mu_rps);
+  return std::min(w, kOverloadResponse);
+}
+
+LatencyQuantiles MmcQuantiles(double lambda_rps, double mu_rps,
+                              double c_eff) {
+  const SimDuration w = MmcMeanResponse(lambda_rps, mu_rps, c_eff);
+  const double w_s = ToSeconds(w);
+  LatencyQuantiles q;
+  auto tail = [w_s](double p) {
+    return std::min(Seconds(w_s * std::log(1.0 / (1.0 - p))),
+                    kOverloadResponse);
+  };
+  q.p50 = tail(0.50);
+  q.p95 = tail(0.95);
+  q.p99 = tail(0.99);
+  return q;
+}
+
+}  // namespace ckpt

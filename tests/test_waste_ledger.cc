@@ -6,6 +6,7 @@
 
 #include "obs/observability.h"
 #include "scheduler/cluster_scheduler.h"
+#include "service/service_workload.h"
 #include "sim/simulator.h"
 #include "trace/google_trace.h"
 
@@ -23,6 +24,12 @@ TEST(WasteCause, TaxonomyNamesAndUnits) {
   EXPECT_STREQ(WasteCauseName(WasteCause::kDumpDeferral), "dump_deferral");
   EXPECT_TRUE(WasteCauseIsCoreHours(WasteCause::kPeriodicDumpOverhead));
   EXPECT_FALSE(WasteCauseIsCoreHours(WasteCause::kDumpDeferral));
+  // SLO violation time is seconds of violated service SLO, not core-hours,
+  // and must never enter the goodput-gap reconciliation.
+  EXPECT_EQ(kNumWasteCauses, 10);
+  EXPECT_STREQ(WasteCauseName(WasteCause::kSloViolation), "slo_violation");
+  EXPECT_FALSE(WasteCauseIsCoreHours(WasteCause::kSloViolation));
+  EXPECT_FALSE(WasteCauseReconciles(WasteCause::kSloViolation));
   // Exactly the five CPU causes that mirror wasted_core_hours reconcile.
   int reconciling = 0;
   for (int c = 0; c < kNumWasteCauses; ++c) {
@@ -140,6 +147,55 @@ TEST(WasteLedgerEndToEnd, AdaptiveRunAttributesOverhead) {
               run.result.overhead_core_hours,
               1e-9 + 0.01 * run.result.overhead_core_hours);
   EXPECT_GT(run.audit_records, 0);
+}
+
+// With a colocated service fleet the CPU reconciliation must still close:
+// service replicas charge no lost work (they carry none), and the new
+// kSloViolation cause is seconds-denominated, so attributed CPU waste keeps
+// matching the scheduler's goodput gap exactly as in the batch-only runs.
+TEST(WasteLedgerEndToEnd, ServicesKeepCpuReconciliationClosed) {
+  GoogleTraceConfig trace_config;
+  trace_config.sample_jobs = 120;
+  trace_config.seed = 11;
+  const Workload workload =
+      GoogleTraceGenerator(trace_config).GenerateWorkloadSample();
+
+  ServiceFleetConfig fleet_config;
+  fleet_config.services = 2;
+  fleet_config.min_replicas = 2;
+  fleet_config.max_replicas = 3;
+  fleet_config.demand_per_replica = Resources{2.0, GiB(8)};
+  fleet_config.end = Hours(6);
+  const std::vector<ServiceSpec> fleet = GenerateServiceFleet(fleet_config);
+
+  Observability obs;
+  Simulator sim;
+  Cluster cluster(&sim);
+  // Small enough that batch peaks preempt the colocated replicas too.
+  cluster.AddNodes(3, Resources{16.0, GiB(64)}, StorageMedium::Ssd());
+  SchedulerConfig config;
+  config.policy = PreemptionPolicy::kAdaptive;
+  config.medium = StorageMedium::Ssd();
+  config.obs = &obs;
+  ClusterScheduler scheduler(&sim, &cluster, config);
+  scheduler.Submit(workload);
+  scheduler.SubmitServices(fleet);
+  const SimulationResult result = scheduler.Run();
+
+  ASSERT_GT(result.preemptions, 0);
+  ASSERT_GT(result.wasted_core_hours, 0);
+  const WasteLedger& ledger = obs.waste();
+  // CPU attribution still equals the goodput gap with services running.
+  EXPECT_NEAR(ledger.ReconcilableCoreHours(), result.wasted_core_hours,
+              0.01 * result.wasted_core_hours);
+  // Every violated tick lands in the ledger under the new cause, in
+  // seconds, mirroring the scheduler's own accumulator.
+  EXPECT_NEAR(ledger.Total(WasteCause::kSloViolation),
+              result.slo_violation_seconds,
+              1e-9 + 1e-6 * result.slo_violation_seconds);
+  EXPECT_EQ(result.slo_violation_seconds,
+            result.slo_violation_preempt_seconds +
+                result.slo_violation_organic_seconds);
 }
 
 }  // namespace

@@ -319,6 +319,71 @@ void PrintTopContributors(const RunData& run, const std::string& series_name,
   std::fputs(RenderTable(rows).c_str(), stdout);
 }
 
+// Per-service tail latency and SLO accounting, built from the
+// service.* gauges the scheduler exports when a service fleet ran.
+struct ServiceRow {
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, peak_p99_ms = 0;
+  double viol_s = 0, preempt_s = 0, organic_s = 0;
+  double ticks = 0, violated_ticks = 0, cold_starts = 0;
+};
+
+std::map<std::string, ServiceRow> CollectServices(const RunData& run) {
+  std::map<std::string, ServiceRow> services;
+  for (const SeriesData& s : run.series) {
+    if (s.name.rfind("service.", 0) != 0) continue;
+    ServiceRow& row = services[Label(s, "service")];
+    if (s.name == "service.p50_ms") {
+      row.p50_ms = s.value;
+    } else if (s.name == "service.p95_ms") {
+      row.p95_ms = s.value;
+    } else if (s.name == "service.p99_ms_mean") {
+      row.p99_ms = s.value;
+    } else if (s.name == "service.peak_p99_ms") {
+      row.peak_p99_ms = s.value;
+    } else if (s.name == "service.slo_violation_seconds") {
+      const std::string cause = Label(s, "cause");
+      if (cause == "total") {
+        row.viol_s = s.value;
+      } else if (cause == "preempt") {
+        row.preempt_s = s.value;
+      } else if (cause == "organic") {
+        row.organic_s = s.value;
+      }
+    } else if (s.name == "service.ticks") {
+      row.ticks = s.value;
+    } else if (s.name == "service.violated_ticks") {
+      row.violated_ticks = s.value;
+    } else if (s.name == "service.cold_starts") {
+      row.cold_starts = s.value;
+    }
+  }
+  return services;
+}
+
+void PrintServicesSection(const RunData& run) {
+  const std::map<std::string, ServiceRow> services = CollectServices(run);
+  if (services.empty()) return;
+  std::printf("\n-- services --\n");
+  std::vector<std::vector<std::string>> rows{
+      {"service", "p50 [ms]", "p95 [ms]", "p99 [ms]", "peak p99", "viol [s]",
+       "preempt [s]", "organic [s]", "ticks", "violated", "cold"}};
+  double viol = 0, preempt = 0, organic = 0;
+  for (const auto& [name, row] : services) {
+    viol += row.viol_s;
+    preempt += row.preempt_s;
+    organic += row.organic_s;
+    rows.push_back({name, Fmt(row.p50_ms, 1), Fmt(row.p95_ms, 1),
+                    Fmt(row.p99_ms, 1), Fmt(row.peak_p99_ms, 1),
+                    Fmt(row.viol_s, 1), Fmt(row.preempt_s, 1),
+                    Fmt(row.organic_s, 1), Fmt(row.ticks, 0),
+                    Fmt(row.violated_ticks, 0), Fmt(row.cold_starts, 0)});
+  }
+  std::fputs(RenderTable(rows).c_str(), stdout);
+  std::printf(
+      "  fleet SLO violation: %.1f s (%.1f preempt-caused, %.1f organic)\n",
+      viol, preempt, organic);
+}
+
 void PrintSelfProfile(const RunData& run) {
   std::vector<std::vector<std::string>> rows{
       {"section", "wall-seconds", "calls"}};
@@ -373,6 +438,7 @@ void PrintRunReport(const RunData& run) {
   PrintWasteSection(run);
   PrintTopContributors(run, "waste.by_job.core_hours", "job", 5);
   PrintTopContributors(run, "waste.by_node.core_hours", "node", 5);
+  PrintServicesSection(run);
   PrintSelfProfile(run);
   PrintHistograms(run);
 }
@@ -435,6 +501,27 @@ int RunDiff(const RunData& a, const RunData& b) {
     std::printf("  (neither run recorded waste)\n");
   } else {
     std::fputs(RenderTable(rows).c_str(), stdout);
+  }
+
+  const std::map<std::string, ServiceRow> services_a = CollectServices(a);
+  const std::map<std::string, ServiceRow> services_b = CollectServices(b);
+  if (!services_a.empty() || !services_b.empty()) {
+    std::printf("\n-- services (SLO violation seconds, mean p99 ms) --\n");
+    std::map<std::string, std::pair<ServiceRow, ServiceRow>> merged;
+    for (const auto& [name, row] : services_a) merged[name].first = row;
+    for (const auto& [name, row] : services_b) merged[name].second = row;
+    std::vector<std::vector<std::string>> service_rows{
+        {"service", "viol " + a.name, "viol " + b.name, "delta%",
+         "preempt " + a.name, "preempt " + b.name, "p99 " + a.name,
+         "p99 " + b.name}};
+    for (const auto& [name, sides] : merged) {
+      service_rows.push_back(
+          {name, Fmt(sides.first.viol_s, 1), Fmt(sides.second.viol_s, 1),
+           FmtDelta(sides.first.viol_s, sides.second.viol_s),
+           Fmt(sides.first.preempt_s, 1), Fmt(sides.second.preempt_s, 1),
+           Fmt(sides.first.p99_ms, 1), Fmt(sides.second.p99_ms, 1)});
+    }
+    std::fputs(RenderTable(service_rows).c_str(), stdout);
   }
 
   std::printf("\n-- headline gauges --\n");
